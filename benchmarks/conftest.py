@@ -1,0 +1,41 @@
+"""Shared fixtures/helpers for the figure-regeneration benchmarks.
+
+Each bench regenerates one figure of the paper: it runs the relevant
+simulations (memoized across benches in :mod:`repro.analysis.experiments`),
+prints the same rows/series the paper reports, and asserts the qualitative
+*shape* — who wins, roughly by how much, where the crossovers are.
+Absolute numbers are not expected to match the authors' testbed.
+
+Scale with REPRO_BENCH_SCALE=2.0 (etc.) for longer, steadier runs.
+"""
+
+import pytest
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def print_table(headers, rows, fmt=None) -> None:
+    fmt = fmt or {}
+    widths = [max(len(str(h)), 10) for h in headers]
+    print("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        cells = []
+        for i, (h, v) in enumerate(zip(headers, row)):
+            spec = fmt.get(h, "")
+            text = format(v, spec) if spec else str(v)
+            cells.append(text.rjust(widths[i]))
+        print("  ".join(cells))
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (simulations are long)."""
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+    return run

@@ -1,0 +1,128 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not figures from the paper — these quantify our implementation decisions:
+- TLB-miss policy: "fetch" (PTE round trip) vs "cancel" (paper-strict halt)
+- chain load depth: 1 (default) vs deeper chains
+- EMC context count
+- pending-chain buffer (0 = park-in-context, the default)
+"""
+
+from dataclasses import replace
+
+from repro.sim.runner import run_system
+from repro.uarch.params import quad_core_config
+from repro.workloads.mixes import build_mix
+from repro.analysis.experiments import scaled
+
+from conftest import print_header, print_table
+
+MIX = "H3"
+
+
+def _run(n, **emc_overrides):
+    cfg = quad_core_config(prefetcher="none", emc=True)
+    cfg.emc = replace(cfg.emc, **emc_overrides)
+    return run_system(cfg, build_mix(MIX, n, seed=1))
+
+
+def test_ablation_tlb_policy(once):
+    def sweep():
+        n = scaled(4000)
+        base = run_system(quad_core_config(), build_mix(MIX, n, seed=1))
+        out = {"baseline": (base.aggregate_ipc, None)}
+        for policy in ("fetch", "cancel"):
+            r = _run(n, tlb_miss_policy=policy)
+            out[policy] = (r.aggregate_ipc, r.stats.emc)
+        return out
+
+    results = once(sweep)
+    print_header("Ablation — EMC TLB miss policy")
+    rows = []
+    for name, (perf, emc) in results.items():
+        cancelled = emc.chains_cancelled_tlb if emc else 0
+        tlbm = emc.tlb_misses if emc else 0
+        rows.append((name, perf, tlbm, cancelled))
+    print_table(["policy", "perf", "tlb_misses", "cancelled"], rows,
+                fmt={"perf": ".3f"})
+
+    # Cancel-mode must actually cancel when pages are scattered, and both
+    # policies stay functional.
+    assert results["cancel"][1].chains_cancelled_tlb >= 0
+    assert results["fetch"][1].chains_cancelled_tlb == 0
+
+
+def test_ablation_chain_depth(once):
+    def sweep():
+        n = scaled(4000)
+        return {depth: _run(n, max_load_depth=depth) for depth in (1, 2, 3)}
+
+    results = once(sweep)
+    print_header("Ablation — max chain load depth")
+    print_table(
+        ["depth", "perf", "uops/chain", "emc_misses"],
+        [(d, r.aggregate_ipc, r.stats.emc.avg_chain_uops,
+          r.stats.llc_misses_from_emc) for d, r in results.items()],
+        fmt={"perf": ".3f", "uops/chain": ".1f"})
+
+    # Deeper chains carry more loads per chain.
+    assert (results[3].stats.llc_misses_from_emc
+            >= results[1].stats.llc_misses_from_emc * 0.8)
+
+
+def test_ablation_contexts(once):
+    def sweep():
+        n = scaled(4000)
+        return {c: _run(n, num_contexts=c) for c in (1, 2, 4)}
+
+    results = once(sweep)
+    print_header("Ablation — EMC issue contexts")
+    print_table(
+        ["contexts", "perf", "chains", "rejected"],
+        [(c, r.aggregate_ipc, r.stats.emc.chains_generated,
+          r.stats.emc.chains_rejected_no_context)
+         for c, r in results.items()],
+        fmt={"perf": ".3f"})
+
+    # More contexts -> at least as many chains accepted.
+    assert (results[4].stats.emc.chains_generated
+            >= results[1].stats.emc.chains_generated)
+
+
+def test_ablation_chain_cache(once):
+    def sweep():
+        n = scaled(4000)
+        return {size: _run(n, chain_cache_entries=size)
+                for size in (0, 32)}
+
+    results = once(sweep)
+    print_header("Ablation — chain cache (extension; 0 = off)")
+    print_table(
+        ["entries", "perf", "chains", "cache_hits", "gen_cycles"],
+        [(size, r.aggregate_ipc, r.stats.emc.chains_generated,
+          r.stats.emc.chains_from_cache, r.stats.emc.chain_gen_cycles)
+         for size, r in results.items()],
+        fmt={"perf": ".3f"})
+
+    assert results[0].stats.emc.chains_from_cache == 0
+    with_cache = results[32].stats.emc
+    if with_cache.chains_generated > 10:
+        assert with_cache.chains_from_cache > 0
+
+
+def test_ablation_pending_buffer(once):
+    def sweep():
+        n = scaled(4000)
+        return {q: _run(n, pending_chain_entries=q) for q in (0, 4)}
+
+    results = once(sweep)
+    print_header("Ablation — pending-chain buffer "
+                 "(0 = park-in-context, paper-style)")
+    print_table(
+        ["buffer", "perf", "chains", "emc_miss_frac"],
+        [(q, r.aggregate_ipc, r.stats.emc.chains_generated,
+          r.stats.emc_miss_fraction()) for q, r in results.items()],
+        fmt={"perf": ".3f", "emc_miss_frac": ".3f"})
+
+    # The buffer raises coverage (its cost/benefit is workload-dependent).
+    assert (results[4].stats.emc_miss_fraction()
+            >= results[0].stats.emc_miss_fraction() * 0.8)

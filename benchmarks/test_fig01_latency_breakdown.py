@@ -1,0 +1,50 @@
+"""Figure 1: breakdown of total memory access latency into DRAM latency and
+on-chip delay, across the SPEC CPU2006 profiles (quad-core, 4 copies each).
+
+Paper shape: for the memory-intensive benchmarks (MPKI >= 10), the actual
+DRAM access is less than half of the total latency — most of the effective
+memory latency is on-chip delay.
+"""
+
+from repro.analysis.experiments import fig01_latency_breakdown
+from repro.workloads.spec import HIGH_INTENSITY
+
+from conftest import print_header, print_table
+
+#: a representative subset keeps the bench tractable; REPRO_BENCH_SCALE
+#: trades time for steadiness, not coverage
+BENCHMARKS = ["povray", "gcc", "astar", "xalancbmk",
+              "omnetpp", "milc", "soplex", "sphinx3",
+              "bwaves", "libquantum", "lbm", "mcf"]
+
+
+def test_fig01_latency_breakdown(once):
+    rows = once(fig01_latency_breakdown, BENCHMARKS)
+
+    print_header("Figure 1 — memory latency: DRAM vs on-chip delay "
+                 "(cycles, sorted by MPKI)")
+    print_table(
+        ["benchmark", "mpki", "dram", "onchip", "onchip%"],
+        [(r.benchmark, r.mpki, r.dram_cycles, r.onchip_cycles,
+          100 * r.onchip_fraction) for r in rows],
+        fmt={"mpki": ".1f", "dram": ".0f", "onchip": ".0f",
+             "onchip%": ".0f"})
+
+    from repro.analysis.figures import stacked_bar_chart
+    print()
+    print(stacked_bar_chart(
+        [(r.benchmark, {"dram": r.dram_cycles, "onchip": r.onchip_cycles})
+         for r in rows],
+        title="(cycles per miss, stacked)"))
+
+    intensive = [r for r in rows if r.benchmark in HIGH_INTENSITY]
+    assert intensive, "no memory-intensive rows produced"
+    # Paper shape: on-chip delay exceeds the DRAM access for the intensive
+    # benchmarks (on average).
+    avg_onchip = sum(r.onchip_fraction for r in intensive) / len(intensive)
+    assert avg_onchip > 0.5, (
+        f"expected on-chip delay to dominate for intensive benchmarks, "
+        f"got {avg_onchip:.0%}")
+    # And every intensive benchmark's total latency is substantial.
+    for r in intensive:
+        assert r.dram_cycles + r.onchip_cycles > 100

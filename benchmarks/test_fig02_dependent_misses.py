@@ -1,0 +1,39 @@
+"""Figure 2: percentage of LLC misses dependent on a prior LLC miss, and
+the performance increase if those dependent misses had been LLC hits.
+
+Paper shape: mcf has the highest dependent-miss fraction and the largest
+oracle gain (+95% in the paper); streaming benchmarks (libquantum, lbm,
+bwaves) have essentially none and gain nothing.
+"""
+
+from repro.analysis.experiments import fig02_dependent_misses
+
+from conftest import print_header, print_table
+
+BENCHMARKS = ["povray", "gcc", "astar", "xalancbmk",
+              "milc", "soplex", "sphinx3", "bwaves",
+              "libquantum", "lbm", "omnetpp", "mcf"]
+
+
+def test_fig02_dependent_misses(once):
+    rows = once(fig02_dependent_misses, BENCHMARKS)
+    by_name = {r.benchmark: r for r in rows}
+
+    print_header("Figure 2 — dependent cache misses and oracle speedup")
+    print_table(
+        ["benchmark", "dep_frac%", "oracle_speedup"],
+        [(r.benchmark, 100 * r.dependent_fraction, r.oracle_speedup)
+         for r in rows],
+        fmt={"dep_frac%": ".1f", "oracle_speedup": ".2f"})
+
+    # Pointer chasers dominate the dependent-miss ranking.
+    assert by_name["mcf"].dependent_fraction > 0.4
+    assert by_name["omnetpp"].dependent_fraction > 0.4
+    # Streams have (almost) no dependent misses.
+    for stream in ("libquantum", "lbm", "bwaves"):
+        assert by_name[stream].dependent_fraction < 0.05, stream
+    # Oracle: converting dependent misses to hits speeds up the pointer
+    # chasers far more than the streams.
+    assert by_name["mcf"].oracle_speedup > 1.10
+    assert by_name["omnetpp"].oracle_speedup > 1.05
+    assert by_name["libquantum"].oracle_speedup < 1.05

@@ -1,0 +1,40 @@
+"""Figure 3: percentage of dependent cache misses covered by the GHB,
+stream, and Markov prefetchers on the memory-intensive benchmarks.
+
+Paper shape: coverage of *dependent* misses is small (under ~20% on
+average) for every prefetcher — dependent addresses are data-dependent and
+hard to predict — while the prefetchers cost significant extra bandwidth.
+"""
+
+from repro.analysis.experiments import (fig03_prefetch_coverage,
+                                        prefetcher_bandwidth_overhead)
+
+from conftest import print_header, print_table
+
+BENCHMARKS = ["mcf", "omnetpp", "sphinx3", "soplex", "milc"]
+
+
+def test_fig03_prefetch_coverage(once):
+    coverage = once(fig03_prefetch_coverage, BENCHMARKS)
+
+    print_header("Figure 3 — dependent-miss coverage by prefetcher (%)")
+    prefetchers = ["ghb", "stream", "markov+stream"]
+    print_table(
+        ["benchmark"] + prefetchers,
+        [(name, *(100 * coverage[name][pf] for pf in prefetchers))
+         for name in BENCHMARKS],
+        fmt={pf: ".1f" for pf in prefetchers})
+
+    for pf in prefetchers:
+        avg = sum(coverage[name][pf] for name in BENCHMARKS) / len(BENCHMARKS)
+        print(f"average {pf}: {avg:.1%}")
+        # Paper shape: small average coverage of dependent misses.
+        assert avg < 0.45, f"{pf} covers implausibly many dependent misses"
+
+
+def test_prefetcher_bandwidth_cost(once):
+    """§1: prefetchers buy their coverage with extra DRAM traffic."""
+    overhead = once(prefetcher_bandwidth_overhead, "markov+stream")
+    print_header("Prefetcher bandwidth overhead over no prefetching")
+    print(f"markov+stream: {overhead:+.1%} DRAM reads")
+    assert overhead > 0.0, "markov+stream should increase DRAM traffic"

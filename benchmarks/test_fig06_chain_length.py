@@ -1,0 +1,27 @@
+"""Figure 6: average number of operations in the dependence chain between a
+source miss and its dependent miss.
+
+Paper shape: the chains are short — a handful of simple integer ops — which
+is why a minimal 2-wide EMC back-end suffices.
+"""
+
+from repro.analysis.experiments import fig06_chain_lengths
+
+from conftest import print_header, print_table
+
+BENCHMARKS = ["mcf", "omnetpp", "sphinx3", "soplex", "milc"]
+
+
+def test_fig06_chain_lengths(once):
+    lengths = once(fig06_chain_lengths, BENCHMARKS)
+
+    print_header("Figure 6 — avg ops between source and dependent miss")
+    print_table(["benchmark", "ops"],
+                [(name, ops) for name, ops in lengths.items()],
+                fmt={"ops": ".2f"})
+
+    observed = [ops for ops in lengths.values() if ops > 0]
+    assert observed, "no dependent-miss chains observed"
+    avg = sum(observed) / len(observed)
+    # Paper shape: small chains (the paper's Figure 6 tops out around ~10).
+    assert 0.5 <= avg <= 12, f"chain length {avg:.1f} out of plausible range"

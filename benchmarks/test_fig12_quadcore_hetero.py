@@ -1,0 +1,57 @@
+"""Figure 12: quad-core performance on the heterogeneous mixes H1-H10,
+across prefetcher configurations, with and without the EMC.
+
+Paper result: EMC +15% over no prefetching and +13% over GHB on average.
+Our reproduction recovers the *direction* on dependent-miss-heavy mixes and
+the prefetcher ordering, at smaller magnitudes (see EXPERIMENTS.md for the
+calibration analysis: our baseline's on-chip latency share is smaller, and
+two issue contexts bound chain coverage to ~5-20% of misses).
+"""
+
+import statistics
+
+from repro.analysis.experiments import fig12_quadcore_hetero
+from repro.workloads.mixes import MIX_NAMES
+
+from conftest import print_header, print_table
+
+PREFETCHERS = ["none", "ghb"]
+
+
+def test_fig12_quadcore_hetero(once):
+    rows = once(fig12_quadcore_hetero, PREFETCHERS, MIX_NAMES)
+
+    print_header("Figure 12 — quad-core H1-H10, normalized performance")
+    headers = ["mix"] + [f"{pf}{'+emc' if emc else ''}"
+                         for pf in PREFETCHERS for emc in (False, True)]
+    table = []
+    for row in rows:
+        table.append((row.workload,
+                      *(row.normalized[(pf, emc)]
+                        for pf in PREFETCHERS for emc in (False, True))))
+    print_table(headers, table,
+                fmt={h: ".3f" for h in headers if h != "mix"})
+
+    from repro.analysis.figures import bar_chart
+    print()
+    print(bar_chart([(r.workload, r.normalized[("none", True)])
+                     for r in rows],
+                    title="(EMC vs no-prefetch baseline; bars are deltas "
+                          "from 1.0)", baseline=1.0))
+
+    emc_gain = statistics.mean(r.emc_gain_over("none") for r in rows)
+    ghb_gain = statistics.mean(r.normalized[("ghb", False)] - 1
+                               for r in rows)
+    combo = statistics.mean(r.normalized[("ghb", True)] - 1 for r in rows)
+    print(f"\nmean EMC gain over no-prefetch: {emc_gain:+.1%}")
+    print(f"mean GHB gain over no-prefetch: {ghb_gain:+.1%}")
+    print(f"mean GHB+EMC gain over no-prefetch: {combo:+.1%}")
+
+    # Shape assertions (loose: small-scale runs carry interference noise):
+    # every configuration stays within a plausible band of baseline...
+    for row in rows:
+        for key, value in row.normalized.items():
+            assert 0.7 < value < 1.8, (row.workload, key, value)
+    # ...and at least some dependent-miss-heavy mixes gain from the EMC.
+    gains = [r.emc_gain_over("none") for r in rows]
+    assert max(gains) > 0.02, "no mix shows an EMC gain"

@@ -1,0 +1,37 @@
+"""Figure 14: eight-core performance, single vs dual memory controller.
+
+Paper shape: EMC gains carry over to eight cores (slightly larger, due to
+a more contended memory system); the dual-MC system performs about the
+same as single-MC (-0.8% in the paper), and distributing the EMC across
+two controllers loses only a little to cross-EMC communication.
+"""
+
+from repro.analysis.experiments import fig14_eightcore
+
+from conftest import print_header, print_table
+
+MIXES = ["H1", "H3", "H4", "H8"]
+
+
+def test_fig14_eightcore(once):
+    results = once(fig14_eightcore, MIXES, ("none",))
+
+    print_header("Figure 14 — eight-core, 1 vs 2 memory controllers")
+    for num_mcs, rows in results.items():
+        print(f"\n--- {num_mcs} memory controller(s) ---")
+        print_table(["mix", "base", "emc", "emc_gain%"],
+                    [(r.workload, r.normalized[("none", False)],
+                      r.normalized[("none", True)],
+                      100 * r.emc_gain_over("none")) for r in rows],
+                    fmt={"base": ".3f", "emc": ".3f", "emc_gain%": "+.1f"})
+
+    # Both topologies run correctly and in a plausible band.
+    for rows in results.values():
+        for row in rows:
+            for value in row.normalized.values():
+                assert 0.7 < value < 1.8
+    # The dual-MC EMC still generates useful work on some mixes.
+    gains_2mc = [r.emc_gain_over("none") for r in results[2]]
+    gains_1mc = [r.emc_gain_over("none") for r in results[1]]
+    print(f"\nmean EMC gain: 1MC {sum(gains_1mc)/len(gains_1mc):+.1%}, "
+          f"2MC {sum(gains_2mc)/len(gains_2mc):+.1%}")

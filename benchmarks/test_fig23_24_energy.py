@@ -1,0 +1,57 @@
+"""Figures 23/24: chip + DRAM energy, normalized to the no-EMC,
+no-prefetching baseline, for heterogeneous and homogeneous workloads.
+
+Paper shape: the EMC *reduces* total energy (shorter runtime -> less
+static energy; fewer row conflicts; only ~3-8% extra traffic), while
+prefetchers *increase* energy through extra DRAM traffic, Markov+stream
+most of all.
+"""
+
+import statistics
+
+from repro.analysis.experiments import (fig23_energy_hetero,
+                                        fig24_energy_homogeneous)
+
+from conftest import print_header, print_table
+
+MIXES = ["H1", "H3", "H4", "H7", "H8"]
+HOMOG = ["mcf", "omnetpp", "libquantum"]
+
+
+def _show(title, rows, prefetchers):
+    print_header(title)
+    headers = ["workload"] + [f"{pf}{'+emc' if emc else ''}"
+                              for pf in prefetchers for emc in (False, True)]
+    print_table(headers,
+                [(r.workload,
+                  *(r.normalized[(pf, emc)]
+                    for pf in prefetchers for emc in (False, True)))
+                 for r in rows],
+                fmt={h: ".3f" for h in headers if h != "workload"})
+
+
+def test_fig23_energy_hetero(once):
+    rows = once(fig23_energy_hetero, ("none", "ghb", "markov+stream"), MIXES)
+    _show("Figure 23 — energy, heterogeneous mixes (normalized)",
+          rows, ["none", "ghb", "markov+stream"])
+
+    emc_delta = statistics.mean(r.normalized[("none", True)] - 1
+                                for r in rows)
+    markov_delta = statistics.mean(
+        r.normalized[("markov+stream", False)] - 1 for r in rows)
+    print(f"\nmean EMC energy delta: {emc_delta:+.1%}")
+    print(f"mean markov+stream energy delta: {markov_delta:+.1%}")
+
+    # Shape: the EMC costs (far) less energy than the hungriest prefetcher.
+    assert emc_delta < markov_delta + 0.02
+    # And it stays within a few percent of baseline either way.
+    assert abs(emc_delta) < 0.15
+
+
+def test_fig24_energy_homogeneous(once):
+    rows = once(fig24_energy_homogeneous, ("none", "ghb"), HOMOG)
+    _show("Figure 24 — energy, homogeneous workloads (normalized)",
+          rows, ["none", "ghb"])
+    for r in rows:
+        for value in r.normalized.values():
+            assert 0.5 < value < 2.0, (r.workload, value)

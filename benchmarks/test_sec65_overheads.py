@@ -1,0 +1,25 @@
+"""Section 6.5: interconnect overhead of the EMC.
+
+Paper shape: shipping chains, live-ins and live-outs adds a moderate amount
+of ring traffic (+33% data-ring messages, +7% control in the paper) — small
+enough that it never turns into a performance loss by itself.
+"""
+
+from repro.analysis.experiments import sec65_overheads
+
+from conftest import print_header
+
+MIXES = ["H1", "H3", "H4", "H8"]
+
+
+def test_sec65_ring_overheads(once):
+    overhead = once(sec65_overheads, MIXES)
+
+    print_header("Section 6.5 — ring traffic increase due to the EMC")
+    print(f"data ring:    {overhead['data_traffic_increase']:+.1%}")
+    print(f"control ring: {overhead['control_traffic_increase']:+.1%}")
+
+    # The EMC adds some traffic, but within an order of magnitude of the
+    # paper's observation.
+    assert -0.05 < overhead["data_traffic_increase"] < 1.0
+    assert -0.05 < overhead["control_traffic_increase"] < 1.0

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Design-space exploration of the EMC itself.
+
+Sweeps the EMC's main sizing knobs — issue contexts, data-cache size,
+TLB-miss policy, and maximum chain load depth — on a dependent-miss-heavy
+workload, the kind of sensitivity analysis §5 says sized Table 1.
+
+Run:  python examples/design_space_exploration.py [n_instructions_per_core]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro import build_mix, quad_core_config, run_system
+
+
+def run_variant(n_instrs, **emc_overrides):
+    cfg = quad_core_config(prefetcher="none", emc=True)
+    cfg.emc = replace(cfg.emc, **emc_overrides)
+    result = run_system(cfg, build_mix("H3", n_instrs, seed=1))
+    return result
+
+
+def main() -> None:
+    n_instrs = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+
+    baseline = run_system(quad_core_config(prefetcher="none", emc=False),
+                          build_mix("H3", n_instrs, seed=1))
+    base_perf = baseline.aggregate_ipc
+    print(f"workload H3, {n_instrs} instrs/core; baseline IPC "
+          f"{base_perf:.3f}\n")
+
+    print("--- issue contexts (Table 1: 2 for quad-core) ---")
+    for contexts in (1, 2, 4):
+        r = run_variant(n_instrs, num_contexts=contexts)
+        print(f"  contexts={contexts}: perf {r.aggregate_ipc / base_perf:.3f}"
+              f"  chains={r.stats.emc.chains_generated}"
+              f"  rejected={r.stats.emc.chains_rejected_no_context}")
+
+    print("--- EMC data cache size (Table 1: 4 KB) ---")
+    for kb in (1, 4, 16):
+        r = run_variant(n_instrs, data_cache_bytes=kb * 1024)
+        print(f"  {kb:>2d} KB: perf {r.aggregate_ipc / base_perf:.3f}"
+              f"  dcache hit rate {r.stats.emc.dcache_hit_rate:.1%}")
+
+    print("--- TLB-miss policy (§4.1.4) ---")
+    for policy in ("fetch", "cancel"):
+        r = run_variant(n_instrs, tlb_miss_policy=policy)
+        e = r.stats.emc
+        print(f"  {policy:>7s}: perf {r.aggregate_ipc / base_perf:.3f}"
+              f"  tlb misses={e.tlb_misses}"
+              f"  cancelled={e.chains_cancelled_tlb}")
+
+    print("--- max chain load depth (live-out gating trade-off) ---")
+    for depth in (1, 2, 3):
+        r = run_variant(n_instrs, max_load_depth=depth)
+        print(f"  depth={depth}: perf {r.aggregate_ipc / base_perf:.3f}"
+              f"  uops/chain {r.stats.emc.avg_chain_uops:.1f}"
+              f"  emc misses {r.stats.llc_misses_from_emc}")
+
+
+if __name__ == "__main__":
+    main()

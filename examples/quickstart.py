@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one memory-intensive quad-core workload with and
+without the Enhanced Memory Controller and compare.
+
+Run:  python examples/quickstart.py [n_instructions_per_core]
+"""
+
+import sys
+
+from repro import build_mix, quad_core_config, run_system
+
+
+def main() -> None:
+    n_instrs = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+
+    print(f"Simulating mix H3 (sphinx3+mcf+omnetpp+milc), "
+          f"{n_instrs} instructions/core\n")
+
+    results = {}
+    for emc in (False, True):
+        cfg = quad_core_config(prefetcher="none", emc=emc)
+        workload = build_mix("H3", n_instrs, seed=1)
+        results[emc] = run_system(cfg, workload)
+
+    base, emc = results[False], results[True]
+
+    print(f"{'':>12s} {'baseline':>10s} {'with EMC':>10s}")
+    print(f"{'perf (IPC)':>12s} {base.aggregate_ipc:>10.3f} "
+          f"{emc.aggregate_ipc:>10.3f}")
+    for b, e in zip(base.stats.cores, emc.stats.cores):
+        print(f"{b.benchmark:>12s} {b.ipc():>10.3f} {e.ipc():>10.3f}")
+
+    stats = emc.stats
+    print(f"\nEMC activity:")
+    print(f"  chains generated        {stats.emc.chains_generated}")
+    print(f"  avg uops per chain      {stats.emc.avg_chain_uops:.1f}")
+    print(f"  EMC share of LLC misses {stats.emc_miss_fraction():.1%}")
+    print(f"  miss latency  core={stats.core_miss_latency.mean:.0f} cy"
+          f"  EMC={stats.emc_miss_latency.mean:.0f} cy")
+    speedup = emc.aggregate_ipc / base.aggregate_ipc - 1
+    print(f"\nEMC speedup on this workload: {speedup:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro — reproduction of "Accelerating Dependent Cache Misses with an
+Enhanced Memory Controller" (Hashemi et al., ISCA 2016).
+
+An execute-driven, event-based multi-core timing simulator (out-of-order
+cores, ring interconnect, distributed LLC, DDR3 DRAM with batch scheduling,
+stream/GHB/Markov prefetchers) plus the paper's contribution: runtime
+dependence-chain extraction at the core and chain execution at an Enhanced
+Memory Controller.
+
+Quickstart::
+
+    from repro import quad_core_config, build_mix, run_system
+    cfg = quad_core_config(prefetcher="ghb", emc=True)
+    workload = build_mix("H4", n_instrs=20_000)
+    result = run_system(cfg, workload)
+    print(result.aggregate_ipc, result.stats.emc_miss_fraction())
+"""
+
+from .sim.runner import (PREFETCHER_CONFIGS, RunResult, run_eight_mix,
+                         run_homogeneous, run_quad_mix, run_quad_named,
+                         run_system, speedup)
+from .sim.stats import SimStats
+from .sim.system import DeadlockError, System
+from .uarch.params import (DRAMConfig, EMCConfig, PrefetchConfig,
+                           SystemConfig, eight_core_config, quad_core_config,
+                           with_dram_geometry)
+from .workloads.mixes import (MIX_NAMES, MIXES, build_eight_core_mix,
+                              build_homogeneous, build_mix, build_named)
+from .workloads.spec import (HIGH_INTENSITY, LOW_INTENSITY, PROFILES,
+                             build_trace)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "System", "SystemConfig", "SimStats", "RunResult", "DeadlockError",
+    "quad_core_config", "eight_core_config", "with_dram_geometry",
+    "DRAMConfig", "EMCConfig", "PrefetchConfig",
+    "run_system", "run_quad_mix", "run_quad_named", "run_homogeneous",
+    "run_eight_mix", "speedup", "PREFETCHER_CONFIGS",
+    "MIXES", "MIX_NAMES", "build_mix", "build_named", "build_homogeneous",
+    "build_eight_core_mix", "build_trace",
+    "HIGH_INTENSITY", "LOW_INTENSITY", "PROFILES",
+    "__version__",
+]

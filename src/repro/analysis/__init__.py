@@ -1,0 +1,1 @@
+"""Experiment drivers regenerating every figure of the evaluation."""

@@ -1,0 +1,455 @@
+"""Experiment drivers: one function per figure of the paper's evaluation.
+
+Every driver returns plain data (lists of rows) that the benchmark harness
+prints and asserts on, and that EXPERIMENTS.md records.  Runs are memoized
+in a process-level cache because several figures share the same underlying
+simulations (e.g. the H1–H10 EMC runs feed Figures 12, 15, 16, 17, 18, 19,
+22 and 23).
+
+Scale: instruction counts default to laptop-friendly sizes and can be
+scaled with the ``REPRO_BENCH_SCALE`` environment variable (a float
+multiplier).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..energy.model import compute_energy
+from ..sim.runner import (RunResult, run_system)
+from ..uarch.params import (SystemConfig, eight_core_config,
+                            quad_core_config, with_dram_geometry)
+from ..workloads.mixes import (MIX_NAMES, MIXES, build_eight_core_mix,
+                               build_homogeneous, build_mix, build_named)
+from ..workloads.spec import HIGH_INTENSITY, LOW_INTENSITY, PROFILES
+
+
+def _scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int) -> int:
+    return max(500, int(n * _scale()))
+
+
+#: default per-core instruction counts by experiment weight
+N_MIX = 5000         # multiprogrammed mixes (most figures)
+N_SINGLE = 4000      # per-benchmark characterization figures
+N_SWEEP = 3000       # many-configuration sweeps
+
+PREFETCHERS = ["none", "ghb", "stream", "markov+stream"]
+
+
+# ---------------------------------------------------------------------------
+# run cache
+# ---------------------------------------------------------------------------
+
+_CACHE: Dict[tuple, RunResult] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def mix_run(mix: str, prefetcher: str = "none", emc: bool = False,
+            n_instrs: Optional[int] = None, seed: int = 1,
+            oracle: bool = False) -> RunResult:
+    """Memoized quad-core run of a Table 3 mix."""
+    n = n_instrs if n_instrs is not None else scaled(N_MIX)
+    key = ("mix", mix, prefetcher, emc, n, seed, oracle)
+    if key not in _CACHE:
+        cfg = quad_core_config(prefetcher=prefetcher, emc=emc, seed=seed)
+        cfg.oracle_dependent_hits = oracle
+        _CACHE[key] = run_system(cfg, build_mix(mix, n, seed=seed))
+    return _CACHE[key]
+
+
+def homog_run(name: str, prefetcher: str = "none", emc: bool = False,
+              n_instrs: Optional[int] = None, seed: int = 1,
+              oracle: bool = False) -> RunResult:
+    """Memoized quad-core run of four copies of one benchmark."""
+    n = n_instrs if n_instrs is not None else scaled(N_SINGLE)
+    key = ("homog", name, prefetcher, emc, n, seed, oracle)
+    if key not in _CACHE:
+        cfg = quad_core_config(prefetcher=prefetcher, emc=emc, seed=seed)
+        cfg.oracle_dependent_hits = oracle
+        _CACHE[key] = run_system(cfg, build_homogeneous(name, 4, n,
+                                                        seed=seed))
+    return _CACHE[key]
+
+
+def eight_run(mix: str, prefetcher: str = "none", emc: bool = False,
+              num_mcs: int = 1, n_instrs: Optional[int] = None,
+              seed: int = 1) -> RunResult:
+    n = n_instrs if n_instrs is not None else scaled(N_SWEEP)
+    key = ("eight", mix, prefetcher, emc, num_mcs, n, seed)
+    if key not in _CACHE:
+        cfg = eight_core_config(prefetcher=prefetcher, emc=emc,
+                                num_mcs=num_mcs, seed=seed)
+        _CACHE[key] = run_system(cfg, build_eight_core_mix(mix, n, seed=seed))
+    return _CACHE[key]
+
+
+def solo_run(name: str, n_instrs: Optional[int] = None,
+             seed: int = 1) -> RunResult:
+    """Memoized single-core run of one benchmark on the baseline machine
+    (no prefetching, no EMC) — the denominator of weighted speedup."""
+    n = n_instrs if n_instrs is not None else scaled(N_MIX)
+    key = ("solo", name, n, seed)
+    if key not in _CACHE:
+        cfg = SystemConfig(num_cores=1, seed=seed)
+        cfg.prefetch.kind = "none"
+        cfg.emc.enabled = False
+        _CACHE[key] = run_system(cfg, build_named([name], n, seed=seed))
+    return _CACHE[key]
+
+
+def weighted_speedup(result: RunResult,
+                     n_instrs: Optional[int] = None,
+                     seed: int = 1) -> float:
+    """Σ IPC_shared_i / IPC_alone_i — the standard multiprogrammed
+    performance metric.  Solo baselines are memoized per benchmark."""
+    total = 0.0
+    for core in result.stats.cores:
+        alone = solo_run(core.benchmark, n_instrs, seed).stats.cores[0]
+        if alone.ipc():
+            total += core.ipc() / alone.ipc()
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — memory latency split: DRAM vs on-chip delay
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LatencySplitRow:
+    benchmark: str
+    mpki: float
+    dram_cycles: float
+    onchip_cycles: float
+
+    @property
+    def onchip_fraction(self) -> float:
+        total = self.dram_cycles + self.onchip_cycles
+        return self.onchip_cycles / total if total else 0.0
+
+
+def fig01_latency_breakdown(benchmarks: Optional[Sequence[str]] = None,
+                            n_instrs: Optional[int] = None
+                            ) -> List[LatencySplitRow]:
+    """DRAM vs on-chip delay per benchmark, quad-core, sorted by MPKI."""
+    names = list(benchmarks) if benchmarks else list(PROFILES)
+    rows = []
+    for name in names:
+        result = homog_run(name, n_instrs=n_instrs)
+        lat = result.stats.core_miss_latency
+        mpki = sum(c.mpki() for c in result.stats.cores) / 4
+        rows.append(LatencySplitRow(name, mpki, lat.mean_dram,
+                                    lat.mean_onchip))
+    rows.sort(key=lambda r: r.mpki)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — dependent-miss fraction and oracle speedup
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DependentMissRow:
+    benchmark: str
+    dependent_fraction: float
+    oracle_speedup: float         # perf if dependent misses were LLC hits
+
+
+def fig02_dependent_misses(benchmarks: Optional[Sequence[str]] = None,
+                           n_instrs: Optional[int] = None
+                           ) -> List[DependentMissRow]:
+    names = list(benchmarks) if benchmarks else list(PROFILES)
+    rows = []
+    for name in names:
+        base = homog_run(name, n_instrs=n_instrs)
+        oracle = homog_run(name, n_instrs=n_instrs, oracle=True)
+        speedup = (oracle.throughput / base.throughput
+                   if base.throughput else 0.0)
+        rows.append(DependentMissRow(
+            name, base.stats.dependent_miss_fraction(), speedup))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — fraction of dependent misses covered by each prefetcher
+# ---------------------------------------------------------------------------
+
+def fig03_prefetch_coverage(benchmarks: Optional[Sequence[str]] = None,
+                            n_instrs: Optional[int] = None
+                            ) -> Dict[str, Dict[str, float]]:
+    """{benchmark: {prefetcher: coverage}} over the high-MPKI suite."""
+    names = list(benchmarks) if benchmarks else list(HIGH_INTENSITY)
+    out: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        out[name] = {}
+        for pf in ("ghb", "stream", "markov+stream"):
+            result = homog_run(name, prefetcher=pf, n_instrs=n_instrs)
+            out[name][pf] = result.stats.dependent_prefetch_coverage()
+    return out
+
+
+def prefetcher_bandwidth_overhead(prefetcher: str,
+                                  n_instrs: Optional[int] = None) -> float:
+    """DRAM-traffic increase of a prefetcher over no prefetching (§1)."""
+    base_reads = emc_reads = 0
+    for mix in MIX_NAMES:
+        base_reads += mix_run(mix, "none", n_instrs=n_instrs).dram_reads
+        emc_reads += mix_run(mix, prefetcher, n_instrs=n_instrs).dram_reads
+    return emc_reads / base_reads - 1.0 if base_reads else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — ops between source and dependent miss
+# ---------------------------------------------------------------------------
+
+def fig06_chain_lengths(benchmarks: Optional[Sequence[str]] = None,
+                        n_instrs: Optional[int] = None
+                        ) -> Dict[str, float]:
+    names = list(benchmarks) if benchmarks else list(HIGH_INTENSITY)
+    return {name: homog_run(name, n_instrs=n_instrs)
+            .stats.avg_dependent_chain_ops() for name in names}
+
+
+# ---------------------------------------------------------------------------
+# Figures 12/13 — quad-core performance
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PerfRow:
+    workload: str
+    #: throughput normalized to the no-prefetch, no-EMC baseline, keyed by
+    #: (prefetcher, emc)
+    normalized: Dict[Tuple[str, bool], float] = field(default_factory=dict)
+
+    def emc_gain_over(self, prefetcher: str) -> float:
+        base = self.normalized.get((prefetcher, False), 0.0)
+        with_emc = self.normalized.get((prefetcher, True), 0.0)
+        return with_emc / base - 1.0 if base else 0.0
+
+
+def _perf_rows(runner, workloads: Sequence[str],
+               prefetchers: Sequence[str],
+               n_instrs: Optional[int]) -> List[PerfRow]:
+    rows = []
+    for wl in workloads:
+        base = runner(wl, "none", False, n_instrs).throughput
+        row = PerfRow(workload=wl)
+        for pf in prefetchers:
+            for emc in (False, True):
+                tput = runner(wl, pf, emc, n_instrs).throughput
+                row.normalized[(pf, emc)] = tput / base if base else 0.0
+        rows.append(row)
+    return rows
+
+
+def fig12_quadcore_hetero(prefetchers: Sequence[str] = ("none", "ghb"),
+                          mixes: Optional[Sequence[str]] = None,
+                          n_instrs: Optional[int] = None) -> List[PerfRow]:
+    mixes = list(mixes) if mixes else list(MIX_NAMES)
+    return _perf_rows(lambda wl, pf, emc, n: mix_run(wl, pf, emc, n),
+                      mixes, prefetchers, n_instrs)
+
+
+def fig13_quadcore_homogeneous(prefetchers: Sequence[str] = ("none", "ghb"),
+                               benchmarks: Optional[Sequence[str]] = None,
+                               n_instrs: Optional[int] = None
+                               ) -> List[PerfRow]:
+    names = list(benchmarks) if benchmarks else list(HIGH_INTENSITY)
+    return _perf_rows(lambda wl, pf, emc, n: homog_run(wl, pf, emc, n),
+                      names, prefetchers, n_instrs)
+
+
+# ---------------------------------------------------------------------------
+# Figure 14 — eight-core performance, 1 vs 2 memory controllers
+# ---------------------------------------------------------------------------
+
+def fig14_eightcore(mixes: Optional[Sequence[str]] = None,
+                    prefetchers: Sequence[str] = ("none", "ghb"),
+                    n_instrs: Optional[int] = None
+                    ) -> Dict[int, List[PerfRow]]:
+    mixes = list(mixes) if mixes else ["H1", "H3", "H4", "H8"]
+    out = {}
+    for num_mcs in (1, 2):
+        out[num_mcs] = _perf_rows(
+            lambda wl, pf, emc, n, m=num_mcs: eight_run(wl, pf, emc, m, n),
+            mixes, prefetchers, n_instrs)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figures 15–19, 22 — EMC behaviour on H1-H10
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EMCBehaviourRow:
+    mix: str
+    emc_miss_fraction: float          # Fig 15
+    row_conflict_delta: float         # Fig 16 (emc minus baseline)
+    dcache_hit_rate: float            # Fig 17
+    core_miss_latency: float          # Fig 18
+    emc_miss_latency: float           # Fig 18
+    saved_fill_path: float            # Fig 19 (avg cycles/request)
+    saved_cache_access: float
+    saved_queue: float
+    avg_chain_uops: float             # Fig 22
+    avg_live_ins: float
+    avg_live_outs: float
+
+
+def emc_behaviour(mixes: Optional[Sequence[str]] = None,
+                  n_instrs: Optional[int] = None) -> List[EMCBehaviourRow]:
+    mixes = list(mixes) if mixes else list(MIX_NAMES)
+    rows = []
+    for mix in mixes:
+        base = mix_run(mix, "none", False, n_instrs)
+        emc = mix_run(mix, "none", True, n_instrs)
+        stats = emc.stats
+        n_req = max(1, stats.llc_misses_from_emc)
+        rows.append(EMCBehaviourRow(
+            mix=mix,
+            emc_miss_fraction=stats.emc_miss_fraction(),
+            row_conflict_delta=(emc.dram_row_conflict_rate
+                                - base.dram_row_conflict_rate),
+            dcache_hit_rate=stats.emc.dcache_hit_rate,
+            core_miss_latency=stats.core_miss_latency.mean,
+            emc_miss_latency=stats.emc_miss_latency.mean,
+            saved_fill_path=stats.emc.saved_fill_path / n_req,
+            saved_cache_access=stats.emc.saved_cache_access / n_req,
+            saved_queue=stats.emc.saved_queue / n_req,
+            avg_chain_uops=stats.emc.avg_chain_uops,
+            avg_live_ins=stats.emc.avg_live_ins,
+            avg_live_outs=stats.emc.avg_live_outs,
+        ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 20 — DRAM channel/rank sensitivity
+# ---------------------------------------------------------------------------
+
+def fig20_dram_sweep(geometries: Sequence[Tuple[int, int]] = (
+        (1, 1), (1, 2), (2, 1), (2, 2), (2, 4), (4, 2), (4, 4)),
+        mixes: Optional[Sequence[str]] = None,
+        n_instrs: Optional[int] = None) -> List[dict]:
+    """Average H-mix throughput per geometry, EMC off/on, normalized to
+    1-channel 1-rank without EMC."""
+    mixes = list(mixes) if mixes else ["H3", "H4", "H8"]
+    n = n_instrs if n_instrs is not None else scaled(N_SWEEP)
+    rows = []
+    baseline = None
+    for channels, ranks in geometries:
+        for emc in (False, True):
+            total = 0.0
+            for mix in mixes:
+                key = ("sweep", mix, channels, ranks, emc, n)
+                if key not in _CACHE:
+                    cfg = with_dram_geometry(
+                        quad_core_config(emc=emc), channels, ranks)
+                    _CACHE[key] = run_system(cfg, build_mix(mix, n, seed=1))
+                total += _CACHE[key].throughput
+            avg = total / len(mixes)
+            if baseline is None:
+                baseline = avg
+            rows.append({"channels": channels, "ranks": ranks, "emc": emc,
+                         "throughput": avg,
+                         "normalized": avg / baseline})
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 21 — EMC misses covered by prefetching
+# ---------------------------------------------------------------------------
+
+def fig21_emc_prefetch_overlap(prefetchers: Sequence[str] = (
+        "ghb", "stream", "markov+stream"),
+        mixes: Optional[Sequence[str]] = None,
+        n_instrs: Optional[int] = None) -> Dict[str, float]:
+    """Fraction of EMC LLC-path requests that hit on prefetched lines."""
+    mixes = list(mixes) if mixes else list(MIX_NAMES)
+    out = {}
+    for pf in prefetchers:
+        hits = requests = 0
+        for mix in mixes:
+            stats = mix_run(mix, pf, True, n_instrs).stats
+            hits += stats.emc.llc_hits_on_prefetched
+            requests += max(1, stats.emc.llc_requests
+                            + stats.emc.direct_dram_requests)
+        out[pf] = hits / requests if requests else 0.0
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figures 23/24 — energy
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EnergyRow:
+    workload: str
+    #: total (chip+DRAM) energy normalized to no-prefetch/no-EMC baseline,
+    #: keyed by (prefetcher, emc)
+    normalized: Dict[Tuple[str, bool], float] = field(default_factory=dict)
+
+
+def energy_rows(runner, workloads: Sequence[str],
+                prefetchers: Sequence[str],
+                n_instrs: Optional[int]) -> List[EnergyRow]:
+    rows = []
+    for wl in workloads:
+        base = runner(wl, "none", False, n_instrs).energy.total
+        row = EnergyRow(workload=wl)
+        for pf in prefetchers:
+            for emc in (False, True):
+                total = runner(wl, pf, emc, n_instrs).energy.total
+                row.normalized[(pf, emc)] = total / base if base else 0.0
+        rows.append(row)
+    return rows
+
+
+def fig23_energy_hetero(prefetchers: Sequence[str] = ("none", "ghb"),
+                        mixes: Optional[Sequence[str]] = None,
+                        n_instrs: Optional[int] = None) -> List[EnergyRow]:
+    mixes = list(mixes) if mixes else list(MIX_NAMES)
+    return energy_rows(lambda wl, pf, emc, n: mix_run(wl, pf, emc, n),
+                       mixes, prefetchers, n_instrs)
+
+
+def fig24_energy_homogeneous(prefetchers: Sequence[str] = ("none", "ghb"),
+                             benchmarks: Optional[Sequence[str]] = None,
+                             n_instrs: Optional[int] = None
+                             ) -> List[EnergyRow]:
+    names = list(benchmarks) if benchmarks else list(HIGH_INTENSITY)
+    return energy_rows(lambda wl, pf, emc, n: homog_run(wl, pf, emc, n),
+                       names, prefetchers, n_instrs)
+
+
+# ---------------------------------------------------------------------------
+# Section 6.5 — interconnect overhead
+# ---------------------------------------------------------------------------
+
+def sec65_overheads(mixes: Optional[Sequence[str]] = None,
+                    n_instrs: Optional[int] = None) -> dict:
+    mixes = list(mixes) if mixes else list(MIX_NAMES)
+    base_data = base_ctrl = emc_data = emc_ctrl = 0
+    emc_share_data = emc_share_ctrl = 0
+    for mix in mixes:
+        b = mix_run(mix, "none", False, n_instrs)
+        e = mix_run(mix, "none", True, n_instrs)
+        # Ring message counts come from the system's ring stats, preserved
+        # via the energy counters.
+        base_data += b.stats.energy.ring_data_hops
+        base_ctrl += b.stats.energy.ring_control_hops
+        emc_data += e.stats.energy.ring_data_hops
+        emc_ctrl += e.stats.energy.ring_control_hops
+    return {
+        "data_traffic_increase": emc_data / base_data - 1 if base_data else 0,
+        "control_traffic_increase": (emc_ctrl / base_ctrl - 1
+                                     if base_ctrl else 0),
+    }

@@ -1,0 +1,88 @@
+"""ASCII rendering of figure data: quick-look "plots" for terminals.
+
+The benchmark harness prints tables; these helpers turn the same driver
+outputs into horizontal bar charts so a figure's *shape* is visible at a
+glance without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
+
+BAR_WIDTH = 44
+
+
+def bar_chart(rows: Sequence[Tuple[str, float]], title: str = "",
+              unit: str = "", width: int = BAR_WIDTH,
+              baseline: Optional[float] = None) -> str:
+    """Render (label, value) rows as a horizontal bar chart.
+
+    With ``baseline`` set, bars render the delta from the baseline: ``+``
+    bars to the right for values above it, ``-`` bars for below — the
+    right form for normalized-performance figures.
+    """
+    if not rows:
+        return f"{title}\n  (no data)"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_w = max(len(label) for label, _ in rows)
+    if baseline is None:
+        peak = max(abs(v) for _, v in rows) or 1.0
+        for label, value in rows:
+            n = max(0, round(width * abs(value) / peak))
+            n = max(n, 1) if value else 0
+            lines.append(f"  {label.rjust(label_w)} "
+                         f"{'█' * n} {value:g}{unit}")
+    else:
+        span = max(abs(v - baseline) for _, v in rows) or 1.0
+        for label, value in rows:
+            delta = value - baseline
+            n = max(0, round(width / 2 * abs(delta) / span))
+            if delta >= 0:
+                bar = " " * (width // 2) + "|" + "+" * n
+            else:
+                bar = " " * (width // 2 - n) + "-" * n + "|"
+            lines.append(f"  {label.rjust(label_w)} {bar} "
+                         f"{value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(rows: Sequence[Tuple[str, Mapping[str, float]]],
+                      title: str = "", width: int = BAR_WIDTH,
+                      glyphs: str = "█▒░·") -> str:
+    """Render rows of {component: value} as stacked horizontal bars (the
+    Figure 1 / Figure 19 form)."""
+    if not rows:
+        return f"{title}\n  (no data)"
+    lines: List[str] = []
+    components = list(rows[0][1])
+    if title:
+        lines.append(title)
+    legend = "  ".join(f"{glyphs[i % len(glyphs)]}={name}"
+                       for i, name in enumerate(components))
+    lines.append(f"  [{legend}]")
+    label_w = max(len(label) for label, _ in rows)
+    peak = max(sum(parts.values()) for _, parts in rows) or 1.0
+    for label, parts in rows:
+        bar = ""
+        for i, name in enumerate(components):
+            n = round(width * parts.get(name, 0.0) / peak)
+            bar += glyphs[i % len(glyphs)] * n
+        total = sum(parts.values())
+        lines.append(f"  {label.rjust(label_w)} {bar} {total:.0f}")
+    return "\n".join(lines)
+
+
+def histogram_chart(buckets: Iterable[Tuple[int, int, int]],
+                    title: str = "", width: int = BAR_WIDTH) -> str:
+    """Render (low, high, count) latency buckets."""
+    buckets = list(buckets)
+    if not buckets:
+        return f"{title}\n  (no samples)"
+    lines = [title] if title else []
+    peak = max(n for _lo, _hi, n in buckets) or 1
+    for lo, hi, n in buckets:
+        bar = "█" * max(1, round(width * n / peak))
+        lines.append(f"  {lo:>7d}-{hi:<7d} {bar} {n}")
+    return "\n".join(lines)

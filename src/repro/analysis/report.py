@@ -1,0 +1,49 @@
+"""Text-report helpers: render experiment-driver outputs as aligned tables
+for the benchmark harness, examples, and EXPERIMENTS.md generation."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 formats: Optional[Mapping[str, str]] = None,
+                 min_width: int = 8) -> str:
+    """Render rows as a right-aligned fixed-width table."""
+    formats = formats or {}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for header, value in zip(headers, row):
+            spec = formats.get(header, "")
+            cells.append(format(value, spec) if spec else str(value))
+        rendered.append(cells)
+    widths = [max([len(str(h)), min_width]
+                  + [len(r[i]) for r in rendered])
+              for i, h in enumerate(headers)]
+    lines = ["  ".join(str(h).rjust(w) for h, w in zip(headers, widths))]
+    for cells in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str],
+                          rows: Iterable[Sequence],
+                          formats: Optional[Mapping[str, str]] = None) -> str:
+    """Render rows as a GitHub-flavored markdown table."""
+    formats = formats or {}
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        cells = []
+        for header, value in zip(headers, row):
+            spec = formats.get(header, "")
+            cells.append(format(value, spec) if spec else str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def percent(value: float, signed: bool = True) -> str:
+    """Format a ratio delta as a percentage string."""
+    spec = "+.1%" if signed else ".1%"
+    return format(value, spec)

@@ -1,0 +1,106 @@
+"""Parameter-sweep utility: run a grid of configuration variants over one
+workload and collect the metrics of interest.
+
+Used by the design-space example, the CLI's ``sweep`` subcommand, and the
+ablation benches.  Sweepable fields address nested config dataclasses with
+dotted paths (``emc.num_contexts``, ``dram.channels``, ``llc.latency``).
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+from ..sim.runner import RunResult, run_system
+from ..uarch.params import SystemConfig, quad_core_config
+from ..workloads.mixes import Workload, build_mix
+
+
+def set_config_field(cfg: SystemConfig, path: str, value: Any) -> None:
+    """Set a possibly nested config field by dotted path (in place)."""
+    parts = path.split(".")
+    target = cfg
+    for part in parts[:-1]:
+        if not hasattr(target, part):
+            raise AttributeError(f"no config section {part!r} in {path!r}")
+        target = getattr(target, part)
+    if not hasattr(target, parts[-1]):
+        raise AttributeError(f"no config field {parts[-1]!r} in {path!r}")
+    setattr(target, parts[-1], value)
+
+
+def get_config_field(cfg: SystemConfig, path: str) -> Any:
+    target = cfg
+    for part in path.split("."):
+        target = getattr(target, part)
+    return target
+
+
+@dataclass
+class SweepPoint:
+    """One grid point: the overrides applied and the run's results."""
+
+    overrides: Dict[str, Any]
+    result: RunResult
+
+    @property
+    def performance(self) -> float:
+        return self.result.aggregate_ipc
+
+
+@dataclass
+class SweepResult:
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def best(self, key: Callable[[SweepPoint], float] = None) -> SweepPoint:
+        key = key or (lambda p: p.performance)
+        return max(self.points, key=key)
+
+    def table(self, metrics: Mapping[str, Callable[[SweepPoint], Any]]
+              ) -> List[dict]:
+        """Rows of {override fields..., metric columns...}."""
+        rows = []
+        for point in self.points:
+            row = dict(point.overrides)
+            for name, fn in metrics.items():
+                row[name] = fn(point)
+            rows.append(row)
+        return rows
+
+
+def run_sweep(grid: Mapping[str, Sequence[Any]],
+              workload_factory: Callable[[], Workload],
+              base_config_factory: Callable[[], SystemConfig] = None,
+              max_cycles: int = 50_000_000) -> SweepResult:
+    """Run the full cross product of ``grid`` values.
+
+    ``workload_factory`` is called per point (each run needs fresh memory
+    images).  ``base_config_factory`` defaults to the Table 1 quad-core
+    with the EMC enabled.
+    """
+    base_config_factory = base_config_factory or (
+        lambda: quad_core_config(emc=True))
+    names = list(grid)
+    out = SweepResult()
+    for values in itertools.product(*(grid[n] for n in names)):
+        cfg = copy.deepcopy(base_config_factory())
+        overrides = dict(zip(names, values))
+        for path, value in overrides.items():
+            set_config_field(cfg, path, value)
+        cfg.validate()
+        result = run_system(cfg, workload_factory(), max_cycles=max_cycles)
+        out.points.append(SweepPoint(overrides=overrides, result=result))
+    return out
+
+
+def sweep_mix(grid: Mapping[str, Sequence[Any]], mix: str, n_instrs: int,
+              seed: int = 1, emc: bool = True,
+              prefetcher: str = "none") -> SweepResult:
+    """Convenience wrapper: sweep over one Table 3 mix."""
+    return run_sweep(
+        grid,
+        workload_factory=lambda: build_mix(mix, n_instrs, seed=seed),
+        base_config_factory=lambda: quad_core_config(
+            prefetcher=prefetcher, emc=emc, seed=seed))

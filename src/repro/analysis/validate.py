@@ -1,0 +1,109 @@
+"""Run-invariant validation: structural sanity checks over a finished run.
+
+Used by tests and as a debugging aid (the benches call this indirectly via
+`run_system`-based drivers; external users can validate any RunResult).
+Every check is an *invariant* — a violation indicates a simulator bug, not
+a workload property.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.runner import RunResult
+
+
+class ValidationError(AssertionError):
+    """A run violated a simulator invariant."""
+
+
+def validate_run(result: RunResult) -> List[str]:
+    """Check a finished run against structural invariants.
+
+    Returns the list of check names that ran; raises
+    :class:`ValidationError` with all violations on failure.
+    """
+    stats = result.stats
+    problems: List[str] = []
+    checks: List[str] = []
+
+    def check(name: str, condition: bool, detail: str = "") -> None:
+        checks.append(name)
+        if not condition:
+            problems.append(f"{name}: {detail}")
+
+    # -- completion ---------------------------------------------------------
+    for core in stats.cores:
+        check("core-finished", core.finished_at is not None,
+              f"core {core.core_id} never finished")
+        check("core-instructions", core.instructions > 0,
+              f"core {core.core_id} retired nothing")
+    check("total-cycles", stats.total_cycles > 0, "no cycles simulated")
+    check("total-cycles-covers-cores",
+          all((c.finished_at or 0) <= stats.total_cycles
+              for c in stats.cores),
+          "a core finished after total_cycles")
+
+    # -- cache hierarchy ----------------------------------------------------
+    for core in stats.cores:
+        check("l1-hits-misses",
+              core.l1_hits >= 0 and core.l1_misses >= 0, str(core.core_id))
+        check("llc-within-l1",
+              core.llc_hits + core.llc_misses <= core.l1_misses,
+              f"core {core.core_id}: LLC accesses "
+              f"{core.llc_hits + core.llc_misses} exceed L1 misses "
+              f"{core.l1_misses}")
+        check("dependent-within-misses",
+              core.dependent_misses <= core.llc_misses,
+              f"core {core.core_id}")
+
+    # -- latency accounting --------------------------------------------------
+    for name, acc in (("core", stats.core_miss_latency),
+                      ("emc", stats.emc_miss_latency)):
+        if acc.count:
+            check(f"{name}-latency-positive", acc.mean > 0, name)
+            check(f"{name}-dram-within-total",
+                  acc.dram_total <= acc.total,
+                  f"{name}: DRAM time exceeds total")
+            check(f"{name}-queue-within-total",
+                  acc.queue_total <= acc.total,
+                  f"{name}: queue time exceeds total")
+
+    # -- EMC ------------------------------------------------------------------
+    emc = stats.emc
+    check("chains-executed-within-generated",
+          emc.chains_executed <= emc.chains_generated,
+          f"{emc.chains_executed} > {emc.chains_generated}")
+    cancelled = (emc.chains_cancelled_branch + emc.chains_cancelled_tlb
+                 + emc.chains_cancelled_disambiguation)
+    check("cancelled-within-generated",
+          cancelled <= emc.chains_generated, str(cancelled))
+    check("emc-loads-within-uops",
+          emc.loads_executed + emc.stores_executed <= emc.uops_executed,
+          f"{emc.loads_executed}+{emc.stores_executed} "
+          f"> {emc.uops_executed}")
+    check("emc-misses-need-chains",
+          stats.llc_misses_from_emc == 0 or emc.chains_generated > 0,
+          "EMC misses without chains")
+    check("dcache-counts",
+          emc.dcache_hits + emc.dcache_misses >= emc.dcache_hits, "")
+    if emc.chains_generated:
+        check("chain-size-bounded",
+              emc.avg_chain_uops <= result.config.emc.max_chain_uops,
+              f"{emc.avg_chain_uops}")
+
+    # -- energy ---------------------------------------------------------------
+    check("energy-positive", result.energy.total > 0, "")
+    check("energy-chip-dram-split",
+          abs(result.energy.total
+              - (result.energy.chip + result.energy.dram)) < 1e-12, "")
+
+    # -- DRAM ------------------------------------------------------------------
+    check("dram-accesses", result.dram_accesses >= result.dram_reads
+          or result.dram_reads == 0, "")
+    check("rowconf-bounded", 0 <= result.dram_row_conflict_rate <= 1,
+          str(result.dram_row_conflict_rate))
+
+    if problems:
+        raise ValidationError("; ".join(problems))
+    return checks

@@ -1,0 +1,320 @@
+"""Command-line interface: run simulations and experiments without writing
+Python.
+
+Examples::
+
+    python -m repro run --mix H4 --prefetcher ghb --emc -n 5000
+    python -m repro run --benchmarks mcf lbm milc bwaves -n 4000
+    python -m repro homog --benchmark mcf --emc
+    python -m repro compare --mix H3 -n 5000
+    python -m repro profiles
+    python -m repro figure fig12 --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.report import format_table, percent
+from .sim.runner import (PREFETCHER_CONFIGS, RunResult, run_system)
+from .uarch.params import eight_core_config, quad_core_config
+from .workloads.mixes import (MIX_NAMES, MIXES, build_homogeneous,
+                              build_mix, build_named)
+from .workloads.spec import HIGH_INTENSITY, LOW_INTENSITY, PROFILES
+
+
+def _print_result(result: RunResult, verbose: bool = False) -> None:
+    stats = result.stats
+    print(f"performance (sum of IPCs): {result.aggregate_ipc:.3f}")
+    print(format_table(
+        ["core", "benchmark", "ipc", "mpki", "dep_miss%"],
+        [(c.core_id, c.benchmark, c.ipc(), c.mpki(),
+          100 * (c.dependent_misses / c.llc_misses if c.llc_misses else 0))
+         for c in stats.cores],
+        formats={"ipc": ".3f", "mpki": ".1f", "dep_miss%": ".1f"}))
+    print(f"row-buffer conflict rate: {result.dram_row_conflict_rate:.1%}")
+    print(f"DRAM reads: {result.dram_reads}")
+    if stats.emc.chains_generated:
+        e = stats.emc
+        print(f"EMC: {e.chains_generated} chains "
+              f"({e.avg_chain_uops:.1f} uops avg), "
+              f"{stats.emc_miss_fraction():.1%} of misses, "
+              f"latency {stats.emc_miss_latency.mean:.0f} vs core "
+              f"{stats.core_miss_latency.mean:.0f} cycles")
+    if stats.prefetches_issued:
+        print(f"prefetches: {stats.prefetches_issued} issued, "
+              f"accuracy {stats.prefetch_accuracy():.1%}")
+    if verbose:
+        print(f"total cycles: {stats.total_cycles}")
+        print(f"energy: chip {result.energy.chip * 1e3:.3f} mJ, "
+              f"DRAM {result.energy.dram * 1e3:.3f} mJ")
+        if stats.core_miss_latency.count:
+            acc = stats.core_miss_latency
+            print(f"core miss latency p50 <= {acc.percentile(0.5)} cy, "
+                  f"p99 <= {acc.percentile(0.99)} cy")
+            print("latency histogram (core-issued misses):")
+            peak = max(n for _lo, _hi, n in acc.histogram())
+            for lo, hi, n in acc.histogram():
+                bar = "#" * max(1, round(40 * n / peak))
+                print(f"  {lo:>6d}-{hi:<6d} {n:>6d} {bar}")
+
+
+def _build_config(args) -> object:
+    if getattr(args, "eight_core", False):
+        return eight_core_config(prefetcher=args.prefetcher, emc=args.emc,
+                                 num_mcs=getattr(args, "num_mcs", 1),
+                                 seed=args.seed)
+    return quad_core_config(prefetcher=args.prefetcher, emc=args.emc,
+                            seed=args.seed)
+
+
+def cmd_run(args) -> int:
+    cfg = _build_config(args)
+    if args.mix:
+        workload = build_mix(args.mix, args.n_instrs, seed=args.seed)
+        label = args.mix
+    elif args.benchmarks:
+        if len(args.benchmarks) != cfg.num_cores:
+            print(f"error: need {cfg.num_cores} benchmark names, got "
+                  f"{len(args.benchmarks)}", file=sys.stderr)
+            return 2
+        workload = build_named(args.benchmarks, args.n_instrs,
+                               seed=args.seed)
+        label = "+".join(args.benchmarks)
+    else:
+        print("error: give --mix or --benchmarks", file=sys.stderr)
+        return 2
+    print(f"running {label} / prefetcher={args.prefetcher} "
+          f"emc={'on' if args.emc else 'off'} "
+          f"({args.n_instrs} instrs/core)")
+    result = run_system(cfg, workload)
+    _print_result(result, verbose=args.verbose)
+    return 0
+
+
+def cmd_homog(args) -> int:
+    cfg = _build_config(args)
+    workload = build_homogeneous(args.benchmark, cfg.num_cores,
+                                 args.n_instrs, seed=args.seed)
+    print(f"running {cfg.num_cores}x {args.benchmark} / "
+          f"prefetcher={args.prefetcher} emc={'on' if args.emc else 'off'}")
+    result = run_system(cfg, workload)
+    _print_result(result, verbose=args.verbose)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """All prefetchers x EMC on one workload, normalized."""
+    rows = []
+    base_perf: Optional[float] = None
+    for prefetcher in args.prefetchers:
+        for emc in (False, True):
+            cfg = quad_core_config(prefetcher=prefetcher, emc=emc,
+                                   seed=args.seed)
+            workload = build_mix(args.mix, args.n_instrs, seed=args.seed)
+            result = run_system(cfg, workload)
+            perf = result.aggregate_ipc
+            if base_perf is None:
+                base_perf = perf
+            rows.append((f"{prefetcher}{'+emc' if emc else ''}",
+                         perf, perf / base_perf,
+                         result.stats.emc_miss_fraction(),
+                         result.dram_reads))
+    print(f"workload {args.mix}, {args.n_instrs} instrs/core, "
+          f"normalized to {args.prefetchers[0]} without EMC:")
+    print(format_table(
+        ["config", "perf", "normalized", "emc_frac", "dram_reads"],
+        rows, formats={"perf": ".3f", "normalized": ".3f",
+                       "emc_frac": ".2f"}))
+    return 0
+
+
+def _parse_value(text: str):
+    """Parse a sweep value: bool, int, float, or string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    return text
+
+
+def cmd_sweep(args) -> int:
+    from .analysis.sweep import sweep_mix
+    grid = {}
+    for spec in args.grid:
+        if "=" not in spec:
+            print(f"error: bad --set {spec!r} (want PATH=V1,V2)",
+                  file=sys.stderr)
+            return 2
+        path, values = spec.split("=", 1)
+        grid[path] = [_parse_value(v) for v in values.split(",")]
+    print(f"sweeping {args.mix} over {grid}")
+    result = sweep_mix(grid, mix=args.mix, n_instrs=args.n_instrs,
+                       seed=args.seed, emc=args.emc,
+                       prefetcher=args.prefetcher)
+    headers = list(grid) + ["perf", "emc_frac"]
+    rows = [tuple(p.overrides[k] for k in grid)
+            + (p.performance, p.result.stats.emc_miss_fraction())
+            for p in result.points]
+    print(format_table(headers, rows,
+                       formats={"perf": ".3f", "emc_frac": ".2f"}))
+    best = result.best()
+    print(f"best: {best.overrides} -> {best.performance:.3f}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .workloads.inspect import format_report, inspect_trace
+    from .workloads.spec import build_trace
+    trace, image = build_trace(args.benchmark, args.n_instrs,
+                               seed=args.seed)
+    print(format_report(inspect_trace(trace, image)))
+    if args.save:
+        from .workloads.serialize import save_workload
+        save_workload(args.save, trace, image)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def cmd_profiles(_args) -> int:
+    print(format_table(
+        ["benchmark", "intensity", "kernel"],
+        [(name, prof.intensity, prof.kernel)
+         for name, prof in sorted(PROFILES.items(),
+                                  key=lambda kv: (kv[1].intensity, kv[0]))]))
+    print(f"\nhigh intensity (MPKI >= 10): {len(HIGH_INTENSITY)}; "
+          f"low intensity: {len(LOW_INTENSITY)}")
+    print(f"mixes: {', '.join(MIX_NAMES)}")
+    for mix in MIX_NAMES:
+        print(f"  {mix}: {'+'.join(MIXES[mix])}")
+    return 0
+
+
+FIGURES = {
+    "fig01": "test_fig01_latency_breakdown.py",
+    "fig02": "test_fig02_dependent_misses.py",
+    "fig03": "test_fig03_prefetch_coverage.py",
+    "fig06": "test_fig06_chain_length.py",
+    "fig12": "test_fig12_quadcore_hetero.py",
+    "fig13": "test_fig13_quadcore_homog.py",
+    "fig14": "test_fig14_eightcore.py",
+    "fig15-19": "test_fig15_19_22_emc_behaviour.py",
+    "fig20": "test_fig20_dram_sweep.py",
+    "fig21": "test_fig21_emc_prefetch_overlap.py",
+    "fig23": "test_fig23_24_energy.py",
+    "sec65": "test_sec65_overheads.py",
+    "ablations": "test_ablations.py",
+}
+
+
+def cmd_figure(args) -> int:
+    """Dispatch to the benchmark file regenerating one figure."""
+    import os
+    import subprocess
+    name = args.name
+    if name not in FIGURES:
+        print(f"unknown figure {name!r}; choose from: "
+              f"{', '.join(sorted(FIGURES))}", file=sys.stderr)
+        return 2
+    env = dict(os.environ)
+    if args.scale is not None:
+        env["REPRO_BENCH_SCALE"] = str(args.scale)
+    cmd = [sys.executable, "-m", "pytest",
+           f"benchmarks/{FIGURES[name]}", "-q", "--benchmark-disable", "-s"]
+    return subprocess.call(cmd, env=env)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-n", "--n-instrs", type=int, default=5000,
+                        help="instructions per core (default 5000)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--prefetcher", default="none",
+                        choices=PREFETCHER_CONFIGS)
+    parser.add_argument("--emc", action="store_true",
+                        help="enable the Enhanced Memory Controller")
+    parser.add_argument("-v", "--verbose", action="store_true")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Accelerating Dependent Cache Misses "
+                    "with an Enhanced Memory Controller' (ISCA 2016)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one multiprogrammed workload")
+    _add_common(p_run)
+    p_run.add_argument("--mix", choices=MIX_NAMES,
+                       help="a Table 3 mix (H1..H10)")
+    p_run.add_argument("--benchmarks", nargs="+",
+                       help="explicit benchmark names, one per core")
+    p_run.add_argument("--eight-core", action="store_true")
+    p_run.add_argument("--num-mcs", type=int, default=1, choices=(1, 2))
+    p_run.set_defaults(func=cmd_run)
+
+    p_homog = sub.add_parser("homog",
+                             help="run N copies of one benchmark")
+    _add_common(p_homog)
+    p_homog.add_argument("--benchmark", required=True,
+                         choices=sorted(PROFILES))
+    p_homog.add_argument("--eight-core", action="store_true")
+    p_homog.set_defaults(func=cmd_homog)
+
+    p_cmp = sub.add_parser("compare",
+                           help="sweep prefetchers x EMC on one mix")
+    _add_common(p_cmp)
+    p_cmp.add_argument("--mix", default="H4", choices=MIX_NAMES)
+    p_cmp.add_argument("--prefetchers", nargs="+",
+                       default=["none", "ghb"],
+                       choices=PREFETCHER_CONFIGS)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_prof = sub.add_parser("profiles",
+                            help="list benchmark profiles and mixes")
+    p_prof.set_defaults(func=cmd_profiles)
+
+    p_fig = sub.add_parser("figure",
+                           help="regenerate one figure of the paper")
+    p_fig.add_argument("name", help=f"one of: {', '.join(sorted(FIGURES))}")
+    p_fig.add_argument("--scale", type=float, default=None,
+                       help="REPRO_BENCH_SCALE multiplier")
+    p_fig.set_defaults(func=cmd_figure)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="grid-sweep config knobs over one mix "
+                      "(e.g. --set emc.num_contexts=1,2,4)")
+    _add_common(p_sweep)
+    p_sweep.add_argument("--mix", default="H3", choices=MIX_NAMES)
+    p_sweep.add_argument("--set", dest="grid", action="append",
+                         required=True, metavar="PATH=V1,V2,...",
+                         help="dotted config path and comma-separated "
+                              "values (repeatable)")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_trace = sub.add_parser(
+        "trace", help="generate, inspect, or save a workload trace")
+    p_trace.add_argument("--benchmark", required=True,
+                         choices=sorted(PROFILES))
+    p_trace.add_argument("-n", "--n-instrs", type=int, default=5000)
+    p_trace.add_argument("--seed", type=int, default=1)
+    p_trace.add_argument("--save", metavar="PATH",
+                         help="write the (trace, image) pair to PATH "
+                              "(.gz for compression)")
+    p_trace.set_defaults(func=cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""The out-of-order core model and its in-flight uop structures."""

@@ -1,0 +1,749 @@
+"""Trace-driven out-of-order core model.
+
+Models what the paper's mechanism needs from a core: a 256-entry ROB with
+register-dataflow scheduling (wakeup lists, not per-cycle scans), a
+reservation-station capacity limit, an L1 with MSHR coalescing, statistical
+branch-misprediction stalls, full-window-stall detection, runtime
+dependent-miss classification (the backward dataflow walk), and the
+chain-generation unit of Section 4.2 (RRT + live-in vector + pseudo
+wake-up walk, Algorithm 1).
+
+Cores "doze": a core that can neither fetch, issue, nor retire stops
+scheduling tick events and is woken by memory completions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..emc.chain import ChainUop, DependenceChain
+from ..memsys.cache import SetAssocCache, line_addr
+from ..memsys.request import MemRequest
+from ..memsys.vm import PageTable
+from ..sim.stats import CoreStats
+from ..uarch.isa import effective_address, execute_alu
+from ..uarch.uop import UOP_LATENCY, MicroOp, Trace, UopType
+from .inflight import InflightUop, UopState
+
+#: backward-walk depth limit for dependent-miss classification
+MISS_WALK_LIMIT = 24
+
+
+class OutOfOrderCore:
+    """One core: front-end, window, L1, and the chain-generation unit."""
+
+    def __init__(self, core_id: int, trace: Trace, system) -> None:
+        self.core_id = core_id
+        self.system = system
+        self.cfg = system.cfg.core
+        self.wheel = system.wheel
+        self.image = system.images[core_id]
+        self.page_table = PageTable(asid=core_id)
+        self.stats = CoreStats(core_id=core_id, benchmark=trace.name)
+
+        self._trace = trace.uops
+        self._fetch_index = 0
+        self.rob: Deque[InflightUop] = deque()
+        self.ready: Deque[InflightUop] = deque()
+        self.rename: Dict[int, InflightUop] = {}
+        self.regfile: Dict[int, int] = {}
+        self._by_seq: Dict[int, InflightUop] = {}
+        self.rs_occupancy = 0
+
+        l1cfg = system.cfg.l1
+        self.l1 = SetAssocCache(l1cfg.size_bytes, l1cfg.ways)
+        self.l1_latency = l1cfg.latency
+        self.l1_mshr_capacity = l1cfg.mshr_entries
+        self.l1_pending: Dict[int, List[InflightUop]] = {}
+
+        # Branch handling: fetch stops after a mispredicted branch until it
+        # resolves plus the pipeline-restart penalty.
+        self._fetch_blocked = False
+
+        # 3-bit saturating dependent-miss-likelihood counter (Section 4.2).
+        self.dep_miss_counter = 4
+        self._chain_gen_busy_until = 0
+        # PC-indexed LRU chain cache (extension; empty when disabled).
+        self._chain_cache: "OrderedDict[int, bool]" = OrderedDict()
+
+        self._tick_scheduled = False
+        self._doze_started: Optional[int] = None
+        # "finished" = completed its first full trace window (the paper's
+        # per-benchmark instruction budget).  The core then keeps running
+        # wrapped-around copies of its trace to preserve interference until
+        # every core completes, but its statistics are frozen.
+        self.finished = False
+        self.stats_frozen = False
+        self.wrap_count = 0
+
+    # ------------------------------------------------------------------
+    # scheduling / doze
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        # Stagger core start-up a little: real multiprogrammed workloads do
+        # not begin in lock-step, and homogeneous mixes otherwise phase-lock
+        # on the DRAM batch scheduler, amplifying butterfly effects.
+        self._tick_scheduled = True
+        self.wheel.schedule(1 + 53 * self.core_id, self._first_tick)
+
+    def _first_tick(self) -> None:
+        self._tick_scheduled = False
+        self._tick()
+
+    def _schedule_tick(self, delay: int = 0) -> None:
+        if self._tick_scheduled:
+            return
+        self._tick_scheduled = True
+        self.wheel.schedule(delay, self._tick)
+
+    def wake(self) -> None:
+        """Called by any completion event that may unblock this core."""
+        if self._doze_started is not None:
+            # Attribute dozed time blocked on a full window to stall stats.
+            if (len(self.rob) >= self.cfg.rob_entries
+                    or self.rs_occupancy >= self.cfg.rs_entries):
+                self.stats.full_window_stall_cycles += (
+                    self.wheel.now - self._doze_started)
+            self._doze_started = None
+        self._schedule_tick()
+
+    def _has_work(self) -> bool:
+        if self.ready:
+            return True
+        if self.rob and self.rob[0].state is UopState.DONE:
+            return True     # retirement-width-limited: keep draining
+        if self._can_fetch():
+            return True
+        return False
+
+    def _can_fetch(self) -> bool:
+        if self.stats_frozen and self.system.all_finished:
+            return False    # draining: wrapped interference is over
+        return (self._fetch_index < len(self._trace)
+                and len(self.rob) < self.cfg.rob_entries
+                and self.rs_occupancy < self.cfg.rs_entries
+                and not self._fetch_blocked)
+
+    def _tick(self) -> None:
+        self._tick_scheduled = False
+        self._retire()
+        self._issue()
+        self._fetch()
+        self._maybe_generate_chain()
+        if self._has_work():
+            self._schedule_tick(1)
+        else:
+            self._doze_started = self.wheel.now
+
+    # ------------------------------------------------------------------
+    # retire
+    # ------------------------------------------------------------------
+    def _retire(self) -> None:
+        retired = 0
+        while (self.rob and retired < self.cfg.retire_width
+               and self.rob[0].state is UopState.DONE):
+            iu = self.rob.popleft()
+            self._by_seq.pop(iu.seq, None)
+            if self.rename.get(iu.uop.dest) is iu:
+                # Keep the committed value readable after the entry leaves
+                # the window.
+                self.regfile[iu.uop.dest] = iu.value
+            if not self.stats_frozen:
+                self.stats.instructions += 1
+            retired += 1
+        if not self.rob and self._fetch_index >= len(self._trace):
+            if not self.finished:
+                self.finished = True
+                self.stats_frozen = True
+                self.stats.finished_at = self.wheel.now
+                self.system.on_core_finished(self.core_id)
+            if not self.system.all_finished:
+                # Wrap around: keep generating interference for the cores
+                # still inside their measurement window (§5 methodology).
+                self._fetch_index = 0
+                self.wrap_count += 1
+
+    # ------------------------------------------------------------------
+    # fetch / dispatch
+    # ------------------------------------------------------------------
+    def _fetch(self) -> None:
+        fetched = 0
+        while fetched < self.cfg.fetch_width and self._can_fetch():
+            uop = self._trace[self._fetch_index]
+            self._fetch_index += 1
+            self._dispatch(uop)
+            fetched += 1
+
+    def _resolve_source(self, reg: Optional[int], iu: InflightUop,
+                        slot: int) -> None:
+        if reg is None:
+            return
+        producer = self.rename.get(reg)
+        if producer is not None:
+            if slot == 1:
+                iu.p1 = producer
+            else:
+                iu.p2 = producer
+            if producer.state is not UopState.DONE:
+                iu.deps += 1
+                producer.consumers.append(iu)
+
+    def _dispatch(self, uop: MicroOp) -> None:
+        iu = InflightUop(uop, self.wheel.now)
+        self._resolve_source(uop.src1, iu, 1)
+        self._resolve_source(uop.src2, iu, 2)
+        if uop.mem_dep is not None:
+            dep = self._by_seq.get(uop.mem_dep)
+            if dep is not None and dep.state is not UopState.DONE:
+                iu.mem_dep_p = dep
+                iu.deps += 1
+                dep.consumers.append(iu)
+        if uop.dest is not None:
+            self.rename[uop.dest] = iu
+        self.rob.append(iu)
+        self._by_seq[iu.seq] = iu
+        self.rs_occupancy += 1
+        if not self.stats_frozen:
+            self.system.energy_counters.core_uops += 1
+        if uop.op is UopType.BRANCH and uop.mispredicted:
+            self._fetch_blocked = True
+            if not self.stats_frozen:
+                self.stats.mispredicted_branches += 1
+        if iu.deps == 0:
+            iu.state = UopState.READY
+            self.ready.append(iu)
+
+    # ------------------------------------------------------------------
+    # issue / execute
+    # ------------------------------------------------------------------
+    def _source_value(self, reg: Optional[int],
+                      producer: Optional[InflightUop]) -> int:
+        if reg is None:
+            return 0
+        if producer is not None:
+            return producer.value
+        return self.regfile.get(reg, 0)
+
+    def _issue(self) -> None:
+        issued = 0
+        retry: List[InflightUop] = []
+        while self.ready and issued < self.cfg.issue_width:
+            iu = self.ready.popleft()
+            if iu.migrated or iu.state is not UopState.READY:
+                continue
+            if iu.uop.op is UopType.LOAD and not self._l1_mshr_free(iu):
+                retry.append(iu)
+                break
+            iu.state = UopState.ISSUED
+            iu.issue_cycle = self.wheel.now
+            if iu.rs_held:
+                iu.rs_held = False
+                self.rs_occupancy -= 1
+            self._execute(iu)
+            issued += 1
+        for iu in retry:
+            iu.state = UopState.READY
+            self.ready.appendleft(iu)
+
+    def _l1_mshr_free(self, iu: InflightUop) -> bool:
+        # Loads to a line already pending coalesce and never need an entry.
+        base = self._source_value(iu.uop.src1, iu.p1)
+        vaddr = effective_address(iu.uop, base)
+        paddr = self.page_table.translate(vaddr)
+        line = line_addr(paddr)
+        iu.vaddr, iu.paddr = vaddr, paddr
+        if self.l1.probe(line) is not None:
+            return True
+        if line in self.l1_pending:
+            return True
+        return len(self.l1_pending) < self.l1_mshr_capacity
+
+    def _execute(self, iu: InflightUop) -> None:
+        uop = iu.uop
+        op = uop.op
+        if op is UopType.LOAD:
+            self._execute_load(iu)
+            return
+        if op is UopType.STORE:
+            self._execute_store(iu)
+            return
+        a = self._source_value(uop.src1, iu.p1)
+        b = self._source_value(uop.src2, iu.p2)
+        value = execute_alu(uop, a, b)
+        latency = UOP_LATENCY[op]
+        if op is UopType.BRANCH and uop.mispredicted:
+            restart = latency + self.cfg.mispredict_penalty
+            self.wheel.schedule(restart, self._unblock_fetch)
+        self.wheel.schedule(latency, lambda: self._complete(iu, value))
+
+    def _unblock_fetch(self) -> None:
+        self._fetch_blocked = False
+        self.wake()
+
+    def _execute_store(self, iu: InflightUop) -> None:
+        base = self._source_value(iu.uop.src1, iu.p1)
+        vaddr = effective_address(iu.uop, base)
+        iu.vaddr = vaddr
+        iu.paddr = self.page_table.translate(vaddr)
+        if iu.uop.src2 is not None:
+            value = self._source_value(iu.uop.src2, iu.p2)
+        else:
+            value = iu.uop.imm
+        self.image.write(vaddr, value)
+        # Write-through, write-allocate L1: install the line so spill fills
+        # (and other store-then-load patterns) hit locally.
+        self.l1.fill(line_addr(iu.paddr))
+        self.l1.access(line_addr(iu.paddr), write=True)
+        self.system.energy_counters.l1_accesses += 1
+        self.system.store_writethrough(self.core_id, iu.paddr, iu.uop.pc)
+        self.wheel.schedule(1, lambda: self._complete(iu, value))
+
+    def _execute_load(self, iu: InflightUop) -> None:
+        if iu.vaddr is None:
+            base = self._source_value(iu.uop.src1, iu.p1)
+            iu.vaddr = effective_address(iu.uop, base)
+            iu.paddr = self.page_table.translate(iu.vaddr)
+        line = line_addr(iu.paddr)
+        if not self.stats_frozen:
+            self.system.energy_counters.l1_accesses += 1
+        if self.l1.access(line) is not None:
+            if not self.stats_frozen:
+                self.stats.l1_hits += 1
+            value = self.image.read(iu.vaddr)
+            self.wheel.schedule(self.l1_latency,
+                                lambda: self._complete(iu, value))
+            return
+        if not self.stats_frozen:
+            self.stats.l1_misses += 1
+        waiters = self.l1_pending.get(line)
+        if waiters is not None:
+            waiters.append(iu)
+            return
+        self.l1_pending[line] = [iu]
+        req = MemRequest(core_id=self.core_id, vaddr=iu.vaddr,
+                         paddr=iu.paddr, line=line, pc=iu.uop.pc,
+                         uop=iu, callback=self._l1_fill,
+                         t_start=self.wheel.now + self.l1_latency)
+        self.wheel.schedule(self.l1_latency,
+                            lambda: self.system.hierarchy.demand_request(req))
+
+    def _l1_fill(self, req: MemRequest) -> None:
+        # Installing the line and waking dependents costs an L1 access.
+        self.wheel.schedule(self.l1_latency, lambda: self._l1_fill_done(req))
+
+    def _l1_fill_done(self, req: MemRequest) -> None:
+        line = req.line
+        self.l1.fill(line)
+        waiters = self.l1_pending.pop(line, [])
+        for iu in waiters:
+            if iu.migrated:
+                continue   # value will arrive via the chain's live-outs
+            iu.llc_miss_pending = False
+            value = self.image.read(iu.vaddr)
+            self._complete(iu, value)
+        self.wake()
+
+    # ------------------------------------------------------------------
+    # completion / wakeup
+    # ------------------------------------------------------------------
+    def _complete(self, iu: InflightUop, value: int) -> None:
+        if iu.state is UopState.DONE:
+            return
+        iu.value = value
+        iu.state = UopState.DONE
+        iu.done_cycle = self.wheel.now
+        iu.llc_miss_pending = False
+        if iu.rs_held:
+            iu.rs_held = False
+            self.rs_occupancy -= 1
+        if iu.source_of_chain is not None:
+            # Belt and braces against the data-raced-ahead-of-chain case: a
+            # chain parked on this source can always start once the source
+            # value is architecturally available.
+            self.system.notify_source_complete(iu.source_of_chain)
+            iu.source_of_chain = None
+        for consumer in iu.consumers:
+            consumer.deps -= 1
+            if (consumer.deps == 0 and consumer.state is UopState.WAITING
+                    and not consumer.migrated):
+                consumer.state = UopState.READY
+                self.ready.append(consumer)
+        self.wake()
+
+    # ------------------------------------------------------------------
+    # dependent-miss classification (backward dataflow walk)
+    # ------------------------------------------------------------------
+    def find_miss_root(self, iu: InflightUop) -> Optional[Tuple[InflightUop, int]]:
+        """Find the nearest ancestor load that LLC-missed and whose data had
+        not returned when ``iu`` was dispatched.  Returns (root, edge_depth)
+        with the minimum edge count, or None."""
+        best: Optional[Tuple[int, InflightUop]] = None
+        stack: List[Tuple[InflightUop, int]] = [(p, 1) for p in iu.producers()]
+        visited = set()
+        while stack:
+            node, depth = stack.pop()
+            if depth > MISS_WALK_LIMIT or id(node) in visited:
+                continue
+            visited.add(id(node))
+            qualifies = (node.uop.op is UopType.LOAD and node.was_llc_miss
+                         and (node.done_cycle is None
+                              or node.done_cycle >= iu.dispatch_cycle))
+            if qualifies:
+                if best is None or depth < best[0]:
+                    best = (depth, node)
+                continue
+            for producer in node.producers():
+                stack.append((producer, depth + 1))
+        if best is None:
+            return None
+        return best[1], best[0]
+
+    def classify_llc_outcome(self, req: MemRequest, hit: bool,
+                             prefetched: bool) -> None:
+        """Called by the hierarchy when the LLC outcome of a core demand
+        load is known; updates dependent-miss statistics and flags."""
+        iu: Optional[InflightUop] = req.uop
+        if iu is None or req.is_store:
+            return
+        root = self.find_miss_root(iu)
+        frozen = self.stats_frozen
+        if hit:
+            if not frozen:
+                self.stats.llc_hits += 1
+                if prefetched and root is not None:
+                    self.stats.dependent_covered_by_prefetch += 1
+            return
+        if not frozen:
+            self.stats.llc_misses += 1
+            self.stats.source_misses_total += 1
+        iu.was_llc_miss = True
+        iu.llc_miss_pending = True
+        # Loads coalesced on the same line share the outcome (they are just
+        # as stalled, and just as eligible to root a chain); they are not
+        # double-counted in the miss statistics.
+        for waiter in self.l1_pending.get(req.line, ()):
+            if waiter is not iu and not waiter.was_llc_miss:
+                waiter.was_llc_miss = True
+                waiter.llc_miss_pending = True
+        # Wake the core: if it dozed on a full window, the chain-generation
+        # check must run now that the head is known to be an LLC miss.
+        self.wake()
+        # The 3-bit dependent-miss-likelihood counter (Section 4.2) trains
+        # here: a miss that is itself dependent on a prior miss is the
+        # evidence that chains are worth generating.
+        if root is not None:
+            root_iu, depth = root
+            iu.is_dependent_miss = True
+            req.dependent = True
+            if not root_iu.had_dependent:
+                root_iu.had_dependent = True
+                if not frozen:
+                    self.stats.source_misses_with_dependent += 1
+            if not frozen:
+                self.stats.dependent_misses += 1
+                self.stats.dependent_chain_ops_total += max(0, depth - 1)
+            self.dep_miss_counter = min(7, self.dep_miss_counter + 1)
+        else:
+            self.dep_miss_counter = max(0, self.dep_miss_counter - 1)
+
+    # ------------------------------------------------------------------
+    # chain generation (Section 4.2, Algorithm 1)
+    # ------------------------------------------------------------------
+    def _maybe_generate_chain(self) -> None:
+        system = self.system
+        if not system.cfg.emc.enabled or self.stats_frozen:
+            return
+        # Full-window stall: dispatch is blocked (ROB or RS exhausted) while
+        # an LLC miss blocks retirement.  The RS-full case matters because a
+        # dependence-heavy window parks unissued uops in the RS long before
+        # the ROB itself fills.
+        if (len(self.rob) < self.cfg.rob_entries
+                and self.rs_occupancy < self.cfg.rs_entries):
+            return
+        if self.wheel.now < self._chain_gen_busy_until:
+            return
+        if self.dep_miss_counter < system.cfg.emc.dep_counter_trigger:
+            return
+        # Pick the oldest outstanding LLC miss that still has un-issued
+        # dependents: accelerating the retirement-blocking slice frees the
+        # window soonest (migrating a younger miss's slice would freeze
+        # retirement behind it and throttle the core's own MLP).  A source
+        # whose slice turns out to contain no dependent load (e.g. only a
+        # branch consumer) is skipped and the next pending miss is tried.
+        chain = None
+        attempts = 0
+        for iu in self.rob:
+            if attempts >= 8:
+                break
+            if (iu.uop.op is not UopType.LOAD or not iu.llc_miss_pending
+                    or iu.migrated or iu.chain_attempted):
+                continue
+            if not any(c.state is UopState.WAITING and not c.migrated
+                       for c in iu.consumers):
+                continue
+            if not system.emc_context_available(iu.paddr):
+                # Leave the source eligible: a later stall evaluation
+                # retries once a context frees up.
+                system.stats.emc.chains_rejected_no_context += 1
+                return
+            attempts += 1
+            iu.chain_attempted = True
+            chain = self._build_chain(iu)
+            if chain is not None:
+                break
+        if chain is None:
+            return
+        # Optional chain cache: a repeat source PC skips the multi-cycle
+        # dataflow walk (the shape was learned last time).
+        cache_size = system.cfg.emc.chain_cache_entries
+        cached = False
+        if cache_size:
+            pc = chain.source_ref.uop.pc
+            cached = pc in self._chain_cache
+            self._chain_cache[pc] = True
+            self._chain_cache.move_to_end(pc)
+            while len(self._chain_cache) > cache_size:
+                self._chain_cache.popitem(last=False)
+        gen_cycles = 1 if cached else len(chain) + 1
+        self._chain_gen_busy_until = self.wheel.now + gen_cycles
+        system.stats.emc.chains_generated += 1
+        if cached:
+            system.stats.emc.chains_from_cache += 1
+        system.stats.emc.chain_gen_cycles += gen_cycles
+        system.stats.emc.chain_uops_total += len(chain)
+        system.stats.emc.chain_live_ins_total += chain.live_in_count
+        system.stats.emc.chain_live_outs_total += chain.live_out_count
+        self.wheel.schedule(gen_cycles, lambda: system.send_chain(chain))
+        self._schedule_tick(1)
+
+    #: how far past the chain cap the forward walk explores before the
+    #: backward slice filter trims it down to address-generating uops.
+    #: Kept small: long chains put deep dependent loads on the chain's
+    #: completion path, delaying the live-out return that unblocks the core.
+    _WALK_OVERSHOOT = 2
+
+    def _build_chain(self, source: InflightUop) -> Optional[DependenceChain]:
+        """Algorithm 1 plus the paper's slice filter.
+
+        Phase 1 — forward pseudo-wake-up walk: starting from the source
+        miss, a ROB entry is *woken* when it is EMC-executable, every source
+        is ready or chain-produced, and at least one source is
+        chain-produced.
+
+        Phase 2 — backward slice: "only the operations that are required to
+        generate the address for the dependent cache miss are included", so
+        the candidate set is filtered to loads, spill stores they order
+        after, and their transitive producers.  A dependent *mispredicted*
+        branch truncates the walk — everything past it is wrong-path from
+        the EMC's point of view and the EMC will cancel there (§4.3).
+        """
+        emc_cfg = self.system.cfg.emc
+        energy = self.system.energy_counters
+        woken = {source.seq}            # seqs whose dest is chain-produced
+        value_depth = {source.seq: 0}   # load-indirection depth per value
+        candidates: List[InflightUop] = []
+        max_walk = emc_cfg.max_chain_uops * self._WALK_OVERSHOOT
+        energy.cdb_broadcasts += 1      # pseudo wake-up of the source miss
+
+        rob = list(self.rob)
+        try:
+            start = rob.index(source) + 1
+        except ValueError:
+            return None
+        mispredict_truncated = False
+        for iu in rob[start:]:
+            if len(candidates) >= max_walk:
+                break
+            if iu.state is not UopState.WAITING or iu.migrated:
+                continue
+            uop = iu.uop
+
+            def slot(producer: Optional[InflightUop]) -> str:
+                if producer is None or producer.state is UopState.DONE:
+                    return "ready"
+                if producer.seq in woken:
+                    return "woken"
+                return "blocked"
+
+            s1 = slot(iu.p1) if uop.src1 is not None else "absent"
+            s2 = slot(iu.p2) if uop.src2 is not None else "absent"
+            if "blocked" in (s1, s2):
+                continue
+            woken_via_mem = (iu.mem_dep_p is not None
+                             and iu.mem_dep_p.seq in woken)
+            if "woken" not in (s1, s2) and not woken_via_mem:
+                continue                # independent of the chain
+            if uop.op is UopType.BRANCH:
+                if uop.mispredicted:
+                    # The EMC would run onto the wrong path here; stop.
+                    mispredict_truncated = True
+                    break
+                continue                # correct directions ship as metadata
+            if not uop.emc_allowed:
+                continue
+            if uop.op is UopType.STORE and not uop.is_spill_fill:
+                continue
+            if iu.mem_dep_p is not None:
+                dep = iu.mem_dep_p
+                if dep.state is not UopState.DONE and dep.seq not in woken:
+                    continue
+            depth = max((value_depth.get(p.seq, 0) for p in iu.producers()
+                         if p.seq in woken), default=0)
+            if uop.op is UopType.LOAD:
+                fill_forwarded = (uop.is_spill_fill and iu.mem_dep_p is not None
+                                  and iu.mem_dep_p.seq in woken)
+                if not fill_forwarded:
+                    # A spill fill forwards from the EMC LSQ — it is not a
+                    # level of memory indirection.
+                    depth += 1
+                if depth > emc_cfg.max_load_depth:
+                    continue            # too deep: it would gate live-outs
+            energy.cdb_broadcasts += 1
+            woken.add(iu.seq)           # stores wake fills via mem_dep
+            if uop.dest is not None:
+                value_depth[iu.seq] = depth
+            candidates.append(iu)
+
+        # Phase 2: backward slice from the memory uops.
+        in_chain: Dict[int, InflightUop] = {c.seq: c for c in candidates}
+        keep: Dict[int, bool] = {}
+        for iu in reversed(candidates):
+            needed = keep.get(iu.seq, False) or iu.uop.is_mem
+            keep[iu.seq] = needed
+            if not needed:
+                continue
+            for producer in iu.producers():
+                if producer.seq in in_chain:
+                    keep[producer.seq] = True
+            if iu.mem_dep_p is not None and iu.mem_dep_p.seq in in_chain:
+                keep[iu.mem_dep_p.seq] = True
+        kept = [c for c in candidates if keep.get(c.seq, False)]
+        # Drop spill stores whose fill load did not survive the filter.
+        fills_present = {c.uop.mem_dep for c in kept
+                         if c.uop.mem_dep is not None}
+        kept = [c for c in kept
+                if not (c.uop.op is UopType.STORE
+                        and c.seq not in fills_present)]
+        kept = kept[: emc_cfg.max_chain_uops]
+        if not any(c.uop.op is UopType.LOAD for c in kept):
+            self.system.stats.emc.chains_no_load += 1
+            return None
+
+        # Assign EMC physical registers and build the shippable chain.
+        rrt: Dict[int, int] = {source.seq: 0}
+        seq_to_index: Dict[int, int] = {source.seq: -1}
+        next_epr = 1
+        chain_uops: List[ChainUop] = []
+        live_ins = 0
+        energy.rrt_writes += 1
+        for iu in kept:
+            if next_epr >= emc_cfg.prf_entries:
+                break
+            uop = iu.uop
+            cu = ChainUop(uop=uop, dest_epr=None, index=len(chain_uops),
+                          core_ref=iu)
+            energy.rob_chain_reads += 1
+            skip = False
+            for slot_no, (reg, producer) in enumerate(
+                    ((uop.src1, iu.p1), (uop.src2, iu.p2)), start=1):
+                if reg is None:
+                    continue
+                energy.rrt_reads += 1
+                if producer is not None and producer.seq in rrt:
+                    if producer.seq not in seq_to_index:
+                        skip = True     # producer fell off the EPR cap
+                        break
+                    index = seq_to_index[producer.seq]
+                    if slot_no == 1:
+                        cu.src1_epr = rrt[producer.seq]
+                        cu.src1_index = index
+                    else:
+                        cu.src2_epr = rrt[producer.seq]
+                        cu.src2_index = index
+                    cu.dep_indices.append(index)
+                elif producer is not None and producer.state is not UopState.DONE:
+                    skip = True         # producer was filtered out
+                    break
+                else:
+                    value = self._source_value(reg, producer)
+                    if slot_no == 1:
+                        cu.src1_value = value
+                    else:
+                        cu.src2_value = value
+                    live_ins += 1
+            if skip:
+                continue
+            if iu.mem_dep_p is not None:
+                if iu.mem_dep_p.seq in seq_to_index:
+                    cu.dep_indices.append(seq_to_index[iu.mem_dep_p.seq])
+                elif iu.mem_dep_p.state is not UopState.DONE:
+                    continue    # ordering store missing from the chain
+            if uop.dest is not None:
+                cu.dest_epr = next_epr
+                rrt[iu.seq] = next_epr
+                next_epr += 1
+                energy.rrt_writes += 1
+            seq_to_index[iu.seq] = cu.index
+            chain_uops.append(cu)
+
+        if not any(cu.uop.op is UopType.LOAD for cu in chain_uops):
+            self.system.stats.emc.chains_no_load += 1
+            return None
+        chain = DependenceChain(
+            core_id=self.core_id,
+            source_seq=source.seq,
+            source_line=line_addr(source.paddr),
+            source_vaddr=source.vaddr,
+            source_dest_epr=0,
+            uops=chain_uops,
+            live_in_count=live_ins,
+            source_ref=source,
+            generated_at=self.wheel.now,
+            mispredict_truncated=mispredict_truncated,
+        )
+        for cu in chain_uops:
+            iu = cu.core_ref
+            iu.migrated = True
+            iu.chain = chain
+            if iu.rs_held:
+                # "These uops are read out of the instruction window and
+                # sent to the EMC" — they free their RS entries like any
+                # issued uop would.
+                iu.rs_held = False
+                self.rs_occupancy -= 1
+        source.source_of_chain = chain
+        return chain
+
+    # ------------------------------------------------------------------
+    # chain reconciliation (live-outs / cancellation)
+    # ------------------------------------------------------------------
+    def apply_chain_liveouts(self, chain: DependenceChain,
+                             values: Dict[int, int]) -> None:
+        """Live-outs arrived: complete every migrated uop with its
+        EMC-computed value (physical-register tag broadcast, Section 4.3)."""
+        for cu in chain.uops:
+            iu: InflightUop = cu.core_ref
+            iu.migrated = False
+            if iu.state in (UopState.WAITING, UopState.READY):
+                self._complete(iu, values.get(cu.index, 0))
+        self.wake()
+
+    def cancel_chain(self, chain: DependenceChain) -> None:
+        """The EMC halted (mispredicted branch, TLB miss, disambiguation):
+        un-migrate every uop so the core re-executes the chain normally."""
+        for cu in chain.uops:
+            iu: InflightUop = cu.core_ref
+            if not iu.migrated:
+                continue
+            iu.migrated = False
+            if iu.state is UopState.WAITING:
+                # Back into the window; RS occupancy may transiently exceed
+                # capacity (hardware would drain re-insertions gradually).
+                if not iu.rs_held:
+                    iu.rs_held = True
+                    self.rs_occupancy += 1
+                if iu.deps == 0:
+                    iu.state = UopState.READY
+                    self.ready.append(iu)
+        self.wake()

@@ -1,0 +1,1 @@
+"""The Enhanced Memory Controller: chains, contexts, TLBs, predictor."""

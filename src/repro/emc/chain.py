@@ -1,0 +1,82 @@
+"""Dependence chains: the unit of work shipped from a core to the EMC.
+
+A chain is the output of the core's chain-generation walk (Algorithm 1):
+uops renamed onto the EMC's 16-register space, plus the live-in values those
+uops need.  The chain also carries enough metadata for the EMC to start the
+moment the source miss's data arrives from DRAM and for the core to
+reconcile live-outs afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..uarch.params import CACHE_LINE_BYTES
+from ..uarch.uop import MicroOp
+
+
+@dataclass
+class ChainUop:
+    """One uop of a chain, renamed to EMC physical registers (EPRs).
+
+    ``src*_epr`` is the EMC register the operand comes from, or None when the
+    operand's value was ready at the core and travels in the live-in vector
+    (``src*_value``).
+    """
+
+    uop: MicroOp
+    dest_epr: Optional[int]
+    src1_epr: Optional[int] = None
+    src2_epr: Optional[int] = None
+    src1_value: Optional[int] = None
+    src2_value: Optional[int] = None
+    # Chain-internal producer indices per operand slot (-1 = the source
+    # miss's data register E0); None when the operand is a live-in.
+    src1_index: Optional[int] = None
+    src2_index: Optional[int] = None
+    #: index of this uop within the chain (issue bookkeeping)
+    index: int = 0
+    #: chain-internal indices this uop waits on
+    dep_indices: List[int] = field(default_factory=list)
+    #: the core-side in-flight uop this chain uop mirrors (reconciliation)
+    core_ref: Any = None
+
+
+@dataclass
+class DependenceChain:
+    """A filtered chain of dependent uops plus its live-in data."""
+
+    core_id: int
+    source_seq: int               # dynamic seq of the source-miss load
+    source_line: int              # physical line the source miss waits on
+    source_vaddr: int
+    source_dest_epr: int          # EPR holding the source load's data (E0)
+    uops: List[ChainUop] = field(default_factory=list)
+    live_in_count: int = 0
+    #: the core-side source uop (the EMC reads its value when data arrives)
+    source_ref: Any = None
+    #: PTE preloaded for the source page (shipped when not EMC-TLB-resident)
+    shipped_pte: bool = False
+    generated_at: int = 0
+    #: the walk hit a dependent mispredicted branch: the EMC will detect the
+    #: misprediction after executing the chain and cancel (§4.3)
+    mispredict_truncated: bool = False
+
+    def __len__(self) -> int:
+        return len(self.uops)
+
+    @property
+    def live_out_count(self) -> int:
+        """Every chain uop with a destination produces a live-out register."""
+        return sum(1 for cu in self.uops if cu.uop.dest is not None)
+
+    def transfer_lines_to_emc(self, uop_bytes: int = 6) -> int:
+        """Cache lines of traffic to ship this chain to the EMC."""
+        payload = len(self.uops) * uop_bytes + self.live_in_count * 8
+        return max(1, -(-payload // CACHE_LINE_BYTES))
+
+    def transfer_lines_to_core(self) -> int:
+        """Cache lines of traffic to return live-outs to the core."""
+        payload = self.live_out_count * 8
+        return max(1, -(-payload // CACHE_LINE_BYTES))

@@ -1,0 +1,48 @@
+"""LLC hit/miss predictor at the EMC (Section 4.3).
+
+An array of 3-bit saturating counters per core, hashed by the PC of the
+miss-causing instruction (after Qureshi & Loh's MAP-I predictor).  When the
+counter is at or above threshold, an EMC load skips the on-chip cache
+hierarchy and goes straight to DRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class MissPredictor:
+    """Per-core arrays of 3-bit counters indexed by a PC hash."""
+
+    COUNTER_MAX = 7
+
+    def __init__(self, entries: int = 256, threshold: int = 4) -> None:
+        if not entries or entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.threshold = threshold
+        self._tables: Dict[int, List[int]] = {}
+
+    def _table(self, core: int) -> List[int]:
+        table = self._tables.get(core)
+        if table is None:
+            table = [self.COUNTER_MAX // 2] * self.entries
+            self._tables[core] = table
+        return table
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ (pc >> 10)) & (self.entries - 1)
+
+    def predict_miss(self, core: int, pc: int) -> bool:
+        """True when the load should bypass the LLC and go to DRAM."""
+        return self._table(core)[self._index(pc)] >= self.threshold
+
+    def update(self, core: int, pc: int, was_miss: bool) -> None:
+        """Train on an observed LLC outcome (miss increments, hit
+        decrements)."""
+        table = self._table(core)
+        index = self._index(pc)
+        if was_miss:
+            table[index] = min(self.COUNTER_MAX, table[index] + 1)
+        else:
+            table[index] = max(0, table[index] - 1)

@@ -1,0 +1,1 @@
+"""Event-energy model (McPAT/CACTI substitute)."""

@@ -1,0 +1,34 @@
+"""Energy constants: a McPAT/CACTI-flavoured event-energy model at 22 nm.
+
+Dynamic energies are per event in nanojoules; static power in watts.  The
+values are calibrated to the same ballpark McPAT reports for a Haswell-class
+quad-core (the paper's Table 1 machine) — the *relative* weights are what
+matter for reproducing Figures 23/24: static energy scales with runtime,
+DRAM dynamic energy with accesses and (heavily) row activations, ring
+energy with flit-hops.
+"""
+
+# Dynamic energy per event (nJ).
+CORE_UOP_NJ = 0.25            # rename+issue+execute+retire of one uop
+L1_ACCESS_NJ = 0.05
+LLC_ACCESS_NJ = 0.5
+DRAM_READ_NJ = 15.0           # column access + I/O for one 64B line
+DRAM_WRITE_NJ = 15.0
+DRAM_ACTIVATE_NJ = 25.0       # row activation (the row-conflict penalty)
+RING_CTRL_HOP_NJ = 0.02       # 8B flit over one link
+RING_DATA_HOP_NJ = 0.15       # 64+8B message over one link
+EMC_UOP_NJ = 0.08             # 2-wide, no front-end: much cheaper per uop
+EMC_CACHE_ACCESS_NJ = 0.02    # 4 KB cache
+CDB_BROADCAST_NJ = 0.01       # pseudo wake-up tag broadcast (Section 5)
+RRT_ACCESS_NJ = 0.005
+ROB_CHAIN_READ_NJ = 0.01
+
+# Static power (W) at 3.2 GHz, 22nm-ish.
+CORE_STATIC_W = 1.2           # per core (leakage + clock tree)
+LLC_STATIC_W_PER_MB = 0.25
+RING_STATIC_W = 0.2
+MC_STATIC_W = 0.3             # per memory controller (scheduler + PHY)
+EMC_STATIC_W = 0.125          # ~10.4% of a core (paper's area estimate)
+DRAM_STATIC_W_PER_CHANNEL = 0.75   # background + refresh
+
+CLOCK_HZ = 3.2e9

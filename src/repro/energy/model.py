@@ -1,0 +1,86 @@
+"""Energy model: event counts × per-event energies + static power × time.
+
+Mirrors the paper's methodology (Section 5): shared structures dissipate
+static power until the completion of the entire workload; per-event dynamic
+energy counters accumulate until each benchmark's completion; the EMC is a
+stripped-down core (no front-end, no FP) plus its cache; chain generation
+charges CDB broadcasts, RRT reads/writes, and ROB reads explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.stats import SimStats
+from ..uarch.params import SystemConfig
+from . import constants as k
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules by component for one run."""
+
+    core_dynamic: float = 0.0
+    core_static: float = 0.0
+    cache_dynamic: float = 0.0
+    cache_static: float = 0.0
+    ring_dynamic: float = 0.0
+    ring_static: float = 0.0
+    mc_static: float = 0.0
+    emc_dynamic: float = 0.0
+    emc_static: float = 0.0
+    chaingen_dynamic: float = 0.0
+    dram_dynamic: float = 0.0
+    dram_static: float = 0.0
+
+    @property
+    def chip(self) -> float:
+        return (self.core_dynamic + self.core_static + self.cache_dynamic
+                + self.cache_static + self.ring_dynamic + self.ring_static
+                + self.mc_static + self.emc_dynamic + self.emc_static
+                + self.chaingen_dynamic)
+
+    @property
+    def dram(self) -> float:
+        return self.dram_dynamic + self.dram_static
+
+    @property
+    def total(self) -> float:
+        return self.chip + self.dram
+
+
+def compute_energy(cfg: SystemConfig, stats: SimStats) -> EnergyBreakdown:
+    """Turn one run's event counters + runtime into joules."""
+    ec = stats.energy
+    out = EnergyBreakdown()
+    nj = 1e-9
+
+    out.core_dynamic = ec.core_uops * k.CORE_UOP_NJ * nj
+    out.cache_dynamic = (ec.l1_accesses * k.L1_ACCESS_NJ
+                         + ec.llc_accesses * k.LLC_ACCESS_NJ) * nj
+    out.ring_dynamic = (ec.ring_control_hops * k.RING_CTRL_HOP_NJ
+                        + ec.ring_data_hops * k.RING_DATA_HOP_NJ) * nj
+    out.emc_dynamic = (ec.emc_uops * k.EMC_UOP_NJ
+                       + ec.emc_cache_accesses * k.EMC_CACHE_ACCESS_NJ) * nj
+    out.chaingen_dynamic = (
+        ec.cdb_broadcasts * k.CDB_BROADCAST_NJ
+        + (ec.rrt_reads + ec.rrt_writes) * k.RRT_ACCESS_NJ
+        + ec.rob_chain_reads * k.ROB_CHAIN_READ_NJ) * nj
+    out.dram_dynamic = (ec.dram_reads * k.DRAM_READ_NJ
+                        + ec.dram_writes * k.DRAM_WRITE_NJ
+                        + ec.dram_activations * k.DRAM_ACTIVATE_NJ) * nj
+
+    # Static energy: shared structures run until the whole workload ends;
+    # each core's own static power stops at its benchmark's completion.
+    wall_s = stats.total_cycles / k.CLOCK_HZ
+    core_seconds = sum((c.finished_at or stats.total_cycles) / k.CLOCK_HZ
+                       for c in stats.cores)
+    out.core_static = core_seconds * k.CORE_STATIC_W
+    llc_mb = cfg.num_cores * cfg.llc.slice_bytes / (1 << 20)
+    out.cache_static = wall_s * k.LLC_STATIC_W_PER_MB * llc_mb
+    out.ring_static = wall_s * k.RING_STATIC_W
+    out.mc_static = wall_s * k.MC_STATIC_W * cfg.num_mcs
+    if cfg.emc.enabled:
+        out.emc_static = wall_s * k.EMC_STATIC_W * cfg.num_mcs
+    out.dram_static = wall_s * k.DRAM_STATIC_W_PER_CHANNEL * cfg.dram.channels
+    return out

@@ -1,0 +1,1 @@
+"""On-chip interconnect: the bi-directional control/data rings."""

@@ -1,0 +1,120 @@
+"""Bi-directional ring interconnect: control (8 B) and data (64 B) rings.
+
+Every core has a ring stop shared with its LLC slice; the memory
+controller(s) occupy additional stops.  A message takes the shorter
+direction, paying per-link latency plus queueing where links are busy —
+enough contention fidelity to reproduce the paper's on-chip-delay effects
+without flit-level simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..sim.events import EventWheel
+from ..uarch.params import RingConfig
+
+
+@dataclass
+class RingStats:
+    control_messages: int = 0
+    data_messages: int = 0
+    emc_control_messages: int = 0
+    emc_data_messages: int = 0
+    total_hops: int = 0
+    control_hops: int = 0
+    data_hops: int = 0
+    total_latency: int = 0
+
+    @property
+    def messages(self) -> int:
+        return self.control_messages + self.data_messages
+
+    @property
+    def avg_latency(self) -> float:
+        return self.total_latency / self.messages if self.messages else 0.0
+
+
+class Ring:
+    """A pair of bi-directional rings connecting ``num_stops`` stops.
+
+    ``send`` computes hop count along the shorter direction, reserves each
+    crossed link (per-direction next-free times), and schedules the delivery
+    callback at arrival.  Data messages occupy links longer than control
+    messages, per Table 1's 8 B vs 64 B widths.
+    """
+
+    def __init__(self, num_stops: int, cfg: RingConfig,
+                 wheel: EventWheel) -> None:
+        if num_stops < 2:
+            raise ValueError("a ring needs at least two stops")
+        self.num_stops = num_stops
+        self.cfg = cfg
+        self.wheel = wheel
+        self.stats = RingStats()
+        # Link occupancy: (ring, direction, link_index) -> next free time.
+        # ring: "ctrl" | "data"; direction: +1 (clockwise) | -1.
+        self._link_free: Dict[tuple, int] = {}
+
+    def _route(self, src: int, dst: int) -> tuple:
+        """Return (direction, hop_count) along the shorter way."""
+        if src == dst:
+            return 1, 0
+        clockwise = (dst - src) % self.num_stops
+        counter = (src - dst) % self.num_stops
+        if clockwise <= counter:
+            return 1, clockwise
+        return -1, counter
+
+    def _links_on_path(self, src: int, direction: int, hops: int) -> List[int]:
+        links = []
+        stop = src
+        for _ in range(hops):
+            if direction == 1:
+                links.append(stop)
+                stop = (stop + 1) % self.num_stops
+            else:
+                stop = (stop - 1) % self.num_stops
+                links.append(stop)
+        return links
+
+    def send(self, src: int, dst: int, kind: str,
+             callback: Callable[[], None], emc: bool = False) -> int:
+        """Send a message; returns its delivery latency in cycles.
+
+        ``kind`` is "ctrl" or "data".  ``emc`` tags EMC-related traffic for
+        the Section 6.5 overhead accounting.
+        """
+        if kind not in ("ctrl", "data"):
+            raise ValueError(f"unknown ring message kind: {kind}")
+        occupancy = (self.cfg.control_occupancy if kind == "ctrl"
+                     else self.cfg.data_occupancy)
+        direction, hops = self._route(src, dst)
+        links = self._links_on_path(src, direction, hops)
+
+        time = self.wheel.now
+        for link in links:
+            key = (kind, direction, link)
+            start = max(time, self._link_free.get(key, 0))
+            self._link_free[key] = start + occupancy
+            time = start + self.cfg.link_cycles
+
+        latency = time - self.wheel.now
+        if kind == "ctrl":
+            self.stats.control_messages += 1
+            if emc:
+                self.stats.emc_control_messages += 1
+        else:
+            self.stats.data_messages += 1
+            if emc:
+                self.stats.emc_data_messages += 1
+        self.stats.total_hops += hops
+        if kind == "ctrl":
+            self.stats.control_hops += hops
+        else:
+            self.stats.data_hops += hops
+        self.stats.total_latency += latency
+
+        self.wheel.schedule(latency, callback)
+        return latency

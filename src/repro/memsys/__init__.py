@@ -1,0 +1,1 @@
+"""Memory system: caches, MSHRs, LLC, DRAM, VM, request plumbing."""

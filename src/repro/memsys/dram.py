@@ -1,0 +1,257 @@
+"""DDR3 DRAM model: channels, ranks, banks, row buffers, and a PAR-BS-style
+batch scheduler (the paper's baseline memory scheduling algorithm).
+
+Timing is event-driven.  Each bank serves one CAS at a time; the per-channel
+data bus serializes line transfers.  Row-buffer state determines the access
+class (hit / closed / conflict) and therefore the latency, which is where the
+EMC's row-locality benefit (Figure 16) comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..sim.events import EventWheel
+from ..uarch.params import CACHE_LINE_BYTES, DRAMConfig
+
+
+@dataclass
+class DRAMRequest:
+    """One line-granularity DRAM access."""
+
+    line: int                       # physical line base address
+    source: int                     # requesting core id
+    is_write: bool
+    callback: Callable[["DRAMRequest"], None]
+    emc_generated: bool = False
+    is_prefetch: bool = False
+    queued_at: int = 0
+    service_start: int = 0
+    completed_at: int = 0
+    row_hit: bool = False
+    marked: bool = False            # PAR-BS batch membership
+    bank: int = -1                  # cached at enqueue by the channel
+    row: int = -1
+
+
+@dataclass
+class BankState:
+    open_row: Optional[int] = None
+    busy_until: int = 0
+    row_hits: int = 0
+    row_conflicts: int = 0
+    row_closed: int = 0
+
+
+@dataclass
+class DRAMStats:
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_conflicts: int = 0
+    row_closed: int = 0
+    emc_requests: int = 0
+    prefetch_requests: int = 0
+    total_queue_delay: int = 0
+    total_service_delay: int = 0
+    batches_formed: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def row_conflict_rate(self) -> float:
+        return self.row_conflicts / self.accesses if self.accesses else 0.0
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+
+class DRAMChannel:
+    """One channel: ranks × banks behind a shared data bus, with PAR-BS.
+
+    Batch scheduling (Mutlu & Moscibroda, ISCA'08): when no *marked*
+    requests remain, mark up to ``batch_cap_per_source`` oldest requests per
+    (source, bank); marked requests strictly outrank unmarked ones.  Within a
+    priority class the scheduler is FR-FCFS (row hits first, then oldest).
+    """
+
+    def __init__(self, channel_id: int, cfg: DRAMConfig,
+                 wheel: EventWheel, stats: DRAMStats) -> None:
+        self.channel_id = channel_id
+        self.cfg = cfg
+        self.wheel = wheel
+        self.stats = stats
+        nbanks = cfg.ranks_per_channel * cfg.banks_per_rank
+        self.banks = [BankState() for _ in range(nbanks)]
+        self.queue: List[DRAMRequest] = []
+        self.bus_free_at = 0
+        self._pick_scheduled_for: Optional[int] = None
+        self.marked_remaining = 0
+
+    # -- geometry ----------------------------------------------------------
+    # Address mapping: column (within-row) → channel → bank → row, so the
+    # ``row_bytes`` of consecutive channel-local lines share one bank's row
+    # buffer.  Spatially-local accesses (a page, a stream) row-hit; the
+    # naive "bank = low line bits" mapping would scatter every row across
+    # all banks and destroy the locality Figures 16/20 depend on.
+    def _local_line(self, line: int) -> int:
+        return (line // CACHE_LINE_BYTES) // self.cfg.channels
+
+    def bank_of(self, line: int) -> int:
+        lines_per_row = self.cfg.row_bytes // CACHE_LINE_BYTES
+        return (self._local_line(line) // lines_per_row) % len(self.banks)
+
+    def row_of(self, line: int) -> int:
+        lines_per_row = self.cfg.row_bytes // CACHE_LINE_BYTES
+        return self._local_line(line) // (lines_per_row * len(self.banks))
+
+    # -- queue interface ---------------------------------------------------
+    @property
+    def queue_full(self) -> bool:
+        return len(self.queue) >= self.cfg.queue_entries
+
+    def enqueue(self, req: DRAMRequest) -> bool:
+        """Add a request; returns False if the memory queue is full."""
+        if self.queue_full:
+            return False
+        req.queued_at = self.wheel.now
+        req.bank = self.bank_of(req.line)
+        req.row = self.row_of(req.line)
+        self.queue.append(req)
+        self._schedule_pick(self.wheel.now)
+        return True
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule_pick(self, when: int) -> None:
+        when = max(when, self.wheel.now)
+        if (self._pick_scheduled_for is not None
+                and self._pick_scheduled_for <= when):
+            return
+        self._pick_scheduled_for = when
+        # Superseded events stay in the wheel; the fire-time token lets
+        # them detect they are stale and return immediately.
+        self.wheel.schedule_at(when, lambda t=when: self._pick(t))
+
+    def _form_batch(self) -> None:
+        """Mark a new batch when the previous one has fully drained."""
+        per_source_bank: Dict[tuple, int] = {}
+        cap = self.cfg.batch_cap_per_source
+        for req in sorted(self.queue, key=lambda r: r.queued_at):
+            if req.is_prefetch:
+                continue        # prefetches never join a batch
+            key = (req.source, req.bank)
+            if per_source_bank.get(key, 0) < cap:
+                req.marked = True
+                per_source_bank[key] = per_source_bank.get(key, 0) + 1
+                self.marked_remaining += 1
+        if self.marked_remaining:
+            self.stats.batches_formed += 1
+
+    def _request_priority(self, req: DRAMRequest) -> tuple:
+        row_hit = self.banks[req.bank].open_row == req.row
+        # Lower tuple = higher priority: demand over prefetch, marked batch
+        # first, then row-hit, then oldest (FR-FCFS within a class).
+        return (1 if req.is_prefetch else 0, 0 if req.marked else 1,
+                0 if row_hit else 1, req.queued_at)
+
+    def _pick(self, fire_time: Optional[int] = None) -> None:
+        """Issue every request that can start now; reschedule for the rest."""
+        if fire_time is not None and self._pick_scheduled_for != fire_time:
+            return              # superseded by an earlier reschedule
+        self._pick_scheduled_for = None
+        now = self.wheel.now
+        if not self.queue:
+            return
+        if self.marked_remaining == 0:
+            self._form_batch()
+
+        # Group by bank once, then serve the best request of each free bank.
+        by_bank: Dict[int, List[DRAMRequest]] = {}
+        for req in self.queue:
+            by_bank.setdefault(req.bank, []).append(req)
+        for bank_id, requests in by_bank.items():
+            if self.banks[bank_id].busy_until > now:
+                continue
+            req = min(requests, key=self._request_priority)
+            self._issue(req, now)
+
+        if self.queue:
+            wake = min(self.banks[r.bank].busy_until for r in self.queue)
+            self._schedule_pick(max(wake, now + 1))
+
+    def _issue(self, req: DRAMRequest, now: int) -> None:
+        self.queue.remove(req)
+        if req.marked:
+            self.marked_remaining -= 1
+        bank = self.banks[self.bank_of(req.line)]
+        row = self.row_of(req.line)
+        cfg = self.cfg
+
+        if bank.open_row == row:
+            access = cfg.t_cas
+            bank.row_hits += 1
+            self.stats.row_hits += 1
+            req.row_hit = True
+        elif bank.open_row is None:
+            access = cfg.t_rcd + cfg.t_cas
+            bank.row_closed += 1
+            self.stats.row_closed += 1
+        else:
+            access = cfg.t_rp + cfg.t_rcd + cfg.t_cas
+            bank.row_conflicts += 1
+            self.stats.row_conflicts += 1
+        bank.open_row = row
+
+        cas_done = now + access
+        data_start = max(cas_done, self.bus_free_at)
+        data_done = data_start + cfg.data_bus_cycles
+        self.bus_free_at = data_done
+        bank.busy_until = data_done
+
+        if req.is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        if req.emc_generated:
+            self.stats.emc_requests += 1
+        if req.is_prefetch:
+            self.stats.prefetch_requests += 1
+        req.service_start = now
+        self.stats.total_queue_delay += now - req.queued_at
+        self.stats.total_service_delay += data_done - now
+
+        req.completed_at = data_done
+        self.wheel.schedule_at(data_done, lambda r=req: r.callback(r))
+
+
+class DRAMSystem:
+    """All channels of one memory controller, sharing one stats block."""
+
+    def __init__(self, cfg: DRAMConfig, wheel: EventWheel,
+                 channel_ids: Optional[List[int]] = None) -> None:
+        self.cfg = cfg
+        self.wheel = wheel
+        self.stats = DRAMStats()
+        ids = channel_ids if channel_ids is not None else list(range(cfg.channels))
+        self.channel_ids = ids
+        self.channels = {cid: DRAMChannel(cid, cfg, wheel, self.stats)
+                         for cid in ids}
+
+    @staticmethod
+    def channel_of(line: int, total_channels: int) -> int:
+        """Global line→channel interleaving (per cache line)."""
+        return (line // CACHE_LINE_BYTES) % total_channels
+
+    def owns(self, line: int, total_channels: int) -> bool:
+        return self.channel_of(line, total_channels) in self.channels
+
+    def enqueue(self, req: DRAMRequest, total_channels: int) -> bool:
+        cid = self.channel_of(req.line, total_channels)
+        return self.channels[cid].enqueue(req)
+
+    def pending(self) -> int:
+        return sum(len(ch.queue) for ch in self.channels.values())

@@ -1,0 +1,475 @@
+"""The on-chip memory hierarchy glue: L1-miss → ring → LLC slice → ring →
+memory controller → DRAM → fill path, plus the EMC's shortened request
+paths, the write-through store stream, and prefetch injection.
+
+Every latency the paper's figures decompose (Figure 1's on-chip delay,
+Figure 18's EMC-vs-core miss latency, Figure 19's savings attribution) is
+measured here from actual event timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..interconnect.ring import Ring
+from ..prefetch import build_prefetcher
+from ..prefetch.base import FDPThrottle, NullPrefetcher
+from .cache import line_addr
+from .dram import DRAMRequest, DRAMSystem
+from .llc import LLC
+from .request import MemRequest
+
+#: retry interval when an MSHR or a memory queue is full
+RETRY_CYCLES = 12
+
+
+class MemoryHierarchy:
+    """Everything below the cores' L1s for one simulated system."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+        cfg = system.cfg
+        self.cfg = cfg
+        self.wheel = system.wheel
+        self.ring: Ring = system.ring
+        self.stats = system.stats
+        self.llc = LLC(cfg.num_cores, cfg.llc)
+        self.llc.emc_invalidate_hook = self._emc_invalidate
+
+        # One DRAMSystem per memory controller, splitting the channels.
+        self.total_channels = cfg.dram.channels
+        self.dram: List[DRAMSystem] = []
+        per_mc = cfg.dram.channels // cfg.num_mcs
+        for mc in range(cfg.num_mcs):
+            ids = list(range(mc * per_mc, (mc + 1) * per_mc))
+            self.dram.append(DRAMSystem(cfg.dram, self.wheel, ids))
+
+        self.prefetcher = build_prefetcher(cfg.prefetch)
+        if cfg.prefetch.fdp_enabled:
+            self.fdp = FDPThrottle(cfg.prefetch.fdp_min_degree,
+                                   cfg.prefetch.fdp_max_degree)
+        else:
+            self.fdp = None
+
+        # Running averages for the Figure 19 savings attribution.
+        self._fill_leg_total = 0
+        self._fill_leg_count = 0
+        self._core_queue_total = 0
+        self._core_queue_count = 0
+        # Per-slice tag/data pipeline occupancy (single-ported slices).
+        self._slice_free = [0] * cfg.num_cores
+
+    def _slice_wait(self, line: int) -> int:
+        """Reserve the slice pipeline for one access; returns the queueing
+        delay before the access may start."""
+        index = self.llc.slice_stop(line)
+        now = self.wheel.now
+        start = max(now, self._slice_free[index])
+        self._slice_free[index] = start + self.cfg.llc.cycles_per_access
+        return start - now
+
+    # ------------------------------------------------------------------
+    # topology helpers
+    # ------------------------------------------------------------------
+    def mc_of_line(self, line: int) -> int:
+        """Which memory controller owns the channel of ``line``."""
+        channel = DRAMSystem.channel_of(line, self.total_channels)
+        per_mc = self.total_channels // self.cfg.num_mcs
+        return channel // per_mc
+
+    def mc_stop(self, mc_id: int) -> int:
+        return self.cfg.num_cores + mc_id
+
+    # ------------------------------------------------------------------
+    # core demand path
+    # ------------------------------------------------------------------
+    def demand_request(self, req: MemRequest) -> None:
+        """Entry point for a core's L1 miss."""
+        req.t_start = self.wheel.now
+        slice_stop = self.llc.slice_stop(req.line)
+        self.ring.send(req.core_id, slice_stop, "ctrl",
+                       lambda: self._at_slice(req))
+
+    def _at_slice(self, req: MemRequest) -> None:
+        req.t_at_slice = self.wheel.now
+        self.wheel.schedule(self._slice_wait(req.line) + self.cfg.llc.latency,
+                            lambda: self._llc_probe(req))
+
+    def _llc_probe(self, req: MemRequest) -> None:
+        self.stats.energy.llc_accesses += 1
+        prior = self.llc.probe(req.line)
+        was_useful = prior.prefetch_useful if prior is not None else True
+        state = self.llc.access(req.line)
+        hit = state is not None
+        prefetched = hit and state.prefetched
+
+        core = self.system.cores[req.core_id]
+        core.classify_llc_outcome(req, hit, prefetched)
+        emc = self.system.emc_for(req.line)
+        if emc is not None:
+            emc.miss_predictor.update(req.core_id, req.pc, not hit)
+        if hit and prefetched and not was_useful:
+            self._record_prefetch_useful()
+        self._train_prefetcher(req.line, req.pc, req.core_id, hit)
+
+        if not hit and self.cfg.oracle_dependent_hits and req.dependent:
+            # Figure 2's oracle: charge LLC-hit latency for dependent misses.
+            self.llc.fill(req.line)
+            hit = True
+        if hit:
+            slice_stop = self.llc.slice_stop(req.line)
+            self.ring.send(slice_stop, req.core_id, "data",
+                           lambda: self._delivered(req, from_dram=False))
+            return
+        self._allocate_llc_miss(req)
+
+    def _allocate_llc_miss(self, req: MemRequest) -> None:
+        sl = self.llc.slice_of(req.line)
+        prior = sl.mshr.lookup(req.line)
+        if prior is not None and not prior.demand:
+            # Late prefetch: accurate but not timely.  FDP treats it as a
+            # useful prediction and ramps degree/distance up (§5, FDP).
+            self.prefetcher.stats.late += 1
+            if self.fdp is not None:
+                self.fdp.record_useful()
+        entry = sl.mshr.allocate(req.line, self.wheel.now,
+                                 waiter=lambda _line: self._on_fill(req))
+        if entry is not None:
+            self._to_mc(req)
+            return
+        if sl.mshr.lookup(req.line) is not None:
+            return   # coalesced; the existing fill will notify us
+        self.wheel.schedule(RETRY_CYCLES,
+                            lambda: self._allocate_llc_miss(req))
+
+    def _to_mc(self, req: MemRequest) -> None:
+        mc_id = self.mc_of_line(req.line)
+        slice_stop = self.llc.slice_stop(req.line)
+        self.ring.send(slice_stop, self.mc_stop(mc_id), "ctrl",
+                       lambda: self._at_mc(req, mc_id))
+
+    def _at_mc(self, req: MemRequest, mc_id: int) -> None:
+        req.t_at_mc = self.wheel.now
+        dram_req = DRAMRequest(
+            line=req.line, source=req.core_id, is_write=False,
+            emc_generated=False,
+            callback=lambda dr: self._dram_done(req, mc_id, dr))
+        if not self.dram[mc_id].enqueue(dram_req, self.total_channels):
+            self.wheel.schedule(RETRY_CYCLES,
+                                lambda: self._at_mc(req, mc_id))
+
+    def _dram_done(self, req: MemRequest, mc_id: int,
+                   dram_req: DRAMRequest) -> None:
+        req.t_dram_start = dram_req.service_start
+        req.t_dram_done = self.wheel.now
+        req.row_hit = dram_req.row_hit
+        self.stats.energy.dram_reads += 1
+        if not dram_req.row_hit:
+            self.stats.energy.dram_activations += 1
+        self._core_queue_total += req.queue_delay
+        self._core_queue_count += 1
+        emc = self.system.emc_at(mc_id)
+        if emc is not None:
+            emc.on_dram_line(req.line)
+        slice_stop = self.llc.slice_stop(req.line)
+        self.ring.send(self.mc_stop(mc_id), slice_stop, "data",
+                       lambda: self._fill_llc(req, mc_id))
+
+    def _fill_llc(self, req: MemRequest, mc_id: int) -> None:
+        # The fill path is not free: installing the line in the slice and
+        # forwarding it costs an LLC access — part of what the EMC bypasses
+        # by executing dependents at the controller (§6.3).
+        self.wheel.schedule(self._slice_wait(req.line) + self.cfg.llc.latency,
+                            lambda: self._fill_llc_done(req, mc_id))
+
+    def _fill_llc_done(self, req: MemRequest, mc_id: int) -> None:
+        emc = self.system.emc_at(mc_id)
+        emc_bit = emc is not None and emc.dcache.probe(req.line) is not None
+        dirty_victim = self.llc.fill(req.line, emc_bit=emc_bit)
+        if dirty_victim is not None:
+            self._writeback(dirty_victim)
+        sl = self.llc.slice_of(req.line)
+        for waiter in sl.mshr.complete(req.line, self.wheel.now):
+            waiter(req.line)
+
+    def _on_fill(self, req: MemRequest) -> None:
+        slice_stop = self.llc.slice_stop(req.line)
+
+        def arrived() -> None:
+            # Full fill path the EMC bypasses: DRAM data on chip -> ring to
+            # the slice -> LLC fill -> ring to the core (+ L1 fill at the
+            # core, charged separately by the core model).
+            if req.t_dram_done:
+                self._fill_leg_total += (self.wheel.now - req.t_dram_done
+                                         + self.cfg.l1.latency)
+                self._fill_leg_count += 1
+            self._delivered(req, from_dram=True)
+
+        self.ring.send(slice_stop, req.core_id, "data", arrived)
+
+    def _delivered(self, req: MemRequest, from_dram: bool) -> None:
+        req.t_done = self.wheel.now
+        if from_dram:
+            self.stats.llc_misses_from_core += 1
+            self.stats.core_miss_latency.add(
+                req.total_latency, req.dram_latency, req.queue_delay)
+        if req.callback is not None:
+            req.callback(req)
+
+    # ------------------------------------------------------------------
+    # store write-through path (fire-and-forget)
+    # ------------------------------------------------------------------
+    def store_writethrough(self, core_id: int, paddr: int, pc: int) -> None:
+        line = line_addr(paddr)
+        slice_stop = self.llc.slice_stop(line)
+        self.ring.send(core_id, slice_stop, "data",
+                       lambda: self._store_at_slice(core_id, line))
+        # Disambiguation check: a home-core store hitting a line a running
+        # chain has speculatively stored to cancels that chain.
+        for mc_id in range(self.cfg.num_mcs):
+            emc = self.system.emc_at(mc_id)
+            if emc is not None:
+                emc.cancel_for_disambiguation(core_id, line)
+
+    def _store_at_slice(self, core_id: int, line: int) -> None:
+        wait = self._slice_wait(line)
+        if wait:
+            self.wheel.schedule(wait,
+                                lambda: self._store_at_slice_now(core_id, line))
+            return
+        self._store_at_slice_now(core_id, line)
+
+    def _store_at_slice_now(self, core_id: int, line: int) -> None:
+        self.stats.energy.llc_accesses += 1
+        state = self.llc.access(line, write=True)
+        if state is not None:
+            return
+        # Write-allocate: fetch the line, then install it dirty.
+        sl = self.llc.slice_of(line)
+        entry = sl.mshr.allocate(line, self.wheel.now,
+                                 waiter=lambda _l: None, demand=False)
+        if entry is None:
+            if sl.mshr.lookup(line) is None:
+                self.wheel.schedule(RETRY_CYCLES,
+                                    lambda: self._store_at_slice(core_id, line))
+            return
+        mc_id = self.mc_of_line(line)
+
+        def fetched(dram_req: DRAMRequest) -> None:
+            self.stats.energy.dram_reads += 1
+            dirty_victim = self.llc.fill(line, dirty=True)
+            if dirty_victim is not None:
+                self._writeback(dirty_victim)
+            for waiter in sl.mshr.complete(line, self.wheel.now):
+                waiter(line)
+
+        dram_req = DRAMRequest(line=line, source=core_id, is_write=False,
+                               callback=fetched)
+        self._enqueue_with_retry(mc_id, dram_req)
+
+    def _writeback(self, line: int) -> None:
+        mc_id = self.mc_of_line(line)
+        self.stats.energy.dram_writes += 1
+        slice_stop = self.llc.slice_stop(line)
+        dram_req = DRAMRequest(line=line, source=self.cfg.num_cores,
+                               is_write=True, callback=lambda dr: None)
+        self.ring.send(slice_stop, self.mc_stop(mc_id), "data",
+                       lambda: self._enqueue_with_retry(mc_id, dram_req))
+
+    def _enqueue_with_retry(self, mc_id: int, dram_req: DRAMRequest) -> None:
+        if not self.dram[mc_id].enqueue(dram_req, self.total_channels):
+            self.wheel.schedule(RETRY_CYCLES,
+                                lambda: self._enqueue_with_retry(mc_id,
+                                                                 dram_req))
+
+    # ------------------------------------------------------------------
+    # prefetching
+    # ------------------------------------------------------------------
+    def _train_prefetcher(self, line: int, pc: int, core_id: int,
+                          hit: bool) -> None:
+        if isinstance(self.prefetcher, NullPrefetcher):
+            return
+        candidates = self.prefetcher.observe(line, pc, core_id, hit)
+        if not candidates:
+            return
+        if self.fdp is not None:
+            candidates = self.fdp.clamp(candidates)
+        for cand in candidates:
+            self._issue_prefetch(core_id, line_addr(cand))
+
+    def _record_prefetch_useful(self) -> None:
+        self.stats.prefetches_useful += 1
+        if self.fdp is not None:
+            self.fdp.record_useful()
+
+    def _issue_prefetch(self, core_id: int, line: int) -> None:
+        if self.llc.probe(line) is not None:
+            return
+        sl = self.llc.slice_of(line)
+        if sl.mshr.lookup(line) is not None:
+            return
+        entry = sl.mshr.allocate(line, self.wheel.now,
+                                 waiter=lambda _l: None, demand=False)
+        if entry is None:
+            self.prefetcher.stats.dropped += 1
+            return
+        self.stats.prefetches_issued += 1
+        self.prefetcher.stats.issued += 1
+        if self.fdp is not None:
+            self.fdp.record_issue()
+        mc_id = self.mc_of_line(line)
+        prefetch_entry = entry
+
+        def fetched(dram_req: DRAMRequest) -> None:
+            self.stats.energy.dram_reads += 1
+            if not dram_req.row_hit:
+                self.stats.energy.dram_activations += 1
+            dirty_victim = self.llc.fill(line, prefetched=True)
+            if dirty_victim is not None:
+                self._writeback(dirty_victim)
+            for waiter in sl.mshr.complete(line, self.wheel.now):
+                waiter(line)
+
+        slice_stop = self.llc.slice_stop(line)
+        dram_req = DRAMRequest(line=line, source=core_id, is_write=False,
+                               is_prefetch=True, callback=fetched)
+        prefetch_entry.dram_req = dram_req
+        self.ring.send(slice_stop, self.mc_stop(mc_id), "ctrl",
+                       lambda: self._enqueue_with_retry(mc_id, dram_req))
+
+    # ------------------------------------------------------------------
+    # EMC request paths (the latency-saving shortcuts)
+    # ------------------------------------------------------------------
+    def emc_fetch(self, mc_id: int, core_id: int, pc: int, vaddr: int,
+                  paddr: int, predicted_miss: bool,
+                  callback: Callable[[MemRequest], None]) -> None:
+        """A load executed at the EMC missed the EMC data cache."""
+        line = line_addr(paddr)
+        req = MemRequest(core_id=core_id, vaddr=vaddr, paddr=paddr,
+                         line=line, pc=pc, emc=True, callback=callback,
+                         t_start=self.wheel.now)
+        emc = self.system.emc_at(mc_id)
+        # Train the predictor on ground truth (modeling shortcut: a zero-
+        # cost directory probe; documented in DESIGN.md).
+        actually_resident = self.llc.probe(line) is not None
+        if emc is not None:
+            emc.miss_predictor.update(core_id, pc, not actually_resident)
+            if predicted_miss == (not actually_resident):
+                self.stats.emc.miss_pred_correct += 1
+            else:
+                self.stats.emc.miss_pred_wrong += 1
+
+        if predicted_miss:
+            req.bypassed_llc = True
+            self.stats.emc.direct_dram_requests += 1
+            # EMC requests are demand requests: the line still fills the
+            # LLC (off the critical path), it just isn't *waited on*.
+            self._emc_to_dram(req, mc_id, fill_llc=True)
+            return
+        self.stats.emc.llc_path_requests += 1
+        slice_stop = self.llc.slice_stop(line)
+        self.ring.send(self.mc_stop(mc_id), slice_stop, "ctrl",
+                       lambda: self._emc_llc_probe(req, mc_id), emc=True)
+
+    def _emc_llc_probe(self, req: MemRequest, mc_id: int) -> None:
+        self.stats.energy.llc_accesses += 1
+        self.wheel.schedule(self._slice_wait(req.line) + self.cfg.llc.latency,
+                            lambda: self._emc_llc_outcome(req, mc_id))
+
+    def _emc_llc_outcome(self, req: MemRequest, mc_id: int) -> None:
+        state = self.llc.access(req.line, emc=True)
+        self.stats.emc.llc_requests += 1
+        slice_stop = self.llc.slice_stop(req.line)
+        if state is not None:
+            if state.prefetched:
+                self.stats.emc.llc_hits_on_prefetched += 1
+            state.emc_bit = True
+            self.ring.send(slice_stop, self.mc_stop(mc_id), "data",
+                           lambda: self._emc_delivered(req, went_to_dram=False),
+                           emc=True)
+            return
+        self._emc_to_dram(req, mc_id, fill_llc=True)
+
+    def _emc_to_dram(self, req: MemRequest, requesting_mc: int,
+                     fill_llc: bool = False) -> None:
+        owner = self.mc_of_line(req.line)
+
+        def enqueue_at_owner() -> None:
+            req.t_at_mc = self.wheel.now
+            dram_req = DRAMRequest(
+                line=req.line, source=req.core_id, is_write=False,
+                emc_generated=True,
+                callback=lambda dr: done_at_owner(dr))
+            if not self.dram[owner].enqueue(dram_req, self.total_channels):
+                self.wheel.schedule(RETRY_CYCLES, enqueue_at_owner)
+
+        def done_at_owner(dram_req: DRAMRequest) -> None:
+            req.t_dram_start = dram_req.service_start
+            req.t_dram_done = self.wheel.now
+            req.row_hit = dram_req.row_hit
+            self.stats.energy.dram_reads += 1
+            if not dram_req.row_hit:
+                self.stats.energy.dram_activations += 1
+            owner_emc = self.system.emc_at(owner)
+            if owner_emc is not None:
+                owner_emc.on_dram_line(req.line)
+            if fill_llc:
+                slice_stop = self.llc.slice_stop(req.line)
+                self.ring.send(self.mc_stop(owner), slice_stop, "data",
+                               lambda: self._emc_fill_llc(req), emc=True)
+            if owner == requesting_mc:
+                self._emc_delivered(req, went_to_dram=True)
+            else:
+                # Cross-channel dependency: data ships EMC-to-EMC directly,
+                # cutting the core out (Section 4.4).
+                self.ring.send(self.mc_stop(owner),
+                               self.mc_stop(requesting_mc), "data",
+                               lambda: self._emc_delivered(req,
+                                                           went_to_dram=True),
+                               emc=True)
+
+        if owner == requesting_mc:
+            enqueue_at_owner()
+        else:
+            self.ring.send(self.mc_stop(requesting_mc), self.mc_stop(owner),
+                           "ctrl", enqueue_at_owner, emc=True)
+
+    def _emc_fill_llc(self, req: MemRequest) -> None:
+        dirty_victim = self.llc.fill(req.line, emc_bit=True)
+        if dirty_victim is not None:
+            self._writeback(dirty_victim)
+
+    def _emc_delivered(self, req: MemRequest, went_to_dram: bool) -> None:
+        req.t_done = self.wheel.now
+        if went_to_dram:
+            self.stats.llc_misses_from_emc += 1
+            self.stats.emc_miss_latency.add(
+                req.total_latency, req.dram_latency, req.queue_delay)
+            self._attribute_savings(req)
+        if req.callback is not None:
+            req.callback(req)
+
+    def _attribute_savings(self, req: MemRequest) -> None:
+        """Figure 19: estimate the cycles this EMC request saved, split into
+        fill-path bypass, cache-hierarchy bypass, and queueing reduction."""
+        emc_stats = self.stats.emc
+        if self._fill_leg_count:
+            emc_stats.saved_fill_path += (self._fill_leg_total
+                                          // self._fill_leg_count)
+        else:
+            emc_stats.saved_fill_path += 2 * self.cfg.ring.link_cycles * 2
+        if req.bypassed_llc:
+            hops = 2 * self.cfg.ring.link_cycles * 2
+            emc_stats.saved_cache_access += self.cfg.llc.latency + hops
+        if self._core_queue_count:
+            avg_queue = self._core_queue_total // self._core_queue_count
+            emc_stats.saved_queue += max(0, avg_queue - req.queue_delay)
+
+    # ------------------------------------------------------------------
+    # coherence hooks
+    # ------------------------------------------------------------------
+    def _emc_invalidate(self, line: int) -> None:
+        for mc_id in range(self.cfg.num_mcs):
+            emc = self.system.emc_at(mc_id)
+            if emc is not None:
+                emc.invalidate_line(line)

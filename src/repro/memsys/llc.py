@@ -1,0 +1,122 @@
+"""Shared, distributed last-level cache.
+
+One slice per core, physically co-located with that core's ring stop
+(Figure 7).  The LLC is inclusive; each directory entry carries an extra bit
+tracking whether the EMC data cache holds the line (Section 4.1.3), which is
+how EMC coherence is maintained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..uarch.params import CACHE_LINE_BYTES, LLCConfig
+from .cache import CacheLineState, SetAssocCache, line_addr
+from .mshr import MSHRFile
+
+
+@dataclass
+class LLCSliceStats:
+    demand_hits: int = 0
+    demand_misses: int = 0
+    prefetch_hits: int = 0     # demand hits on prefetched lines
+    emc_accesses: int = 0
+    emc_hits: int = 0
+    writebacks: int = 0
+    back_invalidations: int = 0
+
+
+class LLCSlice:
+    """One 1 MB slice: tags + MSHRs + stats."""
+
+    def __init__(self, slice_id: int, cfg: LLCConfig) -> None:
+        self.slice_id = slice_id
+        self.cfg = cfg
+        self.cache = SetAssocCache(cfg.slice_bytes, cfg.ways)
+        self.mshr = MSHRFile(cfg.mshr_entries)
+        self.stats = LLCSliceStats()
+
+
+class LLC:
+    """The full distributed LLC: slice selection + coherence bookkeeping."""
+
+    def __init__(self, num_slices: int, cfg: LLCConfig) -> None:
+        self.cfg = cfg
+        self.slices: List[LLCSlice] = [LLCSlice(i, cfg)
+                                       for i in range(num_slices)]
+        # Called with the line address when a line with the EMC bit set is
+        # evicted or written, so the EMC data cache can invalidate its copy.
+        self.emc_invalidate_hook: Optional[Callable[[int], None]] = None
+
+    def slice_of(self, line: int) -> LLCSlice:
+        index = (line // CACHE_LINE_BYTES) % len(self.slices)
+        return self.slices[index]
+
+    def slice_stop(self, line: int) -> int:
+        """Ring stop of the slice holding ``line`` (slice i at stop i)."""
+        return (line // CACHE_LINE_BYTES) % len(self.slices)
+
+    # -- access paths --------------------------------------------------------
+    def access(self, addr: int, write: bool = False,
+               emc: bool = False) -> Optional[CacheLineState]:
+        """Demand access.  Returns the line state on hit, None on miss."""
+        line = line_addr(addr)
+        sl = self.slice_of(line)
+        state = sl.cache.access(line, write=write)
+        if emc:
+            sl.stats.emc_accesses += 1
+        if state is None:
+            sl.stats.demand_misses += 1
+            return None
+        sl.stats.demand_hits += 1
+        if emc:
+            sl.stats.emc_hits += 1
+        if state.prefetched:
+            sl.stats.prefetch_hits += 1
+        if write and state.emc_bit:
+            self._invalidate_emc_copy(line, state)
+        return state
+
+    def probe(self, addr: int) -> Optional[CacheLineState]:
+        """Side-effect-free lookup (used by prefetch filtering and tests)."""
+        return self.slice_of(line_addr(addr)).cache.probe(line_addr(addr))
+
+    def fill(self, addr: int, dirty: bool = False, prefetched: bool = False,
+             emc_bit: bool = False) -> Optional[int]:
+        """Insert a line.  Returns the address of an evicted *dirty* line
+        (which the caller must write back to DRAM) or None."""
+        line = line_addr(addr)
+        sl = self.slice_of(line)
+        victim = sl.cache.fill(line, dirty=dirty, prefetched=prefetched)
+        state = sl.cache.probe(line)
+        if state is not None and emc_bit:
+            state.emc_bit = True
+        if victim is None:
+            return None
+        victim_addr = sl.cache.addr_of(victim)
+        if victim.emc_bit:
+            self._invalidate_emc_copy(victim_addr, victim)
+        if victim.dirty:
+            sl.stats.writebacks += 1
+            return victim_addr
+        return None
+
+    def mark_emc(self, addr: int) -> None:
+        """Set the per-line EMC directory bit (EMC data cache holds a copy)."""
+        state = self.probe(addr)
+        if state is not None:
+            state.emc_bit = True
+
+    def _invalidate_emc_copy(self, line: int, state: CacheLineState) -> None:
+        state.emc_bit = False
+        self.slice_of(line).stats.back_invalidations += 1
+        if self.emc_invalidate_hook is not None:
+            self.emc_invalidate_hook(line)
+
+    # -- aggregate stats ------------------------------------------------------
+    def total_demand_hits(self) -> int:
+        return sum(s.stats.demand_hits for s in self.slices)
+
+    def total_demand_misses(self) -> int:
+        return sum(s.stats.demand_misses for s in self.slices)

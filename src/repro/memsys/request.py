@@ -1,0 +1,58 @@
+"""Demand-request descriptor flowing between core, LLC, MC, and DRAM.
+
+Timestamps along the path feed the latency breakdowns of Figures 1, 18 and
+19; classification flags feed the dependent-miss statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass
+class MemRequest:
+    core_id: int
+    vaddr: int
+    paddr: int
+    line: int
+    pc: int
+    is_store: bool = False
+    emc: bool = False                 # issued by the EMC, not a core
+    callback: Optional[Callable[["MemRequest"], None]] = None
+    #: core-side in-flight uop that triggered this request (loads)
+    uop: Any = None
+
+    # Path timestamps (cycles).
+    t_start: int = 0                  # left the core (post L1 miss)
+    t_at_slice: int = 0               # arrived at the LLC slice
+    t_at_mc: int = 0                  # arrived at the memory controller
+    t_dram_start: int = 0             # DRAM service began
+    t_dram_done: int = 0              # data on chip at the MC
+    t_done: int = 0                   # data delivered to the requester
+
+    # Outcome flags.
+    llc_hit: bool = False
+    hit_prefetched: bool = False
+    dependent: bool = False           # classified as a dependent cache miss
+    bypassed_llc: bool = False        # EMC predicted-miss direct-to-DRAM
+    row_hit: bool = False
+
+    @property
+    def total_latency(self) -> int:
+        return self.t_done - self.t_start
+
+    @property
+    def dram_latency(self) -> int:
+        """Pure DRAM access time (bank + bus), the paper's Figure 1 'DRAM'
+        component."""
+        if self.t_dram_done and self.t_dram_start:
+            return self.t_dram_done - self.t_dram_start
+        return 0
+
+    @property
+    def queue_delay(self) -> int:
+        """Time spent waiting in the memory controller queue."""
+        if self.t_dram_start and self.t_at_mc:
+            return max(0, self.t_dram_start - self.t_at_mc)
+        return 0

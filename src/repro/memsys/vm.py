@@ -1,0 +1,66 @@
+"""Virtual memory: pages, a flat page table, and address translation.
+
+The simulator runs each core's workload in its own address space.  Physical
+frames are handed out on first touch.  The EMC keeps a small per-core TLB
+(:mod:`repro.emc.tlb`); a chain whose pages are not resident there halts EMC
+execution and falls back to the core, as in Section 4.1.4 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..uarch.params import PAGE_BYTES
+
+
+@dataclass(frozen=True)
+class PageTableEntry:
+    vpn: int
+    pfn: int
+    asid: int
+
+
+class PageTable:
+    """Per-address-space page table with on-demand frame allocation.
+
+    A single global frame allocator hands out physical frames so that
+    different cores' working sets map to disjoint physical addresses (and
+    therefore contend realistically in the shared LLC and DRAM banks).
+    """
+
+    _next_frame = 1  # class-level allocator; frame 0 reserved
+
+    def __init__(self, asid: int) -> None:
+        self.asid = asid
+        self._entries: Dict[int, PageTableEntry] = {}
+
+    @classmethod
+    def reset_frame_allocator(cls) -> None:
+        cls._next_frame = 1
+
+    @staticmethod
+    def vpn_of(vaddr: int) -> int:
+        return vaddr // PAGE_BYTES
+
+    def translate(self, vaddr: int) -> int:
+        """Translate a virtual address, allocating a frame on first touch."""
+        vpn = self.vpn_of(vaddr)
+        entry = self._entries.get(vpn)
+        if entry is None:
+            entry = PageTableEntry(vpn=vpn, pfn=PageTable._next_frame,
+                                   asid=self.asid)
+            PageTable._next_frame += 1
+            self._entries[vpn] = entry
+        return entry.pfn * PAGE_BYTES + (vaddr % PAGE_BYTES)
+
+    def entry_for(self, vaddr: int) -> PageTableEntry:
+        """Return (allocating if needed) the PTE covering ``vaddr``."""
+        self.translate(vaddr)
+        return self._entries[self.vpn_of(vaddr)]
+
+    def resident(self, vaddr: int) -> bool:
+        return self.vpn_of(vaddr) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,43 @@
+"""Prefetchers: stream, GHB G/DC, Markov, composites, and FDP throttling."""
+
+from ..uarch.params import PrefetchConfig
+from .base import (CompositePrefetcher, FDPThrottle, NullPrefetcher,
+                   Prefetcher, PrefetchStats)
+from .ghb import GHBPrefetcher
+from .markov import MarkovPrefetcher
+from .stream import StreamPrefetcher
+
+__all__ = [
+    "Prefetcher",
+    "PrefetchStats",
+    "NullPrefetcher",
+    "CompositePrefetcher",
+    "FDPThrottle",
+    "StreamPrefetcher",
+    "GHBPrefetcher",
+    "MarkovPrefetcher",
+    "build_prefetcher",
+]
+
+
+def build_prefetcher(cfg: PrefetchConfig) -> Prefetcher:
+    """Instantiate the prefetcher configuration named by ``cfg.kind``."""
+    kind = cfg.kind
+    if kind == "none":
+        return NullPrefetcher()
+    if kind == "stream":
+        return StreamPrefetcher(streams=cfg.stream_count,
+                                distance=cfg.stream_distance)
+    if kind == "ghb":
+        return GHBPrefetcher(entries=cfg.ghb_entries)
+    if kind == "markov":
+        return MarkovPrefetcher(table_bytes=cfg.markov_table_bytes,
+                                addrs_per_entry=cfg.markov_addrs_per_entry)
+    if kind == "markov+stream":
+        return CompositePrefetcher([
+            MarkovPrefetcher(table_bytes=cfg.markov_table_bytes,
+                             addrs_per_entry=cfg.markov_addrs_per_entry),
+            StreamPrefetcher(streams=cfg.stream_count,
+                             distance=cfg.stream_distance),
+        ])
+    raise ValueError(f"unknown prefetcher kind: {kind!r}")

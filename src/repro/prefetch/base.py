@@ -1,0 +1,101 @@
+"""Prefetcher framework.
+
+Prefetchers observe demand accesses at the LLC (the paper prefetches into
+the LLC) and emit candidate line addresses.  Feedback-Directed Prefetching
+(FDP) throttles the issue degree based on measured accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class PrefetchStats:
+    issued: int = 0
+    useful: int = 0
+    late: int = 0
+    dropped: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.useful / self.issued if self.issued else 0.0
+
+
+class Prefetcher:
+    """Base class: observe accesses, propose prefetch line addresses."""
+
+    name = "none"
+
+    def __init__(self) -> None:
+        self.stats = PrefetchStats()
+
+    def observe(self, line: int, pc: int, core: int,
+                hit: bool) -> List[int]:
+        """Called on each LLC demand access; returns candidate lines."""
+        return []
+
+
+class NullPrefetcher(Prefetcher):
+    """No prefetching (the paper's baseline)."""
+
+    name = "none"
+
+
+class CompositePrefetcher(Prefetcher):
+    """Runs several prefetchers side by side (e.g. Markov+stream)."""
+
+    def __init__(self, parts: List[Prefetcher]) -> None:
+        super().__init__()
+        self.parts = parts
+        self.name = "+".join(p.name for p in parts)
+
+    def observe(self, line: int, pc: int, core: int,
+                hit: bool) -> List[int]:
+        out: List[int] = []
+        for part in self.parts:
+            out.extend(part.observe(line, pc, core, hit))
+        return out
+
+
+class FDPThrottle:
+    """Feedback-Directed Prefetching: dynamic degree between 1 and 32.
+
+    Accuracy is sampled over fixed-size windows of issued prefetches; high
+    accuracy ramps the degree up, low accuracy ramps it down.  The degree
+    caps how many of a prefetcher's candidates are actually issued per
+    observation.
+    """
+
+    HIGH_ACCURACY = 0.75
+    LOW_ACCURACY = 0.40
+    WINDOW = 64
+
+    def __init__(self, min_degree: int = 1, max_degree: int = 32) -> None:
+        self.min_degree = min_degree
+        self.max_degree = max_degree
+        self.degree = max(2, min_degree)
+        self._window_issued = 0
+        self._window_useful = 0
+
+    def record_issue(self, count: int = 1) -> None:
+        self._window_issued += count
+        if self._window_issued >= self.WINDOW:
+            self._adapt()
+
+    def record_useful(self, count: int = 1) -> None:
+        self._window_useful += count
+
+    def _adapt(self) -> None:
+        accuracy = (self._window_useful / self._window_issued
+                    if self._window_issued else 0.0)
+        if accuracy >= self.HIGH_ACCURACY:
+            self.degree = min(self.max_degree, self.degree * 2)
+        elif accuracy < self.LOW_ACCURACY:
+            self.degree = max(self.min_degree, self.degree // 2)
+        self._window_issued = 0
+        self._window_useful = 0
+
+    def clamp(self, candidates: List[int]) -> List[int]:
+        return candidates[: self.degree]

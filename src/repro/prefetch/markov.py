@@ -1,0 +1,62 @@
+"""Markov prefetcher (Joseph & Grunwald, ISCA'97 style).
+
+A correlation table maps a miss line address to the last few lines that
+missed immediately after it; on a miss, all recorded successors are
+prefetched.  Captures some dependent-miss patterns (pointer chains that
+repeat) at the cost of large tables and heavy bandwidth — exactly the
+trade-off the paper's Figure 3 / energy results exercise.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from ..uarch.params import CACHE_LINE_BYTES
+from .base import Prefetcher
+
+
+class MarkovPrefetcher(Prefetcher):
+    name = "markov"
+
+    #: rough bytes per table entry (tag + 4 successor addresses)
+    ENTRY_BYTES = 40
+
+    def __init__(self, table_bytes: int = 1024 * 1024,
+                 addrs_per_entry: int = 4) -> None:
+        super().__init__()
+        self.max_entries = max(1, table_bytes // self.ENTRY_BYTES)
+        self.addrs_per_entry = addrs_per_entry
+        # miss line -> ordered successors (most recent last); LRU overall.
+        self._table: "OrderedDict[int, List[int]]" = OrderedDict()
+        self._last_miss: Dict[int, Optional[int]] = {}
+
+    def observe(self, line: int, pc: int, core: int,
+                hit: bool) -> List[int]:
+        if hit:
+            return []
+        line_no = line // CACHE_LINE_BYTES
+
+        prev = self._last_miss.get(core)
+        if prev is not None and prev != line_no:
+            successors = self._table.get(prev)
+            if successors is None:
+                if len(self._table) >= self.max_entries:
+                    self._table.popitem(last=False)
+                successors = []
+                self._table[prev] = successors
+            else:
+                self._table.move_to_end(prev)
+            if line_no in successors:
+                successors.remove(line_no)
+            successors.append(line_no)
+            if len(successors) > self.addrs_per_entry:
+                successors.pop(0)
+        self._last_miss[core] = line_no
+
+        predicted = self._table.get(line_no)
+        if not predicted:
+            return []
+        self._table.move_to_end(line_no)
+        # Most recently observed successors first.
+        return [ln * CACHE_LINE_BYTES for ln in reversed(predicted)]

@@ -1,0 +1,113 @@
+"""Stream prefetcher modeled after the IBM POWER4-style unit the paper uses
+(32 streams, prefetch distance 32, allocated on misses, trained by hits
+within a tracking window)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..uarch.params import CACHE_LINE_BYTES
+from .base import Prefetcher
+
+
+@dataclass
+class StreamEntry:
+    core: int
+    base_line: int          # line number (addr // 64) where tracking started
+    direction: int = 0      # +1 ascending, -1 descending, 0 untrained
+    confirmations: int = 0
+    last_line: int = 0
+    next_prefetch: int = 0  # next line number to prefetch
+    lru: int = 0
+
+
+class StreamPrefetcher(Prefetcher):
+    """Per-core stream trackers with a training window.
+
+    A tracker allocates on a miss; two further accesses in a consistent
+    direction within ``TRAIN_WINDOW`` lines confirm the stream, after which
+    prefetches run ahead of the demand stream up to ``distance`` lines.
+    """
+
+    name = "stream"
+    TRAIN_WINDOW = 16
+    CONFIRM_THRESHOLD = 2
+
+    def __init__(self, streams: int = 32, distance: int = 32,
+                 degree: int = 8) -> None:
+        super().__init__()
+        self.max_streams = streams
+        self.distance = distance
+        self.degree = degree
+        self.entries: List[StreamEntry] = []
+        self._clock = 0
+
+    def _find(self, core: int, line_no: int) -> Optional[StreamEntry]:
+        best = None
+        for entry in self.entries:
+            if entry.core != core:
+                continue
+            if abs(line_no - entry.last_line) <= self.TRAIN_WINDOW:
+                if best is None or (abs(line_no - entry.last_line)
+                                    < abs(line_no - best.last_line)):
+                    best = entry
+        return best
+
+    def _allocate(self, core: int, line_no: int) -> StreamEntry:
+        if len(self.entries) >= self.max_streams:
+            victim = min(self.entries, key=lambda e: e.lru)
+            self.entries.remove(victim)
+        entry = StreamEntry(core=core, base_line=line_no, last_line=line_no,
+                            next_prefetch=line_no + 1, lru=self._clock)
+        self.entries.append(entry)
+        return entry
+
+    def observe(self, line: int, pc: int, core: int,
+                hit: bool) -> List[int]:
+        self._clock += 1
+        line_no = line // CACHE_LINE_BYTES
+        entry = self._find(core, line_no)
+        if entry is None:
+            if not hit:
+                self._allocate(core, line_no)
+            return []
+
+        entry.lru = self._clock
+        delta = line_no - entry.last_line
+        if delta == 0:
+            return []
+        direction = 1 if delta > 0 else -1
+        if entry.direction == 0:
+            entry.direction = direction
+            entry.confirmations = 1
+        elif direction == entry.direction:
+            entry.confirmations += 1
+        else:
+            # Direction flip: retrain from here.
+            entry.direction = direction
+            entry.confirmations = 1
+            entry.next_prefetch = line_no + direction
+        entry.last_line = line_no
+
+        if entry.confirmations < self.CONFIRM_THRESHOLD:
+            return []
+
+        # Never prefetch behind the demand stream.
+        behind = ((entry.next_prefetch <= line_no)
+                  if entry.direction == 1 else (entry.next_prefetch >= line_no))
+        if behind:
+            entry.next_prefetch = line_no + entry.direction
+
+        # Issue up to `degree` prefetches, staying within `distance` of the
+        # demand stream.
+        out: List[int] = []
+        limit = line_no + entry.direction * self.distance
+        for _ in range(self.degree):
+            nxt = entry.next_prefetch
+            past_limit = (nxt > limit) if entry.direction == 1 else (nxt < limit)
+            if past_limit or nxt < 0:
+                break
+            out.append(nxt * CACHE_LINE_BYTES)
+            entry.next_prefetch = nxt + entry.direction
+        return out

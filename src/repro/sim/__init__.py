@@ -1,0 +1,1 @@
+"""Simulation engine: event wheel, system builder, runners, statistics."""

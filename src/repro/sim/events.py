@@ -1,0 +1,71 @@
+"""Event wheel: the discrete-event engine driving the whole simulator.
+
+Every timed behaviour in the system (core ticks, cache fills, DRAM command
+completions, ring message deliveries, EMC execution steps) is a callback
+scheduled on a single global :class:`EventWheel`.  Components that have
+nothing to do simply stop scheduling ticks and are woken by completion
+events; this "doze" idiom is what makes a Python cycle simulator usable on
+memory-bound workloads, where most core-cycles are idle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+
+class EventWheel:
+    """A priority queue of ``(time, seq, callback)`` events.
+
+    Events scheduled for the same cycle fire in scheduling order (the
+    monotonically increasing ``seq`` breaks ties), which keeps the simulator
+    deterministic for a fixed seed.
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._seq: int = 0
+        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, callback))
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at an absolute cycle (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._seq, callback))
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Pop and run the next event.  Returns False if the wheel is empty."""
+        if not self._queue:
+            return False
+        time, _seq, callback = heapq.heappop(self._queue)
+        self.now = time
+        callback()
+        return True
+
+    def run(self, until: int = None, max_events: int = None) -> int:
+        """Drain events, optionally bounded by time and/or event count.
+
+        Returns the number of events executed.
+        """
+        executed = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            self.step()
+            executed += 1
+        return executed

@@ -1,0 +1,125 @@
+"""High-level run helpers: build a system for a config + workload, run it,
+and package the results benches and examples consume."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..energy.model import EnergyBreakdown, compute_energy
+from ..uarch.params import (SystemConfig, eight_core_config,
+                            quad_core_config)
+from ..workloads.mixes import (Workload, build_eight_core_mix,
+                               build_homogeneous, build_mix, build_named)
+from .stats import SimStats
+from .system import System
+
+
+@dataclass
+class RunResult:
+    """Everything one simulation produced."""
+
+    config: SystemConfig
+    stats: SimStats
+    energy: EnergyBreakdown
+    dram_row_conflict_rate: float
+    dram_accesses: int
+    dram_reads: int
+    ring_messages: int
+    label: str = ""
+    per_core_ipc: List[float] = field(default_factory=list)
+
+    @property
+    def aggregate_ipc(self) -> float:
+        """Sum of per-core IPCs (each over that core's own finish time)."""
+        return sum(self.per_core_ipc)
+
+    @property
+    def throughput(self) -> float:
+        """System throughput: total instructions / wall-clock cycles.
+
+        The primary performance metric of the benches: every workload runs
+        a fixed instruction count per core, so finishing the same work in
+        fewer cycles is a speedup.  (Sum-of-IPC is kept for per-benchmark
+        views but is noisy at small instruction counts: accelerating one
+        core shifts interference phases across the others.)
+        """
+        if not self.stats.total_cycles:
+            return 0.0
+        return self.stats.total_instructions() / self.stats.total_cycles
+
+
+def run_system(cfg: SystemConfig, workload: Workload,
+               label: str = "", max_cycles: int = 50_000_000) -> RunResult:
+    """Run one workload on one configuration to completion."""
+    system = System(cfg, workload)
+    stats = system.run(max_cycles=max_cycles)
+    dram_stats = system.dram_stats
+    accesses = sum(d.accesses for d in dram_stats)
+    reads = sum(d.reads for d in dram_stats)
+    conflicts = sum(d.row_conflicts for d in dram_stats)
+    return RunResult(
+        config=cfg,
+        stats=stats,
+        energy=compute_energy(cfg, stats),
+        dram_row_conflict_rate=conflicts / accesses if accesses else 0.0,
+        dram_accesses=accesses,
+        dram_reads=reads,
+        ring_messages=system.ring.stats.messages,
+        label=label,
+        per_core_ipc=[c.ipc() for c in stats.cores],
+    )
+
+
+#: The four baseline prefetcher configurations of the evaluation.
+PREFETCHER_CONFIGS = ["none", "ghb", "stream", "markov+stream"]
+
+
+def run_quad_mix(mix: str, n_instrs: int, prefetcher: str = "none",
+                 emc: bool = False, seed: int = 1,
+                 **cfg_overrides) -> RunResult:
+    """One quad-core Table 3 mix under one configuration."""
+    cfg = quad_core_config(prefetcher=prefetcher, emc=emc, seed=seed)
+    for key, value in cfg_overrides.items():
+        setattr(cfg, key, value)
+    workload = build_mix(mix, n_instrs, seed=seed)
+    return run_system(cfg, workload,
+                      label=f"{mix}/{prefetcher}{'+emc' if emc else ''}")
+
+
+def run_quad_named(names: Sequence[str], n_instrs: int,
+                   prefetcher: str = "none", emc: bool = False,
+                   seed: int = 1) -> RunResult:
+    cfg = quad_core_config(prefetcher=prefetcher, emc=emc, seed=seed)
+    workload = build_named(names, n_instrs, seed=seed)
+    return run_system(cfg, workload)
+
+
+def run_homogeneous(name: str, n_instrs: int, prefetcher: str = "none",
+                    emc: bool = False, num_cores: int = 4,
+                    seed: int = 1) -> RunResult:
+    """Figure 13-style homogeneous workload (N copies of one benchmark)."""
+    if num_cores == 4:
+        cfg = quad_core_config(prefetcher=prefetcher, emc=emc, seed=seed)
+    else:
+        cfg = eight_core_config(prefetcher=prefetcher, emc=emc, seed=seed)
+    workload = build_homogeneous(name, num_cores, n_instrs, seed=seed)
+    return run_system(cfg, workload, label=f"4x{name}")
+
+
+def run_eight_mix(mix: str, n_instrs: int, prefetcher: str = "none",
+                  emc: bool = False, num_mcs: int = 1,
+                  seed: int = 1) -> RunResult:
+    """Figure 14-style eight-core run (1 or 2 memory controllers)."""
+    cfg = eight_core_config(prefetcher=prefetcher, emc=emc,
+                            num_mcs=num_mcs, seed=seed)
+    workload = build_eight_core_mix(mix, n_instrs, seed=seed)
+    return run_system(cfg, workload,
+                      label=f"8c-{num_mcs}mc/{mix}/{prefetcher}")
+
+
+def speedup(result: RunResult, baseline: RunResult) -> float:
+    """System-throughput speedup of ``result`` over ``baseline``."""
+    if baseline.throughput == 0:
+        return 0.0
+    return result.throughput / baseline.throughput

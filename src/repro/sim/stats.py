@@ -1,0 +1,241 @@
+"""Simulation statistics: everything the paper's figures report.
+
+One :class:`SimStats` instance per run aggregates per-core counters, miss
+latency breakdowns (Figure 1/18), dependent-miss accounting (Figure 2/6),
+EMC activity (Figures 15/17/19/22), and traffic counters feeding the energy
+model (Figures 23/24).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class LatencyAccumulator:
+    """Streaming mean over latency samples, with component splits and a
+    log2-bucketed histogram (bucket i counts samples in [2^i, 2^(i+1)))."""
+
+    count: int = 0
+    total: int = 0
+    dram_total: int = 0
+    onchip_total: int = 0
+    queue_total: int = 0
+    buckets: Dict[int, int] = field(default_factory=dict)
+
+    def add(self, total: int, dram: int, queue: int = 0) -> None:
+        self.count += 1
+        self.total += total
+        self.dram_total += dram
+        self.onchip_total += total - dram
+        self.queue_total += queue
+        bucket = max(0, int(total).bit_length() - 1)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    def histogram(self) -> List[tuple]:
+        """(low_bound, high_bound, count) rows in ascending latency order."""
+        return [(1 << b, (1 << (b + 1)) - 1, n)
+                for b, n in sorted(self.buckets.items())]
+
+    def percentile(self, fraction: float) -> int:
+        """Approximate percentile from the log2 histogram (upper bound of
+        the bucket containing the requested rank)."""
+        if not self.count:
+            return 0
+        rank = max(1, int(self.count * fraction))
+        seen = 0
+        for bucket, n in sorted(self.buckets.items()):
+            seen += n
+            if seen >= rank:
+                return (1 << (bucket + 1)) - 1
+        return (1 << (max(self.buckets) + 1)) - 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def mean_dram(self) -> float:
+        return self.dram_total / self.count if self.count else 0.0
+
+    @property
+    def mean_onchip(self) -> float:
+        return self.onchip_total / self.count if self.count else 0.0
+
+    @property
+    def mean_queue(self) -> float:
+        return self.queue_total / self.count if self.count else 0.0
+
+
+@dataclass
+class CoreStats:
+    """Per-core architectural and memory behaviour counters."""
+
+    core_id: int = 0
+    benchmark: str = ""
+    instructions: int = 0
+    finished_at: Optional[int] = None
+    l1_hits: int = 0
+    l1_misses: int = 0
+    llc_hits: int = 0
+    llc_misses: int = 0
+    # Dependent-miss accounting (Figure 2 / 6).
+    dependent_misses: int = 0
+    dependent_chain_ops_total: int = 0       # ops strictly between src & dep
+    dependent_covered_by_prefetch: int = 0   # dep-derived hits on pf lines
+    source_misses_with_dependent: int = 0
+    source_misses_total: int = 0
+    mispredicted_branches: int = 0
+    full_window_stall_cycles: int = 0
+
+    def ipc(self) -> float:
+        if not self.finished_at:
+            return 0.0
+        return self.instructions / self.finished_at
+
+    def mpki(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.llc_misses / self.instructions
+
+
+@dataclass
+class EMCStats:
+    """EMC activity counters (Figures 15, 17, 19, 22; Section 6.5)."""
+
+    chains_generated: int = 0
+    chains_executed: int = 0
+    chains_cancelled_branch: int = 0
+    chains_cancelled_tlb: int = 0
+    chains_cancelled_disambiguation: int = 0
+    chains_rejected_no_context: int = 0
+    chains_no_load: int = 0           # walks that found no dependent load
+    chains_from_cache: int = 0        # chain-cache hits (extension)
+    chain_uops_total: int = 0
+    chain_live_ins_total: int = 0
+    chain_live_outs_total: int = 0
+    chain_gen_cycles: int = 0
+    uops_executed: int = 0
+    loads_executed: int = 0
+    stores_executed: int = 0
+    dcache_hits: int = 0
+    dcache_misses: int = 0
+    llc_requests: int = 0
+    llc_hits_on_prefetched: int = 0
+    direct_dram_requests: int = 0
+    llc_path_requests: int = 0
+    tlb_hits: int = 0
+    tlb_misses: int = 0
+    miss_pred_correct: int = 0
+    miss_pred_wrong: int = 0
+    # Figure 19 attribution: cycles the EMC saved per request, by source.
+    saved_fill_path: int = 0
+    saved_cache_access: int = 0
+    saved_queue: int = 0
+
+    @property
+    def dcache_hit_rate(self) -> float:
+        total = self.dcache_hits + self.dcache_misses
+        return self.dcache_hits / total if total else 0.0
+
+    @property
+    def avg_chain_uops(self) -> float:
+        if not self.chains_generated:
+            return 0.0
+        return self.chain_uops_total / self.chains_generated
+
+    @property
+    def avg_live_ins(self) -> float:
+        if not self.chains_generated:
+            return 0.0
+        return self.chain_live_ins_total / self.chains_generated
+
+    @property
+    def avg_live_outs(self) -> float:
+        if not self.chains_generated:
+            return 0.0
+        return self.chain_live_outs_total / self.chains_generated
+
+
+@dataclass
+class EnergyCounters:
+    """Raw event counts consumed by :mod:`repro.energy`."""
+
+    core_uops: int = 0
+    l1_accesses: int = 0
+    llc_accesses: int = 0
+    dram_reads: int = 0
+    dram_writes: int = 0
+    dram_activations: int = 0
+    ring_control_hops: int = 0
+    ring_data_hops: int = 0
+    emc_uops: int = 0
+    emc_cache_accesses: int = 0
+    # Chain-generation events the paper charges explicitly (Section 5).
+    cdb_broadcasts: int = 0
+    rrt_reads: int = 0
+    rrt_writes: int = 0
+    rob_chain_reads: int = 0
+
+
+@dataclass
+class SimStats:
+    """Top-level statistics for one simulation run."""
+
+    cores: List[CoreStats] = field(default_factory=list)
+    emc: EMCStats = field(default_factory=EMCStats)
+    energy: EnergyCounters = field(default_factory=EnergyCounters)
+    # Latency of LLC misses, split by who issued them (Figure 18).
+    core_miss_latency: LatencyAccumulator = field(
+        default_factory=LatencyAccumulator)
+    emc_miss_latency: LatencyAccumulator = field(
+        default_factory=LatencyAccumulator)
+    total_cycles: int = 0
+    llc_misses_from_emc: int = 0
+    llc_misses_from_core: int = 0
+    prefetches_issued: int = 0
+    prefetches_useful: int = 0
+
+    def core(self, core_id: int) -> CoreStats:
+        return self.cores[core_id]
+
+    # -- derived, figure-facing metrics --------------------------------------
+    def total_instructions(self) -> int:
+        return sum(c.instructions for c in self.cores)
+
+    def aggregate_ipc(self) -> float:
+        """Sum of per-core IPCs, each over that core's own completion time —
+        the paper's multiprogrammed performance metric."""
+        return sum(c.ipc() for c in self.cores)
+
+    def emc_miss_fraction(self) -> float:
+        """Fraction of all LLC misses generated by the EMC (Figure 15)."""
+        total = self.llc_misses_from_emc + self.llc_misses_from_core
+        return self.llc_misses_from_emc / total if total else 0.0
+
+    def dependent_miss_fraction(self) -> float:
+        """Fraction of LLC (load) misses that depend on a prior LLC miss
+        (Figure 2)."""
+        misses = sum(c.llc_misses for c in self.cores)
+        dependent = sum(c.dependent_misses for c in self.cores)
+        return dependent / misses if misses else 0.0
+
+    def avg_dependent_chain_ops(self) -> float:
+        """Average ops between a source miss and its dependent miss (Fig 6)."""
+        dependent = sum(c.dependent_misses for c in self.cores)
+        ops = sum(c.dependent_chain_ops_total for c in self.cores)
+        return ops / dependent if dependent else 0.0
+
+    def dependent_prefetch_coverage(self) -> float:
+        """Fraction of dependent cache misses converted to hits by the
+        prefetcher (Figure 3)."""
+        covered = sum(c.dependent_covered_by_prefetch for c in self.cores)
+        missed = sum(c.dependent_misses for c in self.cores)
+        total = covered + missed
+        return covered / total if total else 0.0
+
+    def prefetch_accuracy(self) -> float:
+        if not self.prefetches_issued:
+            return 0.0
+        return self.prefetches_useful / self.prefetches_issued

@@ -1,0 +1,253 @@
+"""Full-system model: cores + ring + LLC + memory controller(s) + EMC(s).
+
+Builds the quad-core (Figure 7) or eight-core single/dual-MC (Figure 11)
+topologies from a :class:`SystemConfig` and a multiprogrammed workload, and
+owns the chain transport between cores and EMCs (Section 4.2/4.3 message
+flows).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.ooo_core import OutOfOrderCore
+from ..emc.chain import DependenceChain
+from ..emc.controller import EMC
+from ..interconnect.ring import Ring
+from ..memsys.cache import line_addr
+from ..memsys.hierarchy import MemoryHierarchy
+from ..memsys.vm import PageTable
+from ..uarch.params import SystemConfig
+from ..uarch.uop import Trace, UopType
+from ..workloads.memory_image import MemoryImage
+from .events import EventWheel
+from .stats import SimStats
+
+
+class DeadlockError(RuntimeError):
+    """The event wheel drained before every core finished its trace."""
+
+
+class System:
+    """One simulated machine running one multiprogrammed workload."""
+
+    def __init__(self, cfg: SystemConfig,
+                 workload: Sequence[Tuple[Trace, MemoryImage]]) -> None:
+        cfg.validate()
+        if len(workload) != cfg.num_cores:
+            raise ValueError(
+                f"workload has {len(workload)} traces for {cfg.num_cores} cores")
+        self.cfg = cfg
+        self.wheel = EventWheel()
+        self.stats = SimStats()
+        self.energy_counters = self.stats.energy
+
+        PageTable.reset_frame_allocator()
+        self.images: List[MemoryImage] = [image for _t, image in workload]
+        num_stops = cfg.num_cores + cfg.num_mcs
+        self.ring = Ring(num_stops, cfg.ring, self.wheel)
+        self.hierarchy = MemoryHierarchy(self)
+
+        self.emcs: List[Optional[EMC]] = []
+        for mc_id in range(cfg.num_mcs):
+            if cfg.emc.enabled:
+                self.emcs.append(EMC(mc_id, self, cfg.emc, cfg.num_cores))
+            else:
+                self.emcs.append(None)
+
+        self.cores: List[OutOfOrderCore] = []
+        for core_id, (trace, _image) in enumerate(workload):
+            core = OutOfOrderCore(core_id, trace, self)
+            self.cores.append(core)
+            self.stats.cores.append(core.stats)
+
+        self._finished = 0
+
+    # ------------------------------------------------------------------
+    # component lookups
+    # ------------------------------------------------------------------
+    def emc_at(self, mc_id: int) -> Optional[EMC]:
+        return self.emcs[mc_id]
+
+    def emc_for(self, line: int) -> Optional[EMC]:
+        return self.emcs[self.hierarchy.mc_of_line(line)]
+
+    def emc_context_available(self, paddr: int) -> bool:
+        emc = self.emc_for(line_addr(paddr))
+        return emc is not None and emc.context_available()
+
+    def mark_llc_emc_bit(self, line: int) -> None:
+        self.hierarchy.llc.mark_emc(line)
+
+    def store_writethrough(self, core_id: int, paddr: int, pc: int) -> None:
+        self.hierarchy.store_writethrough(core_id, paddr, pc)
+
+    # ------------------------------------------------------------------
+    # chain transport (core <-> EMC messages)
+    # ------------------------------------------------------------------
+    def send_chain(self, chain: DependenceChain) -> None:
+        """Ship a generated chain (uops + live-ins + PTEs) to the EMC."""
+        mc_id = self.hierarchy.mc_of_line(chain.source_line)
+        emc = self.emcs[mc_id]
+        if emc is None:
+            self.cores[chain.core_id].cancel_chain(chain)
+            return
+        core = self.cores[chain.core_id]
+        tlb = emc.tlbs.for_core(chain.core_id)
+        # Source-miss PTE ships with the chain when not EMC-resident
+        # (Section 4.1.4); live-in-based load addresses are computable at
+        # generation time, so their PTEs ship too (see DESIGN.md §7).
+        if not tlb.resident(chain.source_vaddr):
+            emc.tlbs.preload(chain.core_id, core.page_table,
+                             chain.source_vaddr)
+            chain.shipped_pte = True
+        for cu in chain.uops:
+            if (cu.uop.op in (UopType.LOAD, UopType.STORE)
+                    and cu.src1_index is None and cu.src1_value is not None):
+                vaddr = (cu.src1_value + cu.uop.imm) & ((1 << 64) - 1)
+                if not tlb.resident(vaddr):
+                    emc.tlbs.preload(chain.core_id, core.page_table, vaddr)
+
+        lines = chain.transfer_lines_to_emc(self.cfg.emc.uop_bytes)
+        remaining = {"count": lines}
+
+        def one_arrived() -> None:
+            remaining["count"] -= 1
+            if remaining["count"]:
+                return
+            if not emc.accept_chain(chain):
+                self.stats.emc.chains_rejected_no_context += 1
+                core.cancel_chain(chain)
+
+        for _ in range(lines):
+            self.ring.send(chain.core_id, self.hierarchy.mc_stop(mc_id),
+                           "data", one_arrived, emc=True)
+
+    def return_liveouts(self, mc_id: int, chain: DependenceChain,
+                        values: Dict[int, int]) -> None:
+        """Chain finished at the EMC: send live-outs back to the home core."""
+        core = self.cores[chain.core_id]
+        lines = chain.transfer_lines_to_core()
+        remaining = {"count": lines}
+
+        def one_arrived() -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                core.apply_chain_liveouts(chain, values)
+
+        for _ in range(lines):
+            self.ring.send(self.hierarchy.mc_stop(mc_id), chain.core_id,
+                           "data", one_arrived, emc=True)
+
+    def chain_cancelled(self, mc_id: int, chain: DependenceChain) -> None:
+        """The EMC halted; tell the home core to re-execute the chain."""
+        core = self.cores[chain.core_id]
+        self.ring.send(self.hierarchy.mc_stop(mc_id), chain.core_id, "ctrl",
+                       lambda: core.cancel_chain(chain), emc=True)
+
+    def fetch_pte(self, mc_id: int, core_id: int, vaddr: int,
+                  callback: Callable[[], None]) -> None:
+        """'fetch' TLB-miss policy: round-trip to the home core for a PTE."""
+        core = self.cores[core_id]
+        emc = self.emcs[mc_id]
+        mc_stop = self.hierarchy.mc_stop(mc_id)
+
+        def at_core() -> None:
+            entry = core.page_table.entry_for(vaddr)
+
+            def back_at_emc() -> None:
+                emc.tlbs.for_core(core_id).insert(entry)
+                callback()
+
+            self.ring.send(core_id, mc_stop, "ctrl", back_at_emc, emc=True)
+
+        # A few cycles of page-table-cache lookup at the core.
+        self.ring.send(mc_stop, core_id, "ctrl",
+                       lambda: self.wheel.schedule(4, at_core), emc=True)
+
+    def notify_source_complete(self, chain: DependenceChain) -> None:
+        """The chain's source value is architecturally available at the
+        core; start the chain if it is still parked at its EMC (covers
+        fills that bypassed the owning controller's DRAM-return hook)."""
+        mc_id = self.hierarchy.mc_of_line(chain.source_line)
+        emc = self.emcs[mc_id]
+        if emc is not None:
+            emc.start_if_parked(chain)
+
+    def tlb_shootdown(self, core_id: int, vaddr: int) -> int:
+        """OS-initiated TLB shootdown for one page of one address space.
+
+        The per-PTE residency bit the paper adds (§4.1.4) tells the core
+        which EMC TLBs hold the translation; invalidation messages travel
+        the control ring.  Returns the number of EMC TLB entries dropped.
+        """
+        from ..uarch.params import PAGE_BYTES
+        vpn = vaddr // PAGE_BYTES
+        dropped = 0
+        for mc_id, emc in enumerate(self.emcs):
+            if emc is None:
+                continue
+            if emc.tlbs.for_core(core_id).invalidate(vpn):
+                dropped += 1
+                self.ring.send(core_id, self.hierarchy.mc_stop(mc_id),
+                               "ctrl", lambda: None, emc=True)
+        return dropped
+
+    def notify_core_lsq(self, mc_id: int, core_id: int) -> None:
+        """Address-ring message populating the home core's LSQ entry for a
+        memory op executed at the EMC (Section 4.3).  Traffic-accounting
+        only; the ordering guarantees it provides are modeled by the
+        disambiguation hook."""
+        self.ring.send(self.hierarchy.mc_stop(mc_id), core_id, "ctrl",
+                       lambda: None, emc=True)
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def on_core_finished(self, core_id: int) -> None:
+        self._finished += 1
+
+    @property
+    def all_finished(self) -> bool:
+        return self._finished >= self.cfg.num_cores
+
+    def run(self, max_cycles: int = 50_000_000) -> SimStats:
+        """Run every core's trace to completion and return the stats."""
+        for core in self.cores:
+            core.start()
+        while not self.all_finished:
+            if not self.wheel.step():
+                raise DeadlockError(self._deadlock_report())
+            if self.wheel.now > max_cycles:
+                raise DeadlockError(
+                    f"exceeded {max_cycles} cycles; "
+                    + self._deadlock_report())
+        self.stats.total_cycles = max(
+            (c.stats.finished_at or 0) for c in self.cores)
+        # Drain in-flight memory traffic (write-throughs, writebacks,
+        # fills) so end-of-run counters settle; wrapped cores stop
+        # fetching once everyone has finished, so the wheel empties.
+        self.wheel.run(max_events=2_000_000)
+        self._finalize_stats()
+        return self.stats
+
+    def _finalize_stats(self) -> None:
+        energy = self.energy_counters
+        energy.ring_control_hops = self.ring.stats.control_hops
+        energy.ring_data_hops = self.ring.stats.data_hops
+
+    def _deadlock_report(self) -> str:
+        parts = [f"deadlock at cycle {self.wheel.now}:"]
+        for core in self.cores:
+            parts.append(
+                f" core{core.core_id}: fetched={core._fetch_index}"
+                f"/{len(core._trace)} rob={len(core.rob)}"
+                f" ready={len(core.ready)} finished={core.finished}"
+                f" head={core.rob[0] if core.rob else None}")
+        return "".join(parts)
+
+    # -- convenience ----------------------------------------------------
+    @property
+    def dram_stats(self):
+        """Aggregated DRAM stats across all memory controllers."""
+        return [d.stats for d in self.hierarchy.dram]

@@ -1,0 +1,1 @@
+"""Micro-architectural building blocks: uops, ISA semantics, configs."""

@@ -1,0 +1,66 @@
+"""Functional semantics of the micro-op ISA.
+
+A single :func:`execute_alu` routine is shared by the core and the EMC so the
+two execution sites are value-equivalent by construction.  Memory semantics
+live in :mod:`repro.workloads.memory_image`.
+"""
+
+from __future__ import annotations
+
+from .uop import MASK64, MicroOp, UopType
+
+
+def _sext32(value: int) -> int:
+    """Sign-extend the low 32 bits of ``value`` to 64 bits."""
+    value &= 0xFFFFFFFF
+    if value & 0x80000000:
+        value |= 0xFFFFFFFF00000000
+    return value
+
+
+def execute_alu(uop: MicroOp, a: int, b: int) -> int:
+    """Compute the result of a non-memory, non-branch uop.
+
+    ``a`` and ``b`` are the values of ``src1``/``src2`` (0 when absent).  The
+    immediate participates per-op: binary ops use ``src2`` when present and
+    the immediate otherwise, matching how the trace generators emit uops.
+    """
+    op = uop.op
+    rhs = b if uop.src2 is not None else uop.imm
+    if op is UopType.ADD:
+        return (a + rhs) & MASK64
+    if op is UopType.SUB:
+        return (a - rhs) & MASK64
+    if op is UopType.MOV:
+        # MOV either copies a register or materializes an immediate.
+        return a if uop.src1 is not None else (uop.imm & MASK64)
+    if op is UopType.AND:
+        return a & rhs & MASK64
+    if op is UopType.OR:
+        return (a | rhs) & MASK64
+    if op is UopType.XOR:
+        return (a ^ rhs) & MASK64
+    if op is UopType.NOT:
+        return (~a) & MASK64
+    if op is UopType.SHL:
+        return (a << (rhs & 63)) & MASK64
+    if op is UopType.SHR:
+        return (a & MASK64) >> (rhs & 63)
+    if op is UopType.SEXT:
+        return _sext32(a)
+    if op in (UopType.FP, UopType.VEC):
+        # Floating point / vector results never feed addresses in our traces;
+        # a deterministic token keeps execution reproducible.
+        return (a * 3 + rhs + 0x5F5E100) & MASK64
+    if op in (UopType.BRANCH, UopType.NOP):
+        return 0
+    raise ValueError(f"execute_alu cannot execute {op}")
+
+
+def effective_address(uop: MicroOp, base: int) -> int:
+    """Effective address of a LOAD/STORE: ``base + imm`` (64-bit wrap)."""
+    if not uop.is_mem:
+        raise ValueError(f"not a memory uop: {uop}")
+    if uop.src1 is None:
+        return uop.imm & MASK64
+    return (base + uop.imm) & MASK64

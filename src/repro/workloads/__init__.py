@@ -1,0 +1,1 @@
+"""Synthetic workload generation: memory images, kernels, SPEC profiles, mixes."""

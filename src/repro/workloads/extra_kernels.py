@@ -1,0 +1,180 @@
+"""Extension kernels beyond the SPEC profiles: database-flavoured workloads
+whose dependent-miss structure differs from mcf-style list chasing.
+
+- ``btree_search``: repeated root-to-leaf descents of a B-tree-like index.
+  Every level's node address comes from the previous level's data — a
+  *bursty* dependent-miss chain with a hot top (root/level-1 cache-resident)
+  and cold leaves.
+- ``hash_join``: probe-side of a hash join.  The bucket-array index load is
+  prefetchable; following the bucket pointer and walking the short overflow
+  list are dependent misses.
+
+Both follow the execute-while-emitting discipline of
+:mod:`repro.workloads.generators`, so the EMC runs their real pointer
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..uarch.uop import MASK64, UopType
+from .generators import PAGE, TraceBuilder
+
+
+@dataclass
+class BTreeParams:
+    fanout: int = 16                # children per node
+    levels: int = 4                 # root -> leaf depth
+    node_bytes: int = 128           # two lines per node
+    key_work_ops: int = 3           # compare/branch work per level
+    compute_ops: int = 6            # per-lookup non-chain work
+    mispredict_rate: float = 0.01
+    region_base: int = 0x200000000
+
+    @property
+    def num_nodes(self) -> int:
+        total, width = 0, 1
+        for _ in range(self.levels):
+            total += width
+            width *= self.fanout
+        return total
+
+
+def _build_btree(image, params: BTreeParams) -> List[List[int]]:
+    """Lay the tree out level by level; returns node addresses per level.
+
+    Child pointers live at ``node + 8*k``; the generator picks child k from
+    the looked-up key, and so does the emitted uop stream (mask + shift on
+    the key register).
+    """
+    base = params.region_base
+    levels: List[List[int]] = []
+    addr = base
+    width = 1
+    for _level in range(params.levels):
+        level_nodes = []
+        for _ in range(width):
+            level_nodes.append(addr)
+            addr += params.node_bytes
+        levels.append(level_nodes)
+        width *= params.fanout
+    # Wire child pointers.
+    for level, nodes in enumerate(levels[:-1]):
+        children = levels[level + 1]
+        for i, node in enumerate(nodes):
+            for k in range(params.fanout):
+                image.write(node + 8 * k, children[i * params.fanout + k])
+    return levels
+
+
+def btree_search(builder: TraceBuilder, n_instrs: int,
+                 params: BTreeParams, pc_base: int = 0x5000) -> None:
+    """Repeated random root-to-leaf descents."""
+    image, rng = builder.image, builder.rng
+    levels = _build_btree(image, params)
+    root = levels[0][0]
+    fanout_mask = (params.fanout - 1) * 8
+
+    R_NODE, R_KEY, R_OFF, R_CHILD, R_ACC = 1, 2, 3, 4, 5
+    builder.set_reg(R_ACC, 0, pc=pc_base)
+
+    start = builder.count
+    while builder.count - start < n_instrs:
+        pc = pc_base + 0x10
+        builder.set_reg(R_NODE, root, pc=pc)
+        # A pseudo-random key drives the descent; derived from ACC so the
+        # traversal is data-dependent end to end.
+        builder.emit(UopType.ADD, dest=R_KEY, src1=R_ACC, imm=0x9E37,
+                     pc=pc + 1)
+        for level in range(params.levels - 1):
+            lpc = pc + 0x10 * (level + 1)
+            # child slot = (key >> (4*level)) & mask, 8-byte entries
+            builder.emit(UopType.SHR, dest=R_OFF, src1=R_KEY,
+                         imm=4 * level, pc=lpc)
+            builder.emit(UopType.AND, dest=R_OFF, src1=R_OFF,
+                         imm=fanout_mask, pc=lpc + 1)
+            builder.emit(UopType.ADD, dest=R_OFF, src1=R_OFF, src2=R_NODE,
+                         pc=lpc + 2)
+            builder.emit(UopType.LOAD, dest=R_CHILD, src1=R_OFF, pc=lpc + 3)
+            for k in range(params.key_work_ops):
+                builder.emit(UopType.XOR, dest=R_ACC, src1=R_ACC,
+                             src2=R_CHILD, pc=lpc + 4 + k)
+            builder.emit(UopType.MOV, dest=R_NODE, src1=R_CHILD, pc=lpc + 8)
+        # Leaf payload read.
+        builder.emit(UopType.LOAD, dest=R_CHILD, src1=R_NODE, imm=8,
+                     pc=pc + 0x100)
+        builder.emit(UopType.ADD, dest=R_ACC, src1=R_ACC, src2=R_CHILD,
+                     pc=pc + 0x101)
+        for k in range(params.compute_ops):
+            builder.emit(UopType.SHR, dest=R_ACC, src1=R_ACC, imm=1,
+                         pc=pc + 0x110 + k)
+            builder.emit(UopType.ADD, dest=R_ACC, src1=R_ACC, imm=k + 1,
+                         pc=pc + 0x118 + k)
+        builder.branch(pc + 0x120, params.mispredict_rate, src=R_ACC)
+
+
+@dataclass
+class HashJoinParams:
+    buckets: int = 1 << 15          # power of two
+    chain_len_max: int = 3          # overflow-list walk length
+    tuple_bytes: int = 64
+    compute_ops: int = 8
+    mispredict_rate: float = 0.005
+    region_base: int = 0x300000000
+
+
+def hash_join(builder: TraceBuilder, n_instrs: int,
+              params: HashJoinParams, pc_base: int = 0x6000) -> None:
+    """Probe side of a hash join: bucket lookup, then a short dependent
+    walk of the bucket's overflow list."""
+    image, rng = builder.image, builder.rng
+    bucket_base = params.region_base
+    tuple_base = bucket_base + params.buckets * 8 + (1 << 24)
+
+    # Build buckets: each holds a pointer to a short chain of tuples.
+    next_tuple = tuple_base
+    for b in range(params.buckets):
+        chain = rng.randint(1, params.chain_len_max)
+        head = next_tuple
+        for i in range(chain):
+            nxt = next_tuple + params.tuple_bytes
+            image.write(next_tuple,
+                        nxt if i < chain - 1 else 0)          # ->next
+            image.write(next_tuple + 8, (b * 2654435761) & MASK64)  # key
+            next_tuple = nxt
+        image.write(bucket_base + b * 8, head)
+
+    mask = (params.buckets - 1) * 8
+    R_PROBE, R_HASH, R_BKT, R_TUP, R_KEY, R_ACC = 1, 2, 3, 4, 5, 6
+    builder.set_reg(R_ACC, 1, pc=pc_base)
+    builder.set_reg(R_PROBE, 0x1234, pc=pc_base + 1)
+
+    start = builder.count
+    while builder.count - start < n_instrs:
+        pc = pc_base + 0x10
+        # hash = probe * const; bucket index from its low bits
+        builder.emit(UopType.ADD, dest=R_PROBE, src1=R_PROBE, imm=0x61C9,
+                     pc=pc)
+        builder.emit(UopType.SHL, dest=R_HASH, src1=R_PROBE, imm=3, pc=pc + 1)
+        builder.emit(UopType.AND, dest=R_HASH, src1=R_HASH, imm=mask,
+                     pc=pc + 2)
+        builder.emit(UopType.ADD, dest=R_BKT, src1=R_HASH, imm=bucket_base,
+                     pc=pc + 3)
+        builder.emit(UopType.LOAD, dest=R_TUP, src1=R_BKT, pc=pc + 4)
+        # Walk the overflow list (bounded, data-dependent).
+        walked = 0
+        tup_reg = R_TUP
+        while walked < params.chain_len_max and builder.regs.get(tup_reg, 0):
+            wpc = pc + 0x10 + walked * 4
+            builder.emit(UopType.LOAD, dest=R_KEY, src1=tup_reg, imm=8,
+                         pc=wpc)
+            builder.emit(UopType.ADD, dest=R_ACC, src1=R_ACC, src2=R_KEY,
+                         pc=wpc + 1)
+            builder.emit(UopType.LOAD, dest=R_TUP, src1=tup_reg, pc=wpc + 2)
+            walked += 1
+        for k in range(params.compute_ops):
+            builder.emit(UopType.XOR, dest=R_ACC, src1=R_ACC, imm=k + 1,
+                         pc=pc + 0x40 + k)
+        builder.branch(pc + 0x50, params.mispredict_rate, src=R_ACC)

@@ -1,0 +1,132 @@
+"""Static trace inspection: op mix, memory footprint, and dependence
+structure — without running the simulator.
+
+Useful for validating a generated workload's shape (does this profile
+have the MPKI potential / dependence structure it claims?) and for the
+CLI's ``trace`` subcommand.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..uarch.isa import effective_address, execute_alu
+from ..uarch.uop import MicroOp, Trace, UopType
+from .memory_image import MemoryImage
+
+
+@dataclass
+class TraceReport:
+    """Static + functional summary of one trace."""
+
+    name: str
+    uops: int
+    op_mix: Dict[str, int] = field(default_factory=dict)
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    mispredicted_branches: int = 0
+    spill_fills: int = 0
+    distinct_lines: int = 0
+    distinct_pages: int = 0
+    footprint_bytes: int = 0
+    #: loads whose address depends (transitively, through registers) on an
+    #: earlier load's value — the static superset of dependent misses
+    address_dependent_loads: int = 0
+    #: of those, how many levels deep the deepest chain goes
+    max_load_depth: int = 0
+
+    @property
+    def load_fraction(self) -> float:
+        return self.loads / self.uops if self.uops else 0.0
+
+    @property
+    def dependent_load_fraction(self) -> float:
+        return (self.address_dependent_loads / self.loads
+                if self.loads else 0.0)
+
+
+def inspect_trace(trace: Trace, image: MemoryImage) -> TraceReport:
+    """Functionally execute ``trace`` against a copy of ``image`` and
+    collect the report."""
+    image = image.copy()
+    report = TraceReport(name=trace.name, uops=len(trace.uops))
+    mix: Counter = Counter()
+    lines: Set[int] = set()
+    pages: Set[int] = set()
+    regs: Dict[int, int] = {}
+    # Per-register load-dependence depth (0 = not derived from a load).
+    reg_depth: Dict[int, int] = {}
+
+    def val(reg: Optional[int]) -> int:
+        return regs.get(reg, 0) if reg is not None else 0
+
+    def depth(reg: Optional[int]) -> int:
+        return reg_depth.get(reg, 0) if reg is not None else 0
+
+    for uop in trace.uops:
+        mix[uop.op.value] += 1
+        if uop.op is UopType.BRANCH:
+            report.branches += 1
+            if uop.mispredicted:
+                report.mispredicted_branches += 1
+            continue
+        if uop.op is UopType.LOAD:
+            report.loads += 1
+            if uop.is_spill_fill:
+                report.spill_fills += 1
+            addr = effective_address(uop, val(uop.src1))
+            lines.add(addr & ~0x3F)
+            pages.add(addr >> 12)
+            in_depth = depth(uop.src1)
+            if in_depth > 0:
+                report.address_dependent_loads += 1
+            new_depth = in_depth + 1
+            report.max_load_depth = max(report.max_load_depth, new_depth)
+            if uop.dest is not None:
+                regs[uop.dest] = image.read(addr)
+                reg_depth[uop.dest] = new_depth
+            continue
+        if uop.op is UopType.STORE:
+            report.stores += 1
+            if uop.is_spill_fill:
+                report.spill_fills += 1
+            addr = effective_address(uop, val(uop.src1))
+            lines.add(addr & ~0x3F)
+            pages.add(addr >> 12)
+            value = val(uop.src2) if uop.src2 is not None else uop.imm
+            image.write(addr, value)
+            continue
+        result = execute_alu(uop, val(uop.src1), val(uop.src2))
+        if uop.dest is not None:
+            regs[uop.dest] = result
+            reg_depth[uop.dest] = max(depth(uop.src1), depth(uop.src2))
+
+    report.op_mix = dict(mix)
+    report.distinct_lines = len(lines)
+    report.distinct_pages = len(pages)
+    report.footprint_bytes = len(lines) * 64
+    return report
+
+
+def format_report(report: TraceReport) -> str:
+    """Human-readable rendering of a TraceReport."""
+    lines = [
+        f"trace {report.name}: {report.uops} uops",
+        f"  loads {report.loads} ({report.load_fraction:.1%}), "
+        f"stores {report.stores}, branches {report.branches} "
+        f"({report.mispredicted_branches} mispredicted), "
+        f"spill/fills {report.spill_fills}",
+        f"  footprint: {report.distinct_lines} lines "
+        f"({report.footprint_bytes / 1024:.0f} KiB), "
+        f"{report.distinct_pages} pages",
+        f"  address-dependent loads: {report.address_dependent_loads} "
+        f"({report.dependent_load_fraction:.1%} of loads), "
+        f"max chain depth {report.max_load_depth}",
+        "  op mix: " + ", ".join(
+            f"{op}={n}" for op, n in
+            sorted(report.op_mix.items(), key=lambda kv: -kv[1])),
+    ]
+    return "\n".join(lines)

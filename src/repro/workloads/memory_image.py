@@ -1,0 +1,57 @@
+"""Synthetic memory image: the functional backing store for traces.
+
+Workload generators lay out data structures (linked lists, hash buckets,
+arrays) in a sparse 64-bit address space; the core and the EMC both read and
+write this image, so dependent addresses are genuinely data-dependent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from ..uarch.uop import MASK64
+
+
+class MemoryImage:
+    """A sparse word-addressable (8-byte granularity) memory.
+
+    Reads of unwritten locations return a deterministic hash of the address
+    so stray loads stay reproducible without storing the whole address space.
+    """
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+
+    @staticmethod
+    def _word_addr(addr: int) -> int:
+        return addr & ~0x7 & MASK64
+
+    def read(self, addr: int) -> int:
+        """Read the 8-byte word containing ``addr``."""
+        waddr = self._word_addr(addr)
+        value = self._words.get(waddr)
+        if value is None:
+            # Deterministic "uninitialized" pattern (splitmix64-style mix).
+            z = (waddr + 0x9E3779B97F4A7C15) & MASK64
+            z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+            z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+            value = z ^ (z >> 31)
+        return value & MASK64
+
+    def write(self, addr: int, value: int) -> None:
+        """Write the 8-byte word containing ``addr``."""
+        self._words[self._word_addr(addr)] = value & MASK64
+
+    def __contains__(self, addr: int) -> bool:
+        return self._word_addr(addr) in self._words
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def written_addresses(self) -> Iterator[int]:
+        return iter(self._words)
+
+    def copy(self) -> "MemoryImage":
+        clone = MemoryImage()
+        clone._words = dict(self._words)
+        return clone

@@ -1,0 +1,62 @@
+"""Multiprogrammed workload mixes (Table 3) and mix builders."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..uarch.uop import Trace
+from .memory_image import MemoryImage
+from .spec import HIGH_INTENSITY, build_trace
+
+#: Table 3: the ten heterogeneous quad-core workloads.
+MIXES: Dict[str, List[str]] = {
+    "H1": ["bwaves", "lbm", "milc", "omnetpp"],
+    "H2": ["soplex", "omnetpp", "bwaves", "libquantum"],
+    "H3": ["sphinx3", "mcf", "omnetpp", "milc"],
+    "H4": ["mcf", "sphinx3", "soplex", "libquantum"],
+    "H5": ["lbm", "mcf", "libquantum", "bwaves"],
+    "H6": ["lbm", "soplex", "mcf", "milc"],
+    "H7": ["bwaves", "libquantum", "sphinx3", "omnetpp"],
+    "H8": ["omnetpp", "soplex", "mcf", "bwaves"],
+    "H9": ["lbm", "mcf", "libquantum", "soplex"],
+    "H10": ["libquantum", "bwaves", "soplex", "omnetpp"],
+}
+
+MIX_NAMES = list(MIXES)
+
+Workload = List[Tuple[Trace, MemoryImage]]
+
+
+def build_mix(mix: str, n_instrs: int, seed: int = 1) -> Workload:
+    """Build one of the Table 3 quad-core mixes (H1..H10)."""
+    try:
+        names = MIXES[mix]
+    except KeyError:
+        raise KeyError(f"unknown mix {mix!r}; known: {MIX_NAMES}") from None
+    return build_named(names, n_instrs, seed)
+
+
+def build_named(names: Sequence[str], n_instrs: int,
+                seed: int = 1) -> Workload:
+    """Build a workload from explicit benchmark names, one per core.
+
+    Each core gets its own seed so identical benchmarks on different cores
+    run distinct dynamic instances (distinct heaps, distinct orders)."""
+    return [build_trace(name, n_instrs, seed=seed + 97 * core)
+            for core, name in enumerate(names)]
+
+
+def build_homogeneous(name: str, num_cores: int, n_instrs: int,
+                      seed: int = 1) -> Workload:
+    """N copies of one benchmark (Figure 13's homogeneous workloads)."""
+    return build_named([name] * num_cores, n_instrs, seed)
+
+
+def build_eight_core_mix(mix: str, n_instrs: int, seed: int = 1) -> Workload:
+    """Eight-core workloads are two copies of the quad-core mix (§5)."""
+    names = MIXES[mix] * 2
+    return build_named(names, n_instrs, seed)
+
+
+def high_intensity_names() -> List[str]:
+    return list(HIGH_INTENSITY)

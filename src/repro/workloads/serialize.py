@@ -1,0 +1,80 @@
+"""Trace and memory-image serialization.
+
+Workload generation is deterministic, but regenerating a large trace can
+dominate short simulations; saving a (trace, image) pair lets experiments
+and external tools share identical workloads.  The format is a compact
+JSON-lines container: a header record, one record per uop, and one record
+per written memory word.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Tuple, Union
+
+from ..uarch.uop import MicroOp, Trace, UopType
+from .memory_image import MemoryImage
+
+FORMAT_VERSION = 1
+
+_OP_CODES = {op: op.value for op in UopType}
+_OP_FROM_CODE = {op.value: op for op in UopType}
+
+
+def _open(path: Union[str, Path], mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def save_workload(path: Union[str, Path], trace: Trace,
+                  image: MemoryImage) -> None:
+    """Write a (trace, image) pair; ``.gz`` suffix enables compression."""
+    with _open(path, "w") as fh:
+        header = {"kind": "repro-trace", "version": FORMAT_VERSION,
+                  "name": trace.name, "num_regs": trace.num_regs,
+                  "uops": len(trace.uops), "meta": trace.meta}
+        fh.write(json.dumps(header) + "\n")
+        for uop in trace.uops:
+            record = [uop.seq, _OP_CODES[uop.op], uop.dest, uop.src1,
+                      uop.src2, uop.imm, uop.pc,
+                      int(uop.mispredicted), int(uop.is_spill_fill),
+                      uop.mem_dep]
+            fh.write(json.dumps(record) + "\n")
+        for addr in sorted(image.written_addresses()):
+            fh.write(json.dumps(["M", addr, image.read(addr)]) + "\n")
+
+
+def load_workload(path: Union[str, Path]) -> Tuple[Trace, MemoryImage]:
+    """Read a (trace, image) pair written by :func:`save_workload`."""
+    with _open(path, "r") as fh:
+        header = json.loads(fh.readline())
+        if header.get("kind") != "repro-trace":
+            raise ValueError(f"{path}: not a repro trace file")
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(f"{path}: unsupported version "
+                             f"{header.get('version')}")
+        uops = []
+        image = MemoryImage()
+        expected = header["uops"]
+        for line in fh:
+            record = json.loads(line)
+            if record[0] == "M":
+                image.write(record[1], record[2])
+                continue
+            (seq, op, dest, src1, src2, imm, pc,
+             mispredicted, is_spill_fill, mem_dep) = record
+            uops.append(MicroOp(
+                seq=seq, op=_OP_FROM_CODE[op], dest=dest, src1=src1,
+                src2=src2, imm=imm, pc=pc,
+                mispredicted=bool(mispredicted),
+                is_spill_fill=bool(is_spill_fill), mem_dep=mem_dep))
+    if len(uops) != expected:
+        raise ValueError(f"{path}: expected {expected} uops, "
+                         f"found {len(uops)}")
+    trace = Trace(uops=uops, name=header["name"],
+                  num_regs=header["num_regs"], meta=header.get("meta", {}))
+    return trace, image

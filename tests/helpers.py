@@ -1,0 +1,53 @@
+"""Shared helpers for integration tests: tiny hand-built traces and
+single-purpose system configurations."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.sim.system import System
+from repro.uarch.params import (EMCConfig, L1Config, PrefetchConfig,
+                                SystemConfig)
+from repro.uarch.uop import MicroOp, Trace, UopType
+from repro.workloads.memory_image import MemoryImage
+
+
+class TraceWriter:
+    """Hand-build tiny traces for directed tests."""
+
+    def __init__(self) -> None:
+        self.uops: List[MicroOp] = []
+
+    def add(self, op: UopType, dest: Optional[int] = None,
+            src1: Optional[int] = None, src2: Optional[int] = None,
+            imm: int = 0, pc: int = 0, **flags) -> MicroOp:
+        uop = MicroOp(seq=len(self.uops), op=op, dest=dest, src1=src1,
+                      src2=src2, imm=imm, pc=pc, **flags)
+        self.uops.append(uop)
+        return uop
+
+    def trace(self, name: str = "hand") -> Trace:
+        return Trace(uops=self.uops, name=name)
+
+
+def tiny_config(num_cores: int = 1, emc: bool = False,
+                prefetcher: str = "none", **emc_overrides) -> SystemConfig:
+    cfg = SystemConfig(
+        num_cores=num_cores,
+        emc=EMCConfig(enabled=emc, **emc_overrides),
+        prefetch=PrefetchConfig(kind=prefetcher),
+    )
+    return cfg
+
+
+def run_trace(trace: Trace, image: Optional[MemoryImage] = None,
+              cfg: Optional[SystemConfig] = None,
+              max_cycles: int = 2_000_000) -> Tuple[System, object]:
+    """Run one trace on a single-core system; returns (system, stats)."""
+    if image is None:
+        image = MemoryImage()
+    if cfg is None:
+        cfg = tiny_config()
+    system = System(cfg, [(trace, image)])
+    stats = system.run(max_cycles=max_cycles)
+    return system, stats

@@ -1,0 +1,114 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.memsys.cache import SetAssocCache, line_addr
+
+
+def make_cache(sets=4, ways=2):
+    return SetAssocCache(size_bytes=sets * ways * 64, ways=ways)
+
+
+def test_line_addr_alignment():
+    assert line_addr(0) == 0
+    assert line_addr(63) == 0
+    assert line_addr(64) == 64
+    assert line_addr(0x12345) == 0x12340
+
+
+def test_miss_then_fill_then_hit():
+    cache = make_cache()
+    assert cache.access(0x100) is None
+    cache.fill(0x100)
+    assert cache.access(0x100) is not None
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_same_line_offsets_hit():
+    cache = make_cache()
+    cache.fill(0x1000)
+    assert cache.access(0x1008) is not None
+    assert cache.access(0x103F) is not None
+
+
+def test_lru_eviction_order():
+    cache = make_cache(sets=1, ways=2)
+    cache.fill(0 * 64)
+    cache.fill(1 * 64)
+    # Touch line 0 so line 1 becomes LRU.
+    cache.access(0)
+    victim = cache.fill(2 * 64)
+    assert victim is not None
+    assert cache.addr_of(victim) == 64
+    assert cache.probe(0) is not None
+    assert cache.probe(64) is None
+
+
+def test_fill_existing_line_is_not_eviction():
+    cache = make_cache(sets=1, ways=2)
+    cache.fill(0)
+    assert cache.fill(0) is None
+    assert cache.stats.evictions == 0
+
+
+def test_dirty_victim_counts_writeback():
+    cache = make_cache(sets=1, ways=1)
+    cache.fill(0, dirty=True)
+    victim = cache.fill(64)
+    assert victim.dirty
+    assert cache.stats.writebacks == 1
+
+
+def test_invalidate_removes_line():
+    cache = make_cache()
+    cache.fill(0x200)
+    state = cache.invalidate(0x200)
+    assert state is not None
+    assert cache.probe(0x200) is None
+    assert cache.invalidate(0x200) is None
+
+
+def test_write_access_sets_dirty():
+    cache = make_cache()
+    cache.fill(0x80)
+    state = cache.access(0x80, write=True)
+    assert state.dirty
+
+
+def test_prefetched_line_marks_useful_on_hit():
+    cache = make_cache()
+    cache.fill(0x40, prefetched=True)
+    state = cache.probe(0x40)
+    assert state.prefetched and not state.prefetch_useful
+    cache.access(0x40)
+    assert state.prefetch_useful
+
+
+def test_occupancy_and_resident_lines():
+    cache = make_cache(sets=2, ways=2)
+    for line in (0, 64, 128):
+        cache.fill(line)
+    assert cache.occupancy() == 3
+    assert sorted(cache.resident_lines()) == [0, 64, 128]
+
+
+def test_different_sets_do_not_conflict():
+    cache = make_cache(sets=2, ways=1)
+    cache.fill(0)      # set 0
+    cache.fill(64)     # set 1
+    assert cache.probe(0) is not None
+    assert cache.probe(64) is not None
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ValueError):
+        SetAssocCache(size_bytes=1000, ways=3)
+
+
+def test_addr_of_requires_victim():
+    cache = make_cache()
+    cache.fill(0)
+    state = cache.probe(0)
+    with pytest.raises(ValueError):
+        cache.addr_of(state)

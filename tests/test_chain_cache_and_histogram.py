@@ -1,0 +1,93 @@
+"""Tests for the chain-cache extension and the latency histogram."""
+
+from repro.sim.stats import LatencyAccumulator
+from repro.uarch.uop import UopType
+from repro.workloads.memory_image import MemoryImage
+
+from .helpers import TraceWriter, run_trace, tiny_config
+
+
+def chase(iterations=40):
+    image = MemoryImage()
+    nodes = [0x100000 + i * 0x140 for i in range(iterations + 2)]
+    for a, b in zip(nodes, nodes[1:]):
+        image.write(a, b)
+    tw = TraceWriter()
+    tw.add(UopType.MOV, dest=1, imm=nodes[0])
+    for _ in range(iterations):
+        tw.add(UopType.LOAD, dest=2, src1=1, pc=0x10)
+        tw.add(UopType.ADD, dest=3, src1=2, imm=0x80, pc=0x11)
+        tw.add(UopType.LOAD, dest=4, src1=3, pc=0x12)
+        tw.add(UopType.MOV, dest=1, src1=2, pc=0x13)
+    return tw.trace(), image
+
+
+def test_chain_cache_hits_on_repeat_pcs():
+    trace, image = chase()
+    cfg = tiny_config(emc=True, chain_cache_entries=16)
+    _sys, stats = run_trace(trace, image=image, cfg=cfg)
+    assert stats.emc.chains_generated > 2
+    # Every chain after the first roots at the same PC: cache hits.
+    assert stats.emc.chains_from_cache >= stats.emc.chains_generated - 2
+
+
+def test_chain_cache_disabled_by_default():
+    trace, image = chase()
+    _sys, stats = run_trace(trace, image=image, cfg=tiny_config(emc=True))
+    assert stats.emc.chains_from_cache == 0
+
+
+def test_chain_cache_reduces_generation_cycles():
+    trace, image = chase()
+    _s1, off = run_trace(trace, image=image.copy(), cfg=tiny_config(emc=True))
+    _s2, on = run_trace(trace, image=image.copy(),
+                        cfg=tiny_config(emc=True, chain_cache_entries=16))
+    if on.emc.chains_generated == off.emc.chains_generated:
+        assert on.emc.chain_gen_cycles <= off.emc.chain_gen_cycles
+
+
+def test_chain_cache_functionally_safe():
+    trace, image = chase()
+    s_off, _ = run_trace(trace, image=image.copy(), cfg=tiny_config(emc=True))
+    s_on, _ = run_trace(trace, image=image.copy(),
+                        cfg=tiny_config(emc=True, chain_cache_entries=4))
+    assert s_on.cores[0].regfile == s_off.cores[0].regfile
+
+
+def test_chain_cache_lru_capacity():
+    from repro.core.ooo_core import OutOfOrderCore  # noqa: F401 (import ok)
+    trace, image = chase()
+    cfg = tiny_config(emc=True, chain_cache_entries=1)
+    system, _ = run_trace(trace, image=image, cfg=cfg)
+    assert len(system.cores[0]._chain_cache) <= 1
+
+
+# -- histogram ---------------------------------------------------------------
+
+def test_histogram_buckets_log2():
+    acc = LatencyAccumulator()
+    for total in (1, 2, 3, 4, 100, 100, 1000):
+        acc.add(total, dram=0)
+    hist = dict(((lo, hi), n) for lo, hi, n in acc.histogram())
+    assert hist[(1, 1)] == 1
+    assert hist[(2, 3)] == 2
+    assert hist[(4, 7)] == 1
+    assert hist[(64, 127)] == 2
+    assert hist[(512, 1023)] == 1
+
+
+def test_histogram_percentile_monotone():
+    acc = LatencyAccumulator()
+    for total in range(1, 200):
+        acc.add(total, dram=0)
+    p50 = acc.percentile(0.5)
+    p99 = acc.percentile(0.99)
+    assert p50 <= p99
+    assert p50 >= 64          # true median 100 -> bucket [64,127]
+    assert acc.percentile(1.0) >= 128
+
+
+def test_histogram_empty():
+    acc = LatencyAccumulator()
+    assert acc.histogram() == []
+    assert acc.percentile(0.5) == 0

@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+def test_parser_builds():
+    parser = build_parser()
+    args = parser.parse_args(["run", "--mix", "H4", "-n", "500"])
+    assert args.mix == "H4"
+    assert args.n_instrs == 500
+    assert not args.emc
+
+
+def test_run_mix(capsys):
+    rc = main(["run", "--mix", "H4", "-n", "500"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "performance" in out
+    assert "mcf" in out
+
+
+def test_run_with_emc_reports_chains(capsys):
+    rc = main(["run", "--mix", "H3", "-n", "1200", "--emc"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "EMC:" in out
+
+
+def test_run_named_benchmarks(capsys):
+    rc = main(["run", "--benchmarks", "mcf", "lbm", "milc", "bwaves",
+               "-n", "500"])
+    assert rc == 0
+    assert "lbm" in capsys.readouterr().out
+
+
+def test_run_wrong_benchmark_count_fails(capsys):
+    rc = main(["run", "--benchmarks", "mcf", "-n", "500"])
+    assert rc == 2
+    assert "need 4" in capsys.readouterr().err
+
+
+def test_run_without_workload_fails(capsys):
+    rc = main(["run", "-n", "500"])
+    assert rc == 2
+
+
+def test_homog(capsys):
+    rc = main(["homog", "--benchmark", "omnetpp", "-n", "500"])
+    assert rc == 0
+    assert "omnetpp" in capsys.readouterr().out
+
+
+def test_compare(capsys):
+    rc = main(["compare", "--mix", "H4", "-n", "500",
+               "--prefetchers", "none"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "normalized" in out
+    assert "none+emc" in out
+
+
+def test_profiles(capsys):
+    rc = main(["profiles"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "mcf" in out and "H10" in out
+    assert "high" in out and "low" in out
+
+
+def test_figure_unknown(capsys):
+    rc = main(["figure", "not-a-figure"])
+    assert rc == 2
+
+
+def test_figures_map_to_existing_files():
+    import pathlib
+    bench_dir = pathlib.Path(__file__).parent.parent / "benchmarks"
+    for path in FIGURES.values():
+        assert (bench_dir / path).exists(), path
+
+
+def test_verbose_run(capsys):
+    rc = main(["run", "--mix", "H4", "-n", "500", "-v"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "total cycles" in out
+    assert "energy" in out
+
+
+def test_sweep_subcommand(capsys):
+    rc = main(["sweep", "--mix", "H4", "-n", "400", "--emc",
+               "--set", "emc.max_load_depth=1,2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "best:" in out
+    assert "emc.max_load_depth" in out
+
+
+def test_sweep_bad_spec(capsys):
+    rc = main(["sweep", "--mix", "H4", "-n", "400",
+               "--set", "malformed-no-equals"])
+    assert rc == 2
+
+
+def test_sweep_value_parsing():
+    from repro.cli import _parse_value
+    assert _parse_value("true") is True
+    assert _parse_value("False") is False
+    assert _parse_value("3") == 3
+    assert _parse_value("0.5") == 0.5
+    assert _parse_value("cancel") == "cancel"

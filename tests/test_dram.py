@@ -1,0 +1,145 @@
+"""Unit tests for the DDR3 model and the batch scheduler."""
+
+import pytest
+
+from repro.memsys.dram import DRAMChannel, DRAMRequest, DRAMStats, DRAMSystem
+from repro.sim.events import EventWheel
+from repro.uarch.params import DRAMConfig
+
+
+def make_channel(**overrides):
+    cfg = DRAMConfig(**overrides)
+    wheel = EventWheel()
+    stats = DRAMStats()
+    return DRAMChannel(0, cfg, wheel, stats), wheel, stats, cfg
+
+
+def run_one(channel, wheel, line, source=0, is_write=False):
+    done = []
+    req = DRAMRequest(line=line, source=source, is_write=is_write,
+                      callback=lambda r: done.append(r))
+    assert channel.enqueue(req)
+    wheel.run()
+    assert len(done) == 1
+    return done[0]
+
+
+def test_closed_row_access_latency():
+    channel, wheel, stats, cfg = make_channel(channels=1)
+    req = run_one(channel, wheel, line=0)
+    assert req.completed_at == cfg.t_rcd + cfg.t_cas + cfg.data_bus_cycles
+    assert stats.row_closed == 1
+
+
+def test_row_hit_is_faster():
+    channel, wheel, stats, cfg = make_channel(channels=1)
+    run_one(channel, wheel, line=0)
+    start = wheel.now
+    req = run_one(channel, wheel, line=64)   # same row (8 KB)
+    assert req.row_hit
+    assert req.completed_at - start == cfg.t_cas + cfg.data_bus_cycles
+    assert stats.row_hits == 1
+
+
+def test_row_conflict_is_slowest():
+    channel, wheel, stats, cfg = make_channel(channels=1)
+    run_one(channel, wheel, line=0)
+    lines_per_bank_span = cfg.row_bytes * cfg.banks_per_rank
+    start = wheel.now
+    # Same bank, different row: one full bank stride away.
+    req = run_one(channel, wheel, line=lines_per_bank_span)
+    assert not req.row_hit
+    assert (req.completed_at - start
+            == cfg.t_rp + cfg.t_rcd + cfg.t_cas + cfg.data_bus_cycles)
+    assert stats.row_conflicts == 1
+
+
+def test_row_mapping_keeps_page_in_one_row():
+    channel, _wheel, _stats, cfg = make_channel(channels=1)
+    # All lines of one 4 KB page must land in the same bank and row.
+    banks = {channel.bank_of(0x1000 + i * 64) for i in range(64)}
+    rows = {channel.row_of(0x1000 + i * 64) for i in range(64)}
+    assert len(banks) == 1
+    assert len(rows) == 1
+
+
+def test_banks_serve_in_parallel():
+    channel, wheel, stats, cfg = make_channel(channels=1)
+    done = []
+    # Two requests to different banks: the second should not wait for the
+    # first bank, only for the shared data bus.
+    for bank in range(2):
+        line = bank * cfg.row_bytes
+        req = DRAMRequest(line=line, source=0, is_write=False,
+                          callback=lambda r: done.append(r))
+        channel.enqueue(req)
+    wheel.run()
+    assert len(done) == 2
+    serial = 2 * (cfg.t_rcd + cfg.t_cas + cfg.data_bus_cycles)
+    assert max(r.completed_at for r in done) < serial
+
+
+def test_queue_capacity():
+    channel, wheel, _stats, cfg = make_channel(channels=1)
+    for i in range(cfg.queue_entries):
+        assert channel.enqueue(DRAMRequest(line=i * 64 * 64, source=0,
+                                           is_write=False,
+                                           callback=lambda r: None))
+    assert not channel.enqueue(DRAMRequest(line=0, source=0, is_write=False,
+                                           callback=lambda r: None))
+
+
+def test_demand_prioritized_over_prefetch():
+    channel, wheel, _stats, cfg = make_channel(channels=1)
+    order = []
+    # Fill the bank with work, then enqueue a prefetch before a demand.
+    blocker = DRAMRequest(line=0, source=0, is_write=False,
+                          callback=lambda r: order.append("blocker"))
+    prefetch = DRAMRequest(line=cfg.row_bytes * cfg.banks_per_rank, source=0,
+                           is_write=False, is_prefetch=True,
+                           callback=lambda r: order.append("prefetch"))
+    demand = DRAMRequest(line=2 * cfg.row_bytes * cfg.banks_per_rank,
+                         source=1, is_write=False,
+                         callback=lambda r: order.append("demand"))
+    channel.enqueue(blocker)
+    channel.enqueue(prefetch)
+    channel.enqueue(demand)
+    wheel.run()
+    assert order.index("demand") < order.index("prefetch")
+
+
+def test_batching_caps_per_source():
+    channel, wheel, _stats, cfg = make_channel(channels=1)
+    # One source floods a bank; a second source's request must be served
+    # within the first batch rather than after the whole flood.
+    order = []
+    for i in range(cfg.batch_cap_per_source + 5):
+        channel.enqueue(DRAMRequest(
+            line=i * cfg.row_bytes * cfg.banks_per_rank * 8, source=0,
+            is_write=False, callback=lambda r, i=i: order.append(("a", i))))
+    channel.enqueue(DRAMRequest(line=64, source=1, is_write=False,
+                                callback=lambda r: order.append(("b", 0))))
+    wheel.run()
+    pos = order.index(("b", 0))
+    assert pos <= cfg.batch_cap_per_source + 2
+
+
+def test_dram_system_channel_routing():
+    cfg = DRAMConfig(channels=2)
+    wheel = EventWheel()
+    system = DRAMSystem(cfg, wheel)
+    assert DRAMSystem.channel_of(0, 2) == 0
+    assert DRAMSystem.channel_of(64, 2) == 1
+    done = []
+    req = DRAMRequest(line=64, source=0, is_write=False,
+                      callback=lambda r: done.append(r))
+    assert system.enqueue(req, total_channels=2)
+    wheel.run()
+    assert done
+
+
+def test_write_counted():
+    channel, wheel, stats, _cfg = make_channel(channels=1)
+    run_one(channel, wheel, line=0, is_write=True)
+    assert stats.writes == 1
+    assert stats.reads == 0

@@ -1,0 +1,129 @@
+"""Advanced DRAM scheduler tests: mapping geometry, bank parallelism under
+load, batching fairness, and prefetch starvation avoidance."""
+
+from repro.memsys.dram import DRAMChannel, DRAMRequest, DRAMStats, DRAMSystem
+from repro.sim.events import EventWheel
+from repro.uarch.params import DRAMConfig
+
+
+def make_channel(**overrides):
+    cfg = DRAMConfig(**overrides)
+    wheel = EventWheel()
+    stats = DRAMStats()
+    return DRAMChannel(0, cfg, wheel, stats), wheel, stats, cfg
+
+
+def test_mapping_distributes_rows_across_banks():
+    channel, _w, _s, cfg = make_channel(channels=1)
+    # Consecutive rows land on different banks (bank-interleaved rows).
+    banks = [channel.bank_of(row * cfg.row_bytes)
+             for row in range(cfg.banks_per_rank)]
+    assert len(set(banks)) == cfg.banks_per_rank
+
+
+def test_mapping_channel_local_lines():
+    """With 2 channels, a channel's local lines are every other global
+    line; an 8 KB row covers 16 KB of global address space."""
+    channel, _w, _s, cfg = make_channel(channels=2)
+    buffer0 = (channel.bank_of(0), channel.row_of(0))
+    # 16 KB of global addresses -> same channel-local row buffer.
+    assert (channel.bank_of(16 * 1024 - 64),
+            channel.row_of(16 * 1024 - 64)) == buffer0
+    # The next 16 KB block opens a different row buffer (next bank).
+    assert (channel.bank_of(16 * 1024),
+            channel.row_of(16 * 1024)) != buffer0
+
+
+def test_row_hits_dominate_sequential_sweep():
+    channel, wheel, stats, cfg = make_channel(channels=1)
+    for i in range(64):
+        channel.enqueue(DRAMRequest(line=i * 64, source=0, is_write=False,
+                                    callback=lambda r: None))
+    wheel.run()
+    assert stats.row_hit_rate > 0.7
+
+
+def test_random_accesses_conflict():
+    channel, wheel, stats, cfg = make_channel(channels=1)
+    import random
+    rng = random.Random(7)
+    for _ in range(64):
+        line = rng.randrange(0, 1 << 28, 64)
+        channel.enqueue(DRAMRequest(line=line, source=0, is_write=False,
+                                    callback=lambda r: None))
+    wheel.run()
+    assert stats.row_conflict_rate + stats.row_hit_rate <= 1.0
+    assert stats.row_hit_rate < 0.5
+
+
+def test_batching_prevents_starvation_between_sources():
+    """A flood from source 0 must not starve source 1's request beyond a
+    couple of batch epochs."""
+    channel, wheel, _s, cfg = make_channel(channels=1)
+    completions = {}
+    for i in range(40):
+        channel.enqueue(DRAMRequest(
+            line=i * cfg.row_bytes * cfg.banks_per_rank, source=0,
+            is_write=False,
+            callback=lambda r, i=i: completions.setdefault(("a", i),
+                                                           r.completed_at)))
+    channel.enqueue(DRAMRequest(
+        line=64, source=1, is_write=False,
+        callback=lambda r: completions.setdefault(("b", 0),
+                                                  r.completed_at)))
+    wheel.run()
+    b_done = completions[("b", 0)]
+    a_last = max(v for k, v in completions.items() if k[0] == "a")
+    assert b_done < a_last * 0.7
+
+
+def test_writes_and_reads_both_served():
+    channel, wheel, stats, _cfg = make_channel(channels=1)
+    for i in range(10):
+        channel.enqueue(DRAMRequest(line=i * 4096, source=0,
+                                    is_write=(i % 2 == 0),
+                                    callback=lambda r: None))
+    wheel.run()
+    assert stats.reads == 5
+    assert stats.writes == 5
+
+
+def test_queue_and_service_delay_accounted():
+    channel, wheel, stats, cfg = make_channel(channels=1)
+    # Same bank: second request queues behind the first.
+    for _ in range(2):
+        channel.enqueue(DRAMRequest(line=0, source=0, is_write=False,
+                                    callback=lambda r: None))
+    wheel.run()
+    assert stats.total_queue_delay > 0
+    assert stats.total_service_delay >= 2 * cfg.t_cas
+
+
+def test_dram_system_pending_counts():
+    cfg = DRAMConfig(channels=2)
+    wheel = EventWheel()
+    system = DRAMSystem(cfg, wheel)
+    for i in range(6):
+        system.enqueue(DRAMRequest(line=i * 64, source=0, is_write=False,
+                                   callback=lambda r: None),
+                       total_channels=2)
+    assert system.pending() >= 0     # some may issue immediately
+    wheel.run()
+    assert system.pending() == 0
+    assert system.stats.accesses == 6
+
+
+def test_partial_channel_ownership():
+    """A DRAMSystem owning channels [2, 3] of a 4-channel machine serves
+    only its own lines."""
+    cfg = DRAMConfig(channels=4)
+    wheel = EventWheel()
+    system = DRAMSystem(cfg, wheel, channel_ids=[2, 3])
+    assert system.owns(2 * 64, total_channels=4)
+    assert not system.owns(0, total_channels=4)
+    done = []
+    system.enqueue(DRAMRequest(line=3 * 64, source=0, is_write=False,
+                               callback=lambda r: done.append(r)),
+                   total_channels=4)
+    wheel.run()
+    assert done

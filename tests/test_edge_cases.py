@@ -1,0 +1,121 @@
+"""Edge-case tests across modules: tiny configs, degenerate workloads,
+boundary parameters."""
+
+import pytest
+
+from repro.sim.system import System
+from repro.uarch.params import (DRAMConfig, EMCConfig, PrefetchConfig,
+                                SystemConfig)
+from repro.uarch.uop import UopType
+from repro.workloads.memory_image import MemoryImage
+
+from .helpers import TraceWriter, run_trace, tiny_config
+
+
+def test_empty_ish_trace_single_uop():
+    tw = TraceWriter()
+    tw.add(UopType.NOP)
+    _system, stats = run_trace(tw.trace())
+    assert stats.cores[0].instructions == 1
+
+
+def test_trace_of_only_branches():
+    tw = TraceWriter()
+    for i in range(20):
+        tw.add(UopType.BRANCH, mispredicted=(i % 7 == 0))
+    _system, stats = run_trace(tw.trace())
+    assert stats.cores[0].instructions == 20
+    assert stats.cores[0].mispredicted_branches == 3
+
+
+def test_trace_of_only_stores():
+    tw = TraceWriter()
+    tw.add(UopType.MOV, dest=1, imm=0x100000)
+    for i in range(30):
+        tw.add(UopType.STORE, src1=1, imm=i * 64, src2=None)
+    system, stats = run_trace(tw.trace())
+    assert stats.cores[0].instructions == 31
+    assert system.images[0].read(0x100000) == 0   # stored imm default 0
+
+
+def test_single_channel_single_bank():
+    cfg = tiny_config()
+    cfg.dram = DRAMConfig(channels=1, banks_per_rank=1, queue_entries=16)
+    tw = TraceWriter()
+    tw.add(UopType.MOV, dest=1, imm=0x100000)
+    for i in range(10):
+        tw.add(UopType.LOAD, dest=2, src1=1, imm=i * 0x100000)
+    _system, stats = run_trace(tw.trace(), cfg=cfg)
+    assert stats.cores[0].instructions == 11
+
+
+def test_two_core_minimum_ring():
+    cfg = SystemConfig(num_cores=2, emc=EMCConfig(enabled=False),
+                       prefetch=PrefetchConfig(kind="none"))
+    tw = TraceWriter()
+    tw.add(UopType.MOV, dest=1, imm=0x100000)
+    tw.add(UopType.LOAD, dest=2, src1=1)
+    workload = [(tw.trace(), MemoryImage()), (tw.trace(), MemoryImage())]
+    system = System(cfg, workload)
+    stats = system.run()
+    assert all(c.finished_at for c in stats.cores)
+
+
+def test_load_to_address_zero():
+    tw = TraceWriter()
+    tw.add(UopType.LOAD, dest=1, imm=0)    # absolute address 0
+    _system, stats = run_trace(tw.trace())
+    assert stats.cores[0].instructions == 1
+
+
+def test_max_chain_one_uop():
+    cfg = tiny_config(emc=True, max_chain_uops=1, uop_buffer_entries=1)
+    image = MemoryImage()
+    nodes = [0x100000 + i * 0x140 for i in range(32)]
+    for a, b in zip(nodes, nodes[1:]):
+        image.write(a, b)
+    tw = TraceWriter()
+    tw.add(UopType.MOV, dest=1, imm=nodes[0])
+    for _ in range(30):
+        tw.add(UopType.LOAD, dest=2, src1=1, pc=0x10)
+        tw.add(UopType.LOAD, dest=3, src1=2, imm=8, pc=0x11)
+        tw.add(UopType.MOV, dest=1, src1=2, pc=0x12)
+    _system, stats = run_trace(tw.trace(), image=image, cfg=cfg)
+    assert stats.cores[0].instructions == len(tw.uops)
+    if stats.emc.chains_generated:
+        assert stats.emc.avg_chain_uops <= 1.0
+
+
+def test_zero_latency_free_running_alu():
+    """A pure-ALU trace should retire at close to the machine width."""
+    tw = TraceWriter()
+    tw.add(UopType.MOV, dest=1, imm=1)
+    for i in range(400):
+        # Independent ops: each reads the long-ready r1.
+        tw.add(UopType.ADD, dest=2 + (i % 8), src1=1, imm=i)
+    _system, stats = run_trace(tw.trace())
+    ipc = stats.cores[0].instructions / stats.cores[0].finished_at
+    assert ipc > 2.0
+
+
+def test_serial_alu_chain_ipc_one():
+    """A fully serial ALU chain caps at IPC ~1 (1-cycle ALU)."""
+    tw = TraceWriter()
+    tw.add(UopType.MOV, dest=1, imm=1)
+    for i in range(300):
+        tw.add(UopType.ADD, dest=1, src1=1, imm=1)
+    system, stats = run_trace(tw.trace())
+    ipc = stats.cores[0].instructions / stats.cores[0].finished_at
+    assert 0.7 < ipc <= 1.2
+    assert system.cores[0].regfile[1] == 301
+
+
+def test_prefetcher_with_tiny_llc():
+    cfg = tiny_config(prefetcher="stream")
+    cfg.llc.slice_bytes = 64 * 1024
+    tw = TraceWriter()
+    tw.add(UopType.MOV, dest=1, imm=0x100000)
+    for i in range(120):
+        tw.add(UopType.LOAD, dest=2, src1=1, imm=i * 64)
+    _system, stats = run_trace(tw.trace(), cfg=cfg)
+    assert stats.cores[0].instructions == 121

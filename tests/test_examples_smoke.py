@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs end-to-end at a tiny scale."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 5      # quickstart + >= 4 scenario scripts
+
+
+def test_quickstart_smoke():
+    out = run_example("quickstart.py", "800")
+    assert "EMC activity" in out
+    assert "speedup" in out
+
+
+def test_prefetcher_vs_emc_smoke():
+    out = run_example("prefetcher_vs_emc.py", "600")
+    assert "streaming mix" in out
+    assert "pointer-chasing mix" in out
+    assert "markov+stream" in out
+
+
+def test_database_workloads_smoke():
+    out = run_example("database_workloads.py", "800")
+    assert "B-tree" in out
+    assert "hash-join" in out
+    assert "dependent-miss fraction" in out
+
+
+@pytest.mark.slow
+def test_design_space_smoke():
+    out = run_example("design_space_exploration.py", "800")
+    assert "issue contexts" in out
+    assert "TLB-miss policy" in out
+
+
+@pytest.mark.slow
+def test_walkthrough_smoke():
+    out = run_example("paper_walkthrough.py", "0.2")
+    assert "Fig 1" in out or "on-chip delay dominates" in out
+    assert "EMC at work" in out

@@ -1,0 +1,107 @@
+"""Tests for the extension kernels (B-tree search, hash join)."""
+
+from repro.uarch.isa import effective_address, execute_alu
+from repro.uarch.uop import UopType
+from repro.workloads.extra_kernels import (BTreeParams, HashJoinParams,
+                                           btree_search, hash_join)
+from repro.workloads.generators import TraceBuilder
+from repro.workloads.memory_image import MemoryImage
+
+from .helpers import run_trace, tiny_config
+
+
+def build(kernel, params, n=600, seed=3):
+    image = MemoryImage()
+    builder = TraceBuilder(image, seed=seed)
+    kernel(builder, n, params)
+    return builder.finish(kernel.__name__), image
+
+
+def replay_regs(trace, image):
+    regs = {}
+
+    def val(r):
+        return regs.get(r, 0) if r is not None else 0
+
+    for uop in trace.uops:
+        if uop.op is UopType.LOAD:
+            res = image.read(effective_address(uop, val(uop.src1)))
+        elif uop.op is UopType.STORE:
+            res = val(uop.src2) if uop.src2 is not None else uop.imm
+            image.write(effective_address(uop, val(uop.src1)), res)
+        else:
+            res = execute_alu(uop, val(uop.src1), val(uop.src2))
+        if uop.dest is not None:
+            regs[uop.dest] = res
+    return regs
+
+
+def test_btree_geometry():
+    params = BTreeParams(fanout=4, levels=3)
+    assert params.num_nodes == 1 + 4 + 16
+
+
+def test_btree_trace_replays_consistently():
+    trace, image = build(btree_search, BTreeParams(fanout=8, levels=3))
+    r1 = replay_regs(trace, image.copy())
+    r2 = replay_regs(trace, image.copy())
+    assert r1 == r2
+
+
+def test_btree_descends_through_real_pointers():
+    params = BTreeParams(fanout=8, levels=3)
+    trace, image = build(btree_search, params)
+    # Every loaded child pointer must be a node address inside the tree.
+    lo = params.region_base
+    hi = lo + params.num_nodes * params.node_bytes
+    regs = {}
+    for uop in trace.uops:
+        if uop.op is UopType.LOAD and uop.imm == 0:
+            addr = (regs.get(uop.src1, 0) + uop.imm) & ((1 << 64) - 1)
+            value = image.read(addr)
+            assert lo <= value < hi
+        if uop.op is UopType.LOAD:
+            regs[uop.dest] = image.read(
+                effective_address(uop, regs.get(uop.src1, 0)))
+        elif uop.dest is not None:
+            regs[uop.dest] = execute_alu(uop, regs.get(uop.src1, 0),
+                                         regs.get(uop.src2, 0))
+
+
+def test_btree_produces_dependent_misses():
+    trace, image = build(btree_search,
+                         BTreeParams(fanout=16, levels=4), n=1500)
+    _sys, stats = run_trace(trace, image=image)
+    assert stats.cores[0].llc_misses > 10
+    assert stats.dependent_miss_fraction() > 0.3
+
+
+def test_btree_emc_functionally_safe():
+    trace, image = build(btree_search, BTreeParams(fanout=16, levels=4),
+                         n=1200)
+    s_off, _ = run_trace(trace, image=image.copy(), cfg=tiny_config())
+    s_on, stats = run_trace(trace, image=image.copy(),
+                            cfg=tiny_config(emc=True))
+    assert s_on.cores[0].regfile == s_off.cores[0].regfile
+    assert stats.emc.chains_generated > 0
+
+
+def test_hash_join_trace_replays_consistently():
+    trace, image = build(hash_join, HashJoinParams(buckets=1 << 10))
+    r1 = replay_regs(trace, image.copy())
+    r2 = replay_regs(trace, image.copy())
+    assert r1 == r2
+
+
+def test_hash_join_produces_dependent_misses():
+    trace, image = build(hash_join, HashJoinParams(buckets=1 << 14), n=1500)
+    _sys, stats = run_trace(trace, image=image)
+    assert stats.dependent_miss_fraction() > 0.2
+
+
+def test_hash_join_emc_functionally_safe():
+    trace, image = build(hash_join, HashJoinParams(buckets=1 << 13), n=1200)
+    s_off, _ = run_trace(trace, image=image.copy(), cfg=tiny_config())
+    s_on, _stats = run_trace(trace, image=image.copy(),
+                             cfg=tiny_config(emc=True))
+    assert s_on.cores[0].regfile == s_off.cores[0].regfile

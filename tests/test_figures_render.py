@@ -1,0 +1,55 @@
+"""Tests for the ASCII figure renderers."""
+
+from repro.analysis.figures import (bar_chart, histogram_chart,
+                                    stacked_bar_chart)
+
+
+def test_bar_chart_basic():
+    out = bar_chart([("mcf", 3.0), ("lbm", 1.0)], title="t", unit="x")
+    lines = out.splitlines()
+    assert lines[0] == "t"
+    assert "mcf" in lines[1] and "lbm" in lines[2]
+    # mcf's bar is longer than lbm's.
+    assert lines[1].count("█") > lines[2].count("█")
+
+
+def test_bar_chart_zero_value_has_no_bar():
+    out = bar_chart([("a", 0.0), ("b", 2.0)])
+    a_line = [l for l in out.splitlines() if " a " in l or l.strip().startswith("a")][0]
+    assert "█" not in a_line
+
+
+def test_bar_chart_baseline_directions():
+    out = bar_chart([("up", 1.2), ("down", 0.8), ("flat", 1.0)],
+                    baseline=1.0)
+    up_line = next(l for l in out.splitlines() if "up" in l)
+    down_line = next(l for l in out.splitlines() if "down" in l)
+    assert "+" in up_line and "-" not in up_line.split("|")[1]
+    assert "-" in down_line
+
+
+def test_bar_chart_empty():
+    assert "(no data)" in bar_chart([], title="x")
+
+
+def test_stacked_bar_chart():
+    rows = [("H1", {"dram": 100.0, "onchip": 300.0}),
+            ("H2", {"dram": 50.0, "onchip": 50.0})]
+    out = stacked_bar_chart(rows, title="latency")
+    lines = out.splitlines()
+    assert lines[0] == "latency"
+    assert "dram" in lines[1] and "onchip" in lines[1]   # legend
+    h1 = next(l for l in lines if "H1" in l)
+    h2 = next(l for l in lines if "H2" in l)
+    assert len(h1.strip()) > len(h2.strip())
+
+
+def test_histogram_chart():
+    out = histogram_chart([(64, 127, 10), (128, 255, 40)], title="lat")
+    lines = out.splitlines()
+    assert "lat" == lines[0]
+    assert lines[2].count("█") > lines[1].count("█")
+
+
+def test_histogram_empty():
+    assert "(no samples)" in histogram_chart([])

@@ -1,0 +1,62 @@
+"""Tests for static trace inspection."""
+
+from repro.cli import main
+from repro.workloads.inspect import format_report, inspect_trace
+from repro.workloads.spec import build_trace
+
+
+def test_inspect_mcf_shape():
+    trace, image = build_trace("mcf", 1000, seed=1)
+    report = inspect_trace(trace, image)
+    assert report.uops == len(trace)
+    assert report.loads > 100
+    assert report.branches > 50
+    # Pointer chasing: most loads derive from earlier loads.
+    assert report.dependent_load_fraction > 0.5
+    assert report.max_load_depth > 5
+    # 1000 instructions touch ~100 distinct lines (a few KiB).
+    assert report.footprint_bytes > 4_000
+
+
+def test_inspect_stream_shape():
+    trace, image = build_trace("libquantum", 1000, seed=1)
+    report = inspect_trace(trace, image)
+    # Streams never derive addresses from loaded data.
+    assert report.address_dependent_loads == 0
+    assert report.max_load_depth <= 1
+
+
+def test_inspect_gather_shape():
+    trace, image = build_trace("soplex", 1000, seed=1)
+    report = inspect_trace(trace, image)
+    # Each gather's data load depends on its index load: depth exactly 2.
+    assert report.max_load_depth == 2
+    assert 0.1 < report.dependent_load_fraction < 0.9
+
+
+def test_inspect_counts_spills():
+    trace, image = build_trace("mcf", 2000, seed=1)
+    report = inspect_trace(trace, image)
+    assert report.spill_fills > 0
+    assert report.op_mix["load"] == report.loads
+
+
+def test_format_report_readable():
+    trace, image = build_trace("omnetpp", 500, seed=1)
+    text = format_report(inspect_trace(trace, image))
+    assert "omnetpp" in text
+    assert "footprint" in text
+    assert "op mix" in text
+
+
+def test_cli_trace_subcommand(capsys, tmp_path):
+    out_path = tmp_path / "t.trace.gz"
+    rc = main(["trace", "--benchmark", "mcf", "-n", "500",
+               "--save", str(out_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "address-dependent loads" in out
+    assert out_path.exists()
+    from repro.workloads.serialize import load_workload
+    trace, _image = load_workload(out_path)
+    assert trace.name == "mcf"

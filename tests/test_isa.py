@@ -1,0 +1,114 @@
+"""Unit + property tests for the uop ISA functional semantics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+import pytest
+
+from repro.uarch.isa import effective_address, execute_alu
+from repro.uarch.uop import (EMC_ALLOWED_TYPES, MASK64, MicroOp, UopType)
+
+
+def uop(op, dest=0, src1=None, src2=None, imm=0):
+    return MicroOp(seq=0, op=op, dest=dest, src1=src1, src2=src2, imm=imm)
+
+
+def test_add_register_register():
+    assert execute_alu(uop(UopType.ADD, src1=1, src2=2), 5, 7) == 12
+
+
+def test_add_register_immediate():
+    assert execute_alu(uop(UopType.ADD, src1=1, imm=0x18), 0x100, 0) == 0x118
+
+
+def test_sub_wraps_at_zero():
+    assert execute_alu(uop(UopType.SUB, src1=1, imm=1), 0, 0) == MASK64
+
+
+def test_mov_register():
+    assert execute_alu(uop(UopType.MOV, src1=1), 42, 0) == 42
+
+
+def test_mov_immediate():
+    assert execute_alu(uop(UopType.MOV, imm=0xDEAD), 0, 0) == 0xDEAD
+
+
+def test_logical_ops():
+    assert execute_alu(uop(UopType.AND, src1=1, imm=0xF0), 0xFF, 0) == 0xF0
+    assert execute_alu(uop(UopType.OR, src1=1, imm=0x0F), 0xF0, 0) == 0xFF
+    assert execute_alu(uop(UopType.XOR, src1=1, src2=2), 0xFF, 0x0F) == 0xF0
+    assert execute_alu(uop(UopType.NOT, src1=1), 0, 0) == MASK64
+
+
+def test_shifts():
+    assert execute_alu(uop(UopType.SHL, src1=1, imm=4), 1, 0) == 16
+    assert execute_alu(uop(UopType.SHR, src1=1, imm=4), 16, 0) == 1
+    # Shift amounts are masked to 6 bits as on x86-64.
+    assert execute_alu(uop(UopType.SHL, src1=1, imm=64), 1, 0) == 1
+
+
+def test_sext():
+    assert execute_alu(uop(UopType.SEXT, src1=1), 0x80000000, 0) \
+        == 0xFFFFFFFF80000000
+    assert execute_alu(uop(UopType.SEXT, src1=1), 0x7FFFFFFF, 0) == 0x7FFFFFFF
+
+
+def test_effective_address():
+    load = uop(UopType.LOAD, src1=1, imm=0x10)
+    assert effective_address(load, 0x1000) == 0x1010
+    absolute = uop(UopType.LOAD, imm=0x2000)
+    absolute = MicroOp(seq=0, op=UopType.LOAD, dest=0, imm=0x2000)
+    assert effective_address(absolute, 12345) == 0x2000
+
+
+def test_effective_address_rejects_alu():
+    with pytest.raises(ValueError):
+        effective_address(uop(UopType.ADD, src1=1), 0)
+
+
+def test_execute_alu_rejects_load():
+    with pytest.raises(ValueError):
+        execute_alu(uop(UopType.LOAD, src1=1), 0, 0)
+
+
+def test_emc_allowed_set_matches_table1():
+    # Table 1: integer add/subtract/move/load/store + logical ops only.
+    assert UopType.ADD in EMC_ALLOWED_TYPES
+    assert UopType.LOAD in EMC_ALLOWED_TYPES
+    assert UopType.STORE in EMC_ALLOWED_TYPES
+    assert UopType.FP not in EMC_ALLOWED_TYPES
+    assert UopType.VEC not in EMC_ALLOWED_TYPES
+    assert UopType.BRANCH not in EMC_ALLOWED_TYPES
+
+
+# -- property-based invariants ------------------------------------------
+
+values = st.integers(min_value=0, max_value=MASK64)
+
+
+@given(a=values, b=values)
+def test_results_always_fit_64_bits(a, b):
+    for op in (UopType.ADD, UopType.SUB, UopType.AND, UopType.OR,
+               UopType.XOR, UopType.SHL, UopType.SHR, UopType.SEXT,
+               UopType.NOT):
+        result = execute_alu(uop(op, src1=1, src2=2), a, b)
+        assert 0 <= result <= MASK64
+
+
+@given(a=values, b=values)
+def test_xor_self_inverse(a, b):
+    u = uop(UopType.XOR, src1=1, src2=2)
+    once = execute_alu(u, a, b)
+    assert execute_alu(u, once, b) == a
+
+
+@given(a=values)
+def test_add_sub_roundtrip(a):
+    added = execute_alu(uop(UopType.ADD, src1=1, imm=0x40), a, 0)
+    back = execute_alu(uop(UopType.SUB, src1=1, imm=0x40), added, 0)
+    assert back == a
+
+
+@given(a=values, base=values)
+def test_effective_address_wraps(a, base):
+    load = uop(UopType.LOAD, src1=1, imm=a & 0xFFFF)
+    assert 0 <= effective_address(load, base) <= MASK64

@@ -1,0 +1,107 @@
+"""Unit tests for the distributed LLC: slice routing, inclusive-directory
+EMC bits, back-invalidation hooks, and writeback signalling."""
+
+from repro.memsys.llc import LLC
+from repro.uarch.params import LLCConfig
+
+
+def make_llc(slices=4, **overrides):
+    return LLC(slices, LLCConfig(**overrides))
+
+
+def test_slice_routing_is_line_interleaved():
+    llc = make_llc(slices=4)
+    assert llc.slice_stop(0 * 64) == 0
+    assert llc.slice_stop(1 * 64) == 1
+    assert llc.slice_stop(5 * 64) == 1
+    assert llc.slice_of(2 * 64).slice_id == 2
+
+
+def test_fill_then_access_hits_once_per_slice():
+    llc = make_llc()
+    llc.fill(0x1000)
+    assert llc.access(0x1000) is not None
+    assert llc.slice_of(0x1000).stats.demand_hits == 1
+    assert llc.access(0x2040) is None
+    assert llc.slice_of(0x2040).stats.demand_misses == 1
+
+
+def test_emc_bit_set_and_cleared_on_write():
+    llc = make_llc()
+    invalidated = []
+    llc.emc_invalidate_hook = invalidated.append
+    llc.fill(0x3000, emc_bit=True)
+    assert llc.probe(0x3000).emc_bit
+    # A write to an EMC-held line must invalidate the EMC copy.
+    llc.access(0x3000, write=True)
+    assert invalidated == [0x3000]
+    assert not llc.probe(0x3000).emc_bit
+
+
+def test_emc_bit_eviction_invalidates():
+    cfg = LLCConfig(slice_bytes=4 * 64 * 2, ways=2)   # tiny: 4 sets, 2 ways
+    llc = LLC(1, cfg)
+    invalidated = []
+    llc.emc_invalidate_hook = invalidated.append
+    llc.fill(0, emc_bit=True)
+    sets = llc.slices[0].cache.num_sets
+    # Two more fills into set 0 evict the EMC-held line.
+    llc.fill(sets * 64)
+    llc.fill(2 * sets * 64)
+    assert 0 in invalidated
+
+
+def test_dirty_eviction_returns_victim_address():
+    cfg = LLCConfig(slice_bytes=4 * 64 * 1, ways=1)
+    llc = LLC(1, cfg)
+    llc.fill(0, dirty=True)
+    sets = llc.slices[0].cache.num_sets
+    victim = llc.fill(sets * 64)
+    assert victim == 0
+    assert llc.slices[0].stats.writebacks == 1
+
+
+def test_clean_eviction_returns_none():
+    cfg = LLCConfig(slice_bytes=4 * 64 * 1, ways=1)
+    llc = LLC(1, cfg)
+    llc.fill(0, dirty=False)
+    sets = llc.slices[0].cache.num_sets
+    assert llc.fill(sets * 64) is None
+
+
+def test_mark_emc_on_resident_line():
+    llc = make_llc()
+    llc.fill(0x4000)
+    llc.mark_emc(0x4000)
+    assert llc.probe(0x4000).emc_bit
+    llc.mark_emc(0x9999999)   # absent: no crash
+
+
+def test_emc_access_stats():
+    llc = make_llc()
+    llc.fill(0x5000)
+    llc.access(0x5000, emc=True)
+    sl = llc.slice_of(0x5000)
+    assert sl.stats.emc_accesses == 1
+    assert sl.stats.emc_hits == 1
+    llc.access(0x6040, emc=True)
+    assert llc.slice_of(0x6040).stats.emc_accesses == 1
+    assert llc.slice_of(0x6040).stats.emc_hits == 0
+
+
+def test_prefetched_hit_counted():
+    llc = make_llc()
+    llc.fill(0x7000, prefetched=True)
+    llc.access(0x7000)
+    assert llc.slice_of(0x7000).stats.prefetch_hits == 1
+
+
+def test_aggregate_counters():
+    llc = make_llc()
+    for i in range(8):
+        llc.access(i * 64)          # 8 misses across slices
+    for i in range(8):
+        llc.fill(i * 64)
+        llc.access(i * 64)          # 8 hits
+    assert llc.total_demand_misses() == 8
+    assert llc.total_demand_hits() == 8

@@ -1,0 +1,86 @@
+"""Unit + property tests for the synthetic memory image."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.uarch.uop import MASK64
+from repro.workloads.memory_image import MemoryImage
+
+addrs = st.integers(min_value=0, max_value=MASK64)
+words = st.integers(min_value=0, max_value=MASK64)
+
+
+def test_read_after_write():
+    image = MemoryImage()
+    image.write(0x1000, 42)
+    assert image.read(0x1000) == 42
+
+
+def test_word_granularity():
+    image = MemoryImage()
+    image.write(0x1000, 42)
+    # Any address within the same 8-byte word reads the same value.
+    assert image.read(0x1003) == 42
+    assert image.read(0x1007) == 42
+
+
+def test_unwritten_reads_are_deterministic():
+    a, b = MemoryImage(), MemoryImage()
+    assert a.read(0xDEADBEEF) == b.read(0xDEADBEEF)
+    assert a.read(0xDEADBEEF) == a.read(0xDEADBEEF)
+
+
+def test_unwritten_reads_spread():
+    image = MemoryImage()
+    values = {image.read(i * 8) for i in range(64)}
+    assert len(values) > 32   # hash-quality sanity check
+
+
+def test_contains_and_len():
+    image = MemoryImage()
+    assert 0x1000 not in image
+    image.write(0x1000, 1)
+    assert 0x1000 in image
+    assert 0x1004 in image       # same word
+    assert len(image) == 1
+
+
+def test_copy_is_independent():
+    image = MemoryImage()
+    image.write(0, 1)
+    clone = image.copy()
+    clone.write(0, 2)
+    assert image.read(0) == 1
+    assert clone.read(0) == 2
+
+
+@given(addr=addrs, value=words)
+def test_write_read_roundtrip(addr, value):
+    image = MemoryImage()
+    image.write(addr, value)
+    assert image.read(addr) == value
+
+
+@given(addr=addrs)
+def test_reads_fit_64_bits(addr):
+    image = MemoryImage()
+    assert 0 <= image.read(addr) <= MASK64
+
+
+@given(addr=addrs, v1=words, v2=words)
+def test_last_write_wins(addr, v1, v2):
+    image = MemoryImage()
+    image.write(addr, v1)
+    image.write(addr, v2)
+    assert image.read(addr) == v2
+
+
+@given(a1=addrs, a2=addrs, v1=words, v2=words)
+def test_disjoint_words_do_not_interfere(a1, a2, v1, v2):
+    if (a1 & ~0x7) == (a2 & ~0x7):
+        return
+    image = MemoryImage()
+    image.write(a1, v1)
+    image.write(a2, v2)
+    assert image.read(a1) == v1
+    assert image.read(a2) == v2

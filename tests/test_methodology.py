@@ -1,0 +1,96 @@
+"""Tests for the measurement methodology: stats freezing, trace
+wrap-around, and interference preservation (the paper's §5 discipline)."""
+
+from repro import quad_core_config, run_system
+from repro.sim.system import System
+from repro.uarch.uop import UopType
+from repro.workloads.memory_image import MemoryImage
+from repro.workloads.mixes import build_named
+
+from .helpers import TraceWriter, tiny_config
+
+
+def test_fast_core_wraps_until_slow_core_finishes():
+    """A short compute trace co-runs with a long memory trace: the compute
+    core must wrap around and keep running until the memory core ends."""
+    fast = TraceWriter()
+    fast.add(UopType.MOV, dest=1, imm=1)
+    for i in range(50):
+        fast.add(UopType.ADD, dest=1, src1=1, imm=1)
+
+    slow = TraceWriter()
+    slow.add(UopType.MOV, dest=1, imm=0x100000)
+    for i in range(60):
+        slow.add(UopType.LOAD, dest=2, src1=1, imm=i * 0x10000)
+        slow.add(UopType.ADD, dest=3, src1=2, imm=1)
+
+    cfg = tiny_config(num_cores=2)
+    system = System(cfg, [(fast.trace("fast"), MemoryImage()),
+                          (slow.trace("slow"), MemoryImage())])
+    stats = system.run()
+    fast_core, slow_core = system.cores
+    assert fast_core.wrap_count >= 1
+    assert slow_core.wrap_count == 0
+    # Frozen stats: the fast core's instruction count equals one window.
+    assert stats.cores[0].instructions == len(fast.uops)
+    assert stats.cores[0].finished_at < stats.cores[1].finished_at
+
+
+def test_frozen_core_stops_counting_stats():
+    fast = TraceWriter()
+    fast.add(UopType.MOV, dest=1, imm=0x200000)
+    for i in range(20):
+        fast.add(UopType.LOAD, dest=2, src1=1, imm=i * 0x10000)
+
+    slow = TraceWriter()
+    slow.add(UopType.MOV, dest=1, imm=0x900000)
+    for i in range(200):
+        slow.add(UopType.LOAD, dest=2, src1=1, imm=i * 0x8000)
+        for _ in range(3):
+            slow.add(UopType.ADD, dest=3, src1=2, imm=1)
+
+    cfg = tiny_config(num_cores=2)
+    system = System(cfg, [(fast.trace("fast"), MemoryImage()),
+                          (slow.trace("slow"), MemoryImage())])
+    stats = system.run()
+    # The fast core wrapped (kept loading) but its miss count reflects only
+    # the measured window: one line per distinct 0x10000 offset.
+    assert system.cores[0].wrap_count >= 1
+    assert stats.cores[0].l1_misses <= 21
+
+
+def test_total_cycles_is_last_finisher():
+    cfg = quad_core_config()
+    result = run_system(cfg, build_named(
+        ["povray", "mcf", "povray", "povray"], 800, seed=1))
+    finishes = [c.finished_at for c in result.stats.cores]
+    assert result.stats.total_cycles == max(finishes)
+
+
+def test_wrapped_interference_preserved():
+    """With wrap-around, the slow core faces interference for its whole
+    window; without any co-runner it would run faster."""
+    cfg_solo = tiny_config(num_cores=1)
+    cfg_pair = tiny_config(num_cores=2)
+
+    def slow_trace(seed=0):
+        tw = TraceWriter()
+        tw.add(UopType.MOV, dest=1, imm=0x500000)
+        for i in range(150):
+            tw.add(UopType.LOAD, dest=2, src1=1, imm=i * 0x4000)
+            tw.add(UopType.ADD, dest=3, src1=2, imm=1)
+        return tw.trace("slowmem")
+
+    def hog_trace():
+        tw = TraceWriter()
+        tw.add(UopType.MOV, dest=1, imm=0xA00000)
+        for i in range(100):
+            tw.add(UopType.LOAD, dest=2, src1=1, imm=i * 0x4000)
+        return tw.trace("hog")
+
+    solo = System(cfg_solo, [(slow_trace(), MemoryImage())])
+    s_solo = solo.run()
+    pair = System(cfg_pair, [(slow_trace(), MemoryImage()),
+                             (hog_trace(), MemoryImage())])
+    s_pair = pair.run()
+    assert s_pair.cores[0].finished_at > s_solo.cores[0].finished_at

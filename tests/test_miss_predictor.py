@@ -1,0 +1,57 @@
+"""Unit tests for the EMC's LLC hit/miss predictor."""
+
+import pytest
+
+from repro.emc.miss_predictor import MissPredictor
+
+
+def test_initially_predicts_hit():
+    pred = MissPredictor(entries=64, threshold=4)
+    assert not pred.predict_miss(core=0, pc=0x400)
+
+
+def test_learns_misses():
+    pred = MissPredictor(entries=64, threshold=4)
+    for _ in range(3):
+        pred.update(0, 0x400, was_miss=True)
+    assert pred.predict_miss(0, 0x400)
+
+
+def test_learns_hits_back():
+    pred = MissPredictor(entries=64, threshold=4)
+    for _ in range(7):
+        pred.update(0, 0x400, was_miss=True)
+    for _ in range(5):
+        pred.update(0, 0x400, was_miss=False)
+    assert not pred.predict_miss(0, 0x400)
+
+
+def test_counters_saturate():
+    pred = MissPredictor(entries=64, threshold=4)
+    for _ in range(100):
+        pred.update(0, 0x400, was_miss=True)
+    table = pred._table(0)
+    assert max(table) <= MissPredictor.COUNTER_MAX
+    for _ in range(100):
+        pred.update(0, 0x400, was_miss=False)
+    assert min(pred._table(0)) >= 0
+
+
+def test_per_core_tables_independent():
+    pred = MissPredictor(entries=64, threshold=4)
+    for _ in range(4):
+        pred.update(0, 0x400, was_miss=True)
+    assert pred.predict_miss(0, 0x400)
+    assert not pred.predict_miss(1, 0x400)
+
+
+def test_different_pcs_use_different_counters():
+    pred = MissPredictor(entries=64, threshold=4)
+    for _ in range(4):
+        pred.update(0, 0x0, was_miss=True)
+    assert not pred.predict_miss(0, 0x1)
+
+
+def test_power_of_two_required():
+    with pytest.raises(ValueError):
+        MissPredictor(entries=100)

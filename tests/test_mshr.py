@@ -1,0 +1,59 @@
+"""Unit tests for the MSHR file."""
+
+from repro.memsys.mshr import MSHRFile
+
+
+def test_allocate_creates_entry():
+    mshr = MSHRFile(4)
+    entry = mshr.allocate(0x100, now=0, waiter=lambda l: None)
+    assert entry is not None
+    assert len(mshr) == 1
+
+
+def test_same_line_coalesces():
+    mshr = MSHRFile(4)
+    hits = []
+    assert mshr.allocate(0x100, 0, waiter=lambda l: hits.append("a")) is not None
+    assert mshr.allocate(0x100, 1, waiter=lambda l: hits.append("b")) is None
+    assert mshr.coalesced == 1
+    assert len(mshr) == 1
+    waiters = mshr.complete(0x100, now=10)
+    for w in waiters:
+        w(0x100)
+    assert hits == ["a", "b"]
+
+
+def test_full_rejects():
+    mshr = MSHRFile(2)
+    assert mshr.allocate(0x0, 0, waiter=lambda l: None) is not None
+    assert mshr.allocate(0x40, 0, waiter=lambda l: None) is not None
+    assert mshr.allocate(0x80, 0, waiter=lambda l: None) is None
+    assert mshr.rejections == 1
+    # Coalescing still works when full.
+    assert mshr.allocate(0x0, 0, waiter=lambda l: None) is None
+    assert mshr.coalesced == 1
+
+
+def test_complete_frees_entry():
+    mshr = MSHRFile(1)
+    mshr.allocate(0x0, 0, waiter=lambda l: None)
+    assert mshr.full
+    mshr.complete(0x0, 5)
+    assert not mshr.full
+    assert mshr.complete(0x0, 6) == []
+
+
+def test_demand_flag_merges():
+    mshr = MSHRFile(2)
+    entry = mshr.allocate(0x0, 0, waiter=lambda l: None, demand=False)
+    assert entry.demand is False
+    mshr.allocate(0x0, 1, waiter=lambda l: None, demand=True)
+    assert entry.demand is True
+
+
+def test_peak_occupancy_tracked():
+    mshr = MSHRFile(8)
+    for i in range(5):
+        mshr.allocate(i * 64, 0, waiter=lambda l: None)
+    mshr.complete(0, 1)
+    assert mshr.peak_occupancy == 5

@@ -1,0 +1,42 @@
+"""The public API surface: everything `__all__` promises exists, and the
+README quickstart works verbatim."""
+
+import repro
+
+
+def test_all_exports_exist():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_readme_quickstart_verbatim():
+    from repro import quad_core_config, build_mix, run_system
+    cfg = quad_core_config(prefetcher="ghb", emc=True)
+    workload = build_mix("H4", n_instrs=600)
+    result = run_system(cfg, workload)
+    assert result.aggregate_ipc > 0
+    assert 0 <= result.stats.emc_miss_fraction() <= 1
+    assert result.stats.core_miss_latency.mean >= 0
+
+
+def test_config_dataclasses_exported():
+    cfg = repro.SystemConfig()
+    assert cfg.num_cores == 4
+    assert repro.DRAMConfig().channels == 2
+    assert repro.EMCConfig().num_contexts == 2
+    assert repro.PrefetchConfig().kind == "none"
+
+
+def test_profile_constants_exported():
+    assert len(repro.PROFILES) == 29
+    assert len(repro.HIGH_INTENSITY) == 8
+    assert len(repro.LOW_INTENSITY) == 21
+    assert repro.MIX_NAMES[0] == "H1"
+
+
+def test_deadlock_error_exported():
+    assert issubclass(repro.DeadlockError, RuntimeError)

@@ -1,0 +1,80 @@
+"""Regression bands: pin the calibrated operating point.
+
+These are coarse envelopes around the reference-run behaviour recorded in
+EXPERIMENTS.md.  They are intentionally wide (small runs are noisy), but
+tight enough that an accidental model change — a broken scheduler, a
+mis-charged latency, a workload regression — trips them.
+"""
+
+import pytest
+
+from repro import quad_core_config, run_system
+from repro.workloads.mixes import build_homogeneous, build_mix
+
+N = 2500
+
+
+@pytest.fixture(scope="module")
+def h3_base():
+    return run_system(quad_core_config(), build_mix("H3", N, seed=1))
+
+
+@pytest.fixture(scope="module")
+def h3_emc():
+    return run_system(quad_core_config(emc=True), build_mix("H3", N, seed=1))
+
+
+def test_band_baseline_performance(h3_base):
+    # H3 quad-core baseline lands near 1.0 aggregate IPC at this scale.
+    assert 0.5 < h3_base.aggregate_ipc < 2.0
+
+
+def test_band_miss_latency_composition(h3_base):
+    lat = h3_base.stats.core_miss_latency
+    assert 100 < lat.mean < 1200
+    # On-chip delay is a significant share (Figure 1's point).
+    assert lat.mean_onchip / lat.mean > 0.3
+
+
+def test_band_row_conflict_rate(h3_base):
+    assert 0.05 < h3_base.dram_row_conflict_rate < 0.9
+
+
+def test_band_emc_latency_advantage(h3_emc):
+    stats = h3_emc.stats
+    assert stats.emc_miss_latency.count > 10
+    ratio = stats.emc_miss_latency.mean / stats.core_miss_latency.mean
+    assert ratio < 0.95          # EMC misses must stay cheaper
+
+
+def test_band_emc_coverage(h3_emc):
+    # Figure 15 band (wide): the EMC takes a visible but minority share.
+    frac = h3_emc.stats.emc_miss_fraction()
+    assert 0.02 < frac < 0.5
+
+
+def test_band_chain_shape(h3_emc):
+    emc = h3_emc.stats.emc
+    assert emc.chains_generated > 20
+    assert 1.5 <= emc.avg_chain_uops <= 10.0
+
+
+def test_band_mcf_dependent_fraction():
+    result = run_system(quad_core_config(),
+                        build_homogeneous("mcf", 4, N, seed=1))
+    assert result.stats.dependent_miss_fraction() > 0.4
+
+
+def test_band_stream_mpki():
+    result = run_system(quad_core_config(),
+                        build_homogeneous("libquantum", 4, N, seed=1))
+    mpki = result.stats.cores[0].mpki()
+    assert 60 < mpki < 300
+
+
+def test_band_ghb_helps_streams():
+    base = run_system(quad_core_config(),
+                      build_homogeneous("libquantum", 4, 2 * N, seed=1))
+    ghb = run_system(quad_core_config("ghb"),
+                     build_homogeneous("libquantum", 4, 2 * N, seed=1))
+    assert ghb.aggregate_ipc > base.aggregate_ipc * 1.02

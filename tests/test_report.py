@@ -1,0 +1,32 @@
+"""Unit tests for the text-report helpers."""
+
+from repro.analysis.report import (format_markdown_table, format_table,
+                                   percent)
+
+
+def test_format_table_aligns_columns():
+    out = format_table(["name", "value"], [("a", 1), ("longer", 22)],
+                       formats={"value": "d"})
+    lines = out.splitlines()
+    assert len(lines) == 3
+    assert len(set(len(line) for line in lines)) == 1   # equal widths
+
+
+def test_format_table_applies_formats():
+    out = format_table(["x"], [(0.12345,)], formats={"x": ".2f"})
+    assert "0.12" in out
+    assert "0.12345" not in out
+
+
+def test_markdown_table_shape():
+    out = format_markdown_table(["a", "b"], [(1, 2)])
+    lines = out.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| 1 | 2 |"
+
+
+def test_percent():
+    assert percent(0.123) == "+12.3%"
+    assert percent(-0.05) == "-5.0%"
+    assert percent(0.123, signed=False) == "12.3%"

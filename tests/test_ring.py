@@ -1,0 +1,93 @@
+"""Unit tests for the bi-directional ring interconnect."""
+
+import pytest
+
+from repro.interconnect.ring import Ring
+from repro.sim.events import EventWheel
+from repro.uarch.params import RingConfig
+
+
+def make_ring(stops=5, **overrides):
+    cfg = RingConfig(**overrides)
+    wheel = EventWheel()
+    return Ring(stops, cfg, wheel), wheel, cfg
+
+
+def test_shortest_direction_chosen():
+    ring, _wheel, _cfg = make_ring(stops=6)
+    assert ring._route(0, 1) == (1, 1)
+    assert ring._route(0, 5) == (-1, 1)
+    assert ring._route(1, 4) == (1, 3)
+    assert ring._route(0, 3)[1] == 3  # equidistant: 3 hops either way
+
+
+def test_zero_hop_message():
+    ring, wheel, _cfg = make_ring()
+    delivered = []
+    latency = ring.send(2, 2, "ctrl", lambda: delivered.append(wheel.now))
+    assert latency == 0
+    wheel.run()
+    assert delivered == [0]
+
+
+def test_latency_scales_with_hops():
+    ring, wheel, cfg = make_ring(stops=8)
+    lat1 = ring.send(0, 1, "ctrl", lambda: None)
+    ring2, _w, _c = make_ring(stops=8)
+    lat3 = ring2.send(0, 3, "ctrl", lambda: None)
+    assert lat3 == 3 * lat1
+
+
+def test_contention_delays_second_message():
+    ring, wheel, cfg = make_ring()
+    lat_first = ring.send(0, 1, "data", lambda: None)
+    lat_second = ring.send(0, 1, "data", lambda: None)
+    assert lat_second > lat_first
+
+
+def test_opposite_directions_do_not_contend():
+    ring, _wheel, _cfg = make_ring(stops=6)
+    lat_cw = ring.send(0, 1, "data", lambda: None)
+    lat_ccw = ring.send(1, 0, "data", lambda: None)
+    assert lat_ccw == lat_cw
+
+
+def test_control_and_data_rings_are_separate():
+    ring, _wheel, _cfg = make_ring()
+    lat_data = ring.send(0, 1, "data", lambda: None)
+    lat_ctrl = ring.send(0, 1, "ctrl", lambda: None)
+    # A busy data ring must not delay the control ring.
+    lat_ctrl2 = ring.send(0, 1, "ctrl", lambda: None)
+    assert lat_ctrl2 >= lat_ctrl
+    assert lat_ctrl <= lat_data
+
+
+def test_stats_counted():
+    ring, wheel, _cfg = make_ring()
+    ring.send(0, 2, "ctrl", lambda: None)
+    ring.send(0, 2, "data", lambda: None, emc=True)
+    assert ring.stats.control_messages == 1
+    assert ring.stats.data_messages == 1
+    assert ring.stats.emc_data_messages == 1
+    assert ring.stats.total_hops == 4
+    assert ring.stats.control_hops == 2
+    assert ring.stats.data_hops == 2
+
+
+def test_bad_kind_rejected():
+    ring, _wheel, _cfg = make_ring()
+    with pytest.raises(ValueError):
+        ring.send(0, 1, "bogus", lambda: None)
+
+
+def test_tiny_ring_rejected():
+    with pytest.raises(ValueError):
+        Ring(1, RingConfig(), EventWheel())
+
+
+def test_delivery_callback_fires_at_latency():
+    ring, wheel, _cfg = make_ring()
+    seen = []
+    latency = ring.send(0, 2, "ctrl", lambda: seen.append(wheel.now))
+    wheel.run()
+    assert seen == [latency]

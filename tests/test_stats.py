@@ -1,0 +1,99 @@
+"""Unit tests for the statistics structures and derived metrics."""
+
+import pytest
+
+from repro.sim.stats import (CoreStats, EMCStats, LatencyAccumulator,
+                             SimStats)
+
+
+def test_latency_accumulator_means():
+    acc = LatencyAccumulator()
+    acc.add(total=100, dram=60, queue=20)
+    acc.add(total=200, dram=100, queue=40)
+    assert acc.count == 2
+    assert acc.mean == 150
+    assert acc.mean_dram == 80
+    assert acc.mean_onchip == 70
+    assert acc.mean_queue == 30
+
+
+def test_latency_accumulator_empty_is_zero():
+    acc = LatencyAccumulator()
+    assert acc.mean == 0.0
+    assert acc.mean_dram == 0.0
+
+
+def test_core_stats_ipc_and_mpki():
+    core = CoreStats(instructions=5000, finished_at=10000, llc_misses=250)
+    assert core.ipc() == 0.5
+    assert core.mpki() == 50.0
+
+
+def test_core_stats_unfinished_ipc_zero():
+    core = CoreStats(instructions=100, finished_at=None)
+    assert core.ipc() == 0.0
+
+
+def test_emc_miss_fraction():
+    stats = SimStats()
+    stats.llc_misses_from_core = 80
+    stats.llc_misses_from_emc = 20
+    assert stats.emc_miss_fraction() == pytest.approx(0.2)
+
+
+def test_emc_miss_fraction_no_misses():
+    assert SimStats().emc_miss_fraction() == 0.0
+
+
+def test_dependent_miss_fraction_aggregates_cores():
+    stats = SimStats()
+    stats.cores.append(CoreStats(llc_misses=100, dependent_misses=40))
+    stats.cores.append(CoreStats(llc_misses=100, dependent_misses=10))
+    assert stats.dependent_miss_fraction() == pytest.approx(0.25)
+
+
+def test_avg_dependent_chain_ops():
+    stats = SimStats()
+    stats.cores.append(CoreStats(dependent_misses=4,
+                                 dependent_chain_ops_total=12))
+    assert stats.avg_dependent_chain_ops() == pytest.approx(3.0)
+
+
+def test_dependent_prefetch_coverage():
+    stats = SimStats()
+    stats.cores.append(CoreStats(dependent_misses=30,
+                                 dependent_covered_by_prefetch=10))
+    assert stats.dependent_prefetch_coverage() == pytest.approx(0.25)
+
+
+def test_emc_stats_averages():
+    emc = EMCStats(chains_generated=4, chain_uops_total=36,
+                   chain_live_ins_total=8, chain_live_outs_total=20)
+    assert emc.avg_chain_uops == 9.0
+    assert emc.avg_live_ins == 2.0
+    assert emc.avg_live_outs == 5.0
+
+
+def test_emc_stats_averages_empty():
+    emc = EMCStats()
+    assert emc.avg_chain_uops == 0.0
+    assert emc.dcache_hit_rate == 0.0
+
+
+def test_emc_dcache_hit_rate():
+    emc = EMCStats(dcache_hits=30, dcache_misses=70)
+    assert emc.dcache_hit_rate == pytest.approx(0.3)
+
+
+def test_aggregate_ipc_sums_cores():
+    stats = SimStats()
+    stats.cores.append(CoreStats(instructions=1000, finished_at=10000))
+    stats.cores.append(CoreStats(instructions=2000, finished_at=10000))
+    assert stats.aggregate_ipc() == pytest.approx(0.3)
+
+
+def test_prefetch_accuracy():
+    stats = SimStats()
+    stats.prefetches_issued = 10
+    stats.prefetches_useful = 4
+    assert stats.prefetch_accuracy() == pytest.approx(0.4)

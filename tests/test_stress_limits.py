@@ -1,0 +1,105 @@
+"""Stress tests: tiny structural limits force every retry/backpressure
+path (MSHR-full, DRAM-queue-full, slice contention) to execute."""
+
+from repro.sim.system import System
+from repro.uarch.params import (DRAMConfig, EMCConfig, L1Config, LLCConfig,
+                                PrefetchConfig, SystemConfig)
+from repro.uarch.uop import UopType
+from repro.workloads.memory_image import MemoryImage
+
+from .helpers import TraceWriter
+
+
+def burst_trace(n_lines=80, fan=4):
+    """Independent loads to many distinct far-apart lines: maximum MLP."""
+    tw = TraceWriter()
+    for i in range(n_lines):
+        tw.add(UopType.MOV, dest=1 + (i % 8), imm=0x100000 + i * 0x100000)
+    for i in range(n_lines):
+        tw.add(UopType.LOAD, dest=10 + (i % 8), src1=1 + (i % 8))
+    return tw.trace("burst"), MemoryImage()
+
+
+def run_with(cfg, workload):
+    system = System(cfg, workload)
+    stats = system.run(max_cycles=5_000_000)
+    return system, stats
+
+
+def test_tiny_l1_mshr_still_completes():
+    cfg = SystemConfig(num_cores=1, l1=L1Config(mshr_entries=2),
+                       prefetch=PrefetchConfig(kind="none"),
+                       emc=EMCConfig(enabled=False))
+    trace, image = burst_trace()
+    _system, stats = run_with(cfg, [(trace, image)])
+    assert stats.cores[0].instructions == len(trace.uops)
+
+
+def test_tiny_llc_mshr_still_completes():
+    cfg = SystemConfig(num_cores=1,
+                       llc=LLCConfig(mshr_entries=2),
+                       prefetch=PrefetchConfig(kind="none"),
+                       emc=EMCConfig(enabled=False))
+    trace, image = burst_trace()
+    _system, stats = run_with(cfg, [(trace, image)])
+    assert stats.cores[0].instructions == len(trace.uops)
+
+
+def test_tiny_dram_queue_still_completes():
+    cfg = SystemConfig(num_cores=1,
+                       dram=DRAMConfig(channels=1, queue_entries=2),
+                       prefetch=PrefetchConfig(kind="none"),
+                       emc=EMCConfig(enabled=False))
+    trace, image = burst_trace()
+    _system, stats = run_with(cfg, [(trace, image)])
+    assert stats.cores[0].instructions == len(trace.uops)
+
+
+def test_everything_tiny_with_emc_and_prefetch():
+    cfg = SystemConfig(
+        num_cores=2,
+        l1=L1Config(mshr_entries=2),
+        llc=LLCConfig(mshr_entries=2, slice_bytes=64 * 1024),
+        dram=DRAMConfig(channels=1, queue_entries=4),
+        prefetch=PrefetchConfig(kind="stream"),
+        emc=EMCConfig(enabled=True, num_contexts=1))
+    image = MemoryImage()
+    nodes = [0x100000 + i * 0x140 for i in range(42)]
+    for a, b in zip(nodes, nodes[1:]):
+        image.write(a, b)
+    tw = TraceWriter()
+    tw.add(UopType.MOV, dest=1, imm=nodes[0])
+    for _ in range(40):
+        tw.add(UopType.LOAD, dest=2, src1=1, pc=0x10)
+        tw.add(UopType.LOAD, dest=3, src1=2, imm=8, pc=0x11)
+        tw.add(UopType.MOV, dest=1, src1=2, pc=0x12)
+    trace2, image2 = burst_trace(n_lines=40)
+    _system, stats = run_with(cfg, [(tw.trace(), image),
+                                    (trace2, image2)])
+    assert all(c.finished_at for c in stats.cores)
+
+
+def test_mshr_rejections_counted_under_pressure():
+    cfg = SystemConfig(num_cores=1, llc=LLCConfig(mshr_entries=1),
+                       prefetch=PrefetchConfig(kind="none"),
+                       emc=EMCConfig(enabled=False))
+    trace, image = burst_trace(n_lines=30)
+    system, _stats = run_with(cfg, [(trace, image)])
+    rejections = sum(sl.mshr.rejections
+                     for sl in system.hierarchy.llc.slices)
+    assert rejections > 0
+
+
+def test_heavy_store_stream_with_writebacks():
+    cfg = SystemConfig(num_cores=1,
+                       llc=LLCConfig(slice_bytes=32 * 1024, ways=2),
+                       prefetch=PrefetchConfig(kind="none"),
+                       emc=EMCConfig(enabled=False))
+    tw = TraceWriter()
+    tw.add(UopType.MOV, dest=1, imm=0x100000)
+    tw.add(UopType.MOV, dest=2, imm=7)
+    for i in range(600):
+        tw.add(UopType.STORE, src1=1, src2=2, imm=i * 64)
+    system, stats = run_with(cfg, [(tw.trace(), MemoryImage())])
+    assert stats.cores[0].instructions == 602
+    assert sum(d.writes for d in system.dram_stats) > 0

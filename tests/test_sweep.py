@@ -1,0 +1,58 @@
+"""Tests for the parameter-sweep utility."""
+
+import pytest
+
+from repro.analysis.sweep import (get_config_field, run_sweep,
+                                  set_config_field, sweep_mix)
+from repro.uarch.params import quad_core_config
+from repro.workloads.mixes import build_mix
+
+
+def test_set_get_nested_field():
+    cfg = quad_core_config()
+    set_config_field(cfg, "emc.num_contexts", 4)
+    assert cfg.emc.num_contexts == 4
+    assert get_config_field(cfg, "emc.num_contexts") == 4
+    set_config_field(cfg, "llc.latency", 20)
+    assert cfg.llc.latency == 20
+
+
+def test_set_unknown_field_raises():
+    cfg = quad_core_config()
+    with pytest.raises(AttributeError):
+        set_config_field(cfg, "emc.no_such_knob", 1)
+    with pytest.raises(AttributeError):
+        set_config_field(cfg, "nosection.x", 1)
+
+
+def test_sweep_runs_full_grid():
+    result = sweep_mix({"emc.num_contexts": [1, 2],
+                        "emc.max_load_depth": [1, 2]},
+                       mix="H4", n_instrs=400)
+    assert len(result.points) == 4
+    seen = {(p.overrides["emc.num_contexts"],
+             p.overrides["emc.max_load_depth"]) for p in result.points}
+    assert seen == {(1, 1), (1, 2), (2, 1), (2, 2)}
+    for point in result.points:
+        assert point.performance > 0
+
+
+def test_sweep_best_and_table():
+    result = sweep_mix({"emc.enabled": [False, True]}, mix="H3",
+                       n_instrs=400)
+    best = result.best()
+    assert best.performance == max(p.performance for p in result.points)
+    rows = result.table({"perf": lambda p: p.performance,
+                         "chains": lambda p:
+                         p.result.stats.emc.chains_generated})
+    assert len(rows) == 2
+    assert {"emc.enabled", "perf", "chains"} <= set(rows[0])
+
+
+def test_sweep_does_not_mutate_base_config():
+    base = quad_core_config(emc=True)
+    run_sweep({"emc.num_contexts": [4]},
+              workload_factory=lambda: build_mix("H4", 300, seed=1),
+              base_config_factory=lambda: base)
+    # deepcopy inside run_sweep protects the caller's instance
+    assert base.emc.num_contexts == 2

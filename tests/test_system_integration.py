@@ -1,0 +1,155 @@
+"""Whole-system integration tests: multi-core runs, prefetch integration,
+oracle mode, multi-MC topologies, and end-to-end workload sanity."""
+
+import pytest
+
+from repro import (build_mix, build_named, eight_core_config,
+                   quad_core_config, run_system, with_dram_geometry)
+from repro.sim.system import System
+from repro.uarch.params import (EMCConfig, PrefetchConfig, SystemConfig)
+from repro.workloads.mixes import build_eight_core_mix, build_homogeneous
+
+N = 1200   # instructions per core: small but exercises everything
+
+
+def test_quad_core_mix_completes():
+    cfg = quad_core_config()
+    result = run_system(cfg, build_mix("H4", N, seed=1))
+    for core in result.stats.cores:
+        assert core.instructions >= N
+        assert core.finished_at is not None
+    assert result.throughput > 0
+
+
+def test_high_intensity_profiles_have_high_mpki():
+    cfg = quad_core_config()
+    result = run_system(cfg, build_named(
+        ["mcf", "libquantum", "lbm", "bwaves"], N, seed=1))
+    for core in result.stats.cores:
+        assert core.mpki() >= 10, core.benchmark
+
+
+def test_low_intensity_profiles_have_low_mpki():
+    cfg = quad_core_config()
+    # Longer window: cold misses amortize (Table 2's split is a steady-
+    # state property).
+    result = run_system(cfg, build_named(
+        ["povray", "namd", "gamess", "sjeng"], 4 * N, seed=1))
+    for core in result.stats.cores:
+        assert core.mpki() < 10, core.benchmark
+
+
+def test_pointer_profiles_show_dependent_misses():
+    cfg = quad_core_config()
+    result = run_system(cfg, build_named(
+        ["mcf", "mcf", "omnetpp", "omnetpp"], N, seed=1))
+    assert result.stats.dependent_miss_fraction() > 0.3
+
+
+def test_stream_profiles_show_no_dependent_misses():
+    cfg = quad_core_config()
+    result = run_system(cfg, build_named(
+        ["libquantum", "lbm", "bwaves", "libquantum"], N, seed=1))
+    assert result.stats.dependent_miss_fraction() < 0.02
+
+
+def test_oracle_dependent_hits_speeds_up_mcf():
+    base_cfg = quad_core_config()
+    oracle_cfg = quad_core_config()
+    oracle_cfg.oracle_dependent_hits = True
+    wl = lambda: build_homogeneous("mcf", 4, N, seed=1)
+    base = run_system(base_cfg, wl())
+    oracle = run_system(oracle_cfg, wl())
+    assert oracle.throughput > base.throughput
+
+
+def test_prefetcher_reduces_misses_on_streams():
+    wl = lambda: build_homogeneous("libquantum", 4, N, seed=1)
+    base = run_system(quad_core_config("none"), wl())
+    pf = run_system(quad_core_config("ghb"), wl())
+    assert pf.stats.prefetches_issued > 0
+    # Prefetching converts misses into hits (or at least overlaps them).
+    assert (sum(c.llc_hits for c in pf.stats.cores)
+            > sum(c.llc_hits for c in base.stats.cores))
+
+
+def test_prefetch_traffic_increases_dram_reads():
+    wl = lambda: build_homogeneous("libquantum", 4, N, seed=1)
+    base = run_system(quad_core_config("none"), wl())
+    pf = run_system(quad_core_config("markov+stream"), wl())
+    assert pf.dram_reads >= base.dram_reads
+
+
+def test_eight_core_single_mc():
+    cfg = eight_core_config()
+    result = run_system(cfg, build_eight_core_mix("H4", 800, seed=1))
+    assert len(result.stats.cores) == 8
+    assert all(c.finished_at for c in result.stats.cores)
+
+
+def test_eight_core_dual_mc_with_emc():
+    cfg = eight_core_config(emc=True, num_mcs=2)
+    result = run_system(cfg, build_eight_core_mix("H3", 800, seed=1))
+    assert all(c.finished_at for c in result.stats.cores)
+    assert result.stats.emc.chains_generated > 0
+
+
+def test_dram_geometry_sweep_configs_valid():
+    base = quad_core_config()
+    for channels, ranks in [(1, 1), (2, 2), (4, 4)]:
+        cfg = with_dram_geometry(base, channels, ranks)
+        result = run_system(cfg, build_mix("H4", 600, seed=1))
+        assert result.throughput > 0
+
+
+def test_more_channels_is_faster():
+    base = quad_core_config()
+    wl = lambda: build_named(["libquantum", "bwaves", "lbm", "milc"],
+                             N, seed=1)
+    narrow = run_system(with_dram_geometry(base, 1, 1), wl())
+    wide = run_system(with_dram_geometry(base, 4, 2), wl())
+    assert wide.throughput > narrow.throughput
+
+
+def test_emc_and_prefetching_compose():
+    # H2 carries streaming apps, so the GHB has patterns to latch onto even
+    # in a short run.
+    cfg = quad_core_config(prefetcher="ghb", emc=True)
+    result = run_system(cfg, build_mix("H2", 2 * N, seed=1))
+    assert result.stats.prefetches_issued > 0
+    assert result.stats.emc.chains_generated > 0
+    assert all(c.finished_at for c in result.stats.cores)
+
+
+def test_energy_model_produces_positive_components():
+    cfg = quad_core_config(emc=True)
+    result = run_system(cfg, build_mix("H4", N, seed=1))
+    e = result.energy
+    assert e.core_dynamic > 0
+    assert e.dram_dynamic > 0
+    assert e.core_static > 0
+    assert e.chip > 0 and e.dram > 0
+    assert e.total == pytest.approx(e.chip + e.dram)
+
+
+def test_emc_energy_components_only_when_enabled():
+    wl = lambda: build_mix("H3", N, seed=1)
+    off = run_system(quad_core_config(emc=False), wl())
+    on = run_system(quad_core_config(emc=True), wl())
+    assert off.energy.emc_static == 0
+    assert off.energy.emc_dynamic == 0
+    assert on.energy.emc_static > 0
+
+
+def test_workload_size_mismatch_rejected():
+    cfg = quad_core_config()
+    with pytest.raises(ValueError):
+        System(cfg, build_named(["mcf"], 100, seed=1))
+
+
+def test_ring_traffic_accounted():
+    cfg = quad_core_config(emc=True)
+    result = run_system(cfg, build_mix("H4", N, seed=1))
+    ring = result.ring_messages
+    assert ring > 0
+    assert result.stats.energy.ring_data_hops > 0

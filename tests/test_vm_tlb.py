@@ -1,0 +1,98 @@
+"""Unit tests for virtual memory and the EMC TLBs."""
+
+from repro.memsys.vm import PageTable
+from repro.emc.tlb import EMCTlb, EMCTlbFile
+from repro.uarch.params import PAGE_BYTES
+
+
+def setup_function(_fn):
+    PageTable.reset_frame_allocator()
+
+
+def test_translation_is_stable():
+    pt = PageTable(asid=0)
+    p1 = pt.translate(0x1234)
+    p2 = pt.translate(0x1234)
+    assert p1 == p2
+
+
+def test_offset_preserved():
+    pt = PageTable(asid=0)
+    base = pt.translate(0x5000)
+    assert pt.translate(0x5123) == base + 0x123
+
+
+def test_distinct_pages_distinct_frames():
+    pt = PageTable(asid=0)
+    f1 = pt.translate(0) // PAGE_BYTES
+    f2 = pt.translate(PAGE_BYTES) // PAGE_BYTES
+    assert f1 != f2
+
+
+def test_address_spaces_are_disjoint():
+    pt0, pt1 = PageTable(asid=0), PageTable(asid=1)
+    assert pt0.translate(0x1000) != pt1.translate(0x1000)
+
+
+def test_resident_tracking():
+    pt = PageTable(asid=0)
+    assert not pt.resident(0x9000)
+    pt.translate(0x9000)
+    assert pt.resident(0x9000)
+
+
+def test_entry_for_allocates():
+    pt = PageTable(asid=0)
+    entry = pt.entry_for(0x7777)
+    assert entry.vpn == 0x7777 // PAGE_BYTES
+
+
+# -- EMC TLB ---------------------------------------------------------------
+
+def test_tlb_miss_then_hit():
+    pt = PageTable(asid=0)
+    tlb = EMCTlb(entries=4)
+    assert tlb.translate(0x1000) is None
+    assert tlb.misses == 1
+    tlb.insert(pt.entry_for(0x1000))
+    paddr = tlb.translate(0x1234)
+    assert paddr == pt.translate(0x1234)
+    assert tlb.hits == 1
+
+
+def test_tlb_fifo_replacement():
+    pt = PageTable(asid=0)
+    tlb = EMCTlb(entries=2)
+    for page in range(3):
+        tlb.insert(pt.entry_for(page * PAGE_BYTES))
+    # Oldest (page 0) evicted; pages 1 and 2 resident.
+    assert tlb.translate(0) is None
+    assert tlb.translate(PAGE_BYTES) is not None
+    assert tlb.translate(2 * PAGE_BYTES) is not None
+
+
+def test_tlb_reinsert_does_not_grow():
+    pt = PageTable(asid=0)
+    tlb = EMCTlb(entries=2)
+    entry = pt.entry_for(0)
+    tlb.insert(entry)
+    tlb.insert(entry)
+    assert len(tlb) == 1
+
+
+def test_tlb_shootdown():
+    pt = PageTable(asid=0)
+    tlb = EMCTlb(entries=4)
+    tlb.insert(pt.entry_for(0x4000))
+    assert tlb.invalidate(0x4000 // PAGE_BYTES)
+    assert not tlb.invalidate(0x4000 // PAGE_BYTES)
+    assert tlb.translate(0x4000) is None
+    assert tlb.shootdowns == 1
+
+
+def test_tlb_file_per_core_isolation():
+    pt0, pt1 = PageTable(asid=0), PageTable(asid=1)
+    tlbs = EMCTlbFile(num_cores=2, entries_per_core=4)
+    tlbs.preload(0, pt0, 0x1000)
+    assert tlbs.for_core(0).resident(0x1000)
+    assert not tlbs.for_core(1).resident(0x1000)
