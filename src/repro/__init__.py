@@ -16,11 +16,14 @@ Quickstart::
     print(result.aggregate_ipc, result.stats.emc_miss_fraction())
 """
 
-from .sim.runner import (PREFETCHER_CONFIGS, RunResult, run_eight_mix,
+from .sim.runner import (PREFETCHER_CONFIGS, RunResult,
+                         apply_config_overrides, run_eight_mix,
                          run_homogeneous, run_quad_mix, run_quad_named,
                          run_system, speedup)
 from .sim.stats import SimStats
-from .sim.system import DeadlockError, System
+from .sim.system import DeadlockError, SimTimeoutError, System
+from .analysis.parallel import (RunJob, eight_job, homog_job, mix_job,
+                                named_job, run_jobs, solo_job)
 from .uarch.params import (DRAMConfig, EMCConfig, PrefetchConfig,
                            SystemConfig, eight_core_config, quad_core_config,
                            with_dram_geometry)
@@ -33,10 +36,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "System", "SystemConfig", "SimStats", "RunResult", "DeadlockError",
+    "SimTimeoutError",
     "quad_core_config", "eight_core_config", "with_dram_geometry",
     "DRAMConfig", "EMCConfig", "PrefetchConfig",
     "run_system", "run_quad_mix", "run_quad_named", "run_homogeneous",
     "run_eight_mix", "speedup", "PREFETCHER_CONFIGS",
+    "apply_config_overrides",
+    "RunJob", "run_jobs", "mix_job", "homog_job", "eight_job", "named_job",
+    "solo_job",
     "MIXES", "MIX_NAMES", "build_mix", "build_named", "build_homogeneous",
     "build_eight_core_mix", "build_trace",
     "HIGH_INTENSITY", "LOW_INTENSITY", "PROFILES",

@@ -6,6 +6,14 @@ in a process-level cache because several figures share the same underlying
 simulations (e.g. the H1–H10 EMC runs feed Figures 12, 15, 16, 17, 18, 19,
 22 and 23).
 
+Execution routes through the parallel experiment layer
+(:mod:`repro.analysis.parallel`): every memoized run is a :class:`RunJob`,
+each driver *prewarms* the full set of jobs it needs in one
+:func:`run_jobs` fan-out before assembling rows, and the worker count /
+on-disk cache come from :func:`set_parallelism` (or the ``REPRO_JOBS`` and
+``REPRO_CACHE_DIR`` environment variables).  With ``jobs=1`` everything
+runs in-process exactly as before.
+
 Scale: instruction counts default to laptop-friendly sizes and can be
 scaled with the ``REPRO_BENCH_SCALE`` environment variable (a float
 multiplier).
@@ -15,15 +23,13 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..energy.model import compute_energy
-from ..sim.runner import (RunResult, run_system)
-from ..uarch.params import (SystemConfig, eight_core_config,
-                            quad_core_config, with_dram_geometry)
-from ..workloads.mixes import (MIX_NAMES, MIXES, build_eight_core_mix,
-                               build_homogeneous, build_mix, build_named)
+from ..sim.runner import RunResult
+from ..workloads.mixes import MIX_NAMES, MIXES
 from ..workloads.spec import HIGH_INTENSITY, LOW_INTENSITY, PROFILES
+from .parallel import (RunJob, default_cache_dir, default_jobs, eight_job,
+                       homog_job, mix_job, run_jobs, solo_job)
 
 
 def _scale() -> float:
@@ -43,67 +49,128 @@ PREFETCHERS = ["none", "ghb", "stream", "markov+stream"]
 
 
 # ---------------------------------------------------------------------------
-# run cache
+# run cache + parallel execution
 # ---------------------------------------------------------------------------
 
 _CACHE: Dict[tuple, RunResult] = {}
+
+#: ``None`` means "fall back to the REPRO_JOBS / REPRO_CACHE_DIR env vars"
+_JOBS: Optional[int] = None
+_CACHE_DIR: Optional[str] = None
 
 
 def clear_cache() -> None:
     _CACHE.clear()
 
 
+def set_parallelism(jobs: Optional[int] = None,
+                    cache_dir: Optional[str] = None) -> None:
+    """Configure how the drivers execute their simulations.
+
+    ``jobs`` worker processes fan each driver's prewarm batch out across
+    cores; ``cache_dir`` persists results between processes.  Pass ``None``
+    to fall back to the ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` environment
+    variables.
+    """
+    global _JOBS, _CACHE_DIR
+    _JOBS = jobs
+    _CACHE_DIR = cache_dir
+
+
+def _jobs() -> int:
+    return _JOBS if _JOBS is not None else default_jobs()
+
+
+def _cache_dir() -> Optional[str]:
+    return _CACHE_DIR if _CACHE_DIR is not None else default_cache_dir()
+
+
+def prewarm(jobs_list: Iterable[RunJob]) -> None:
+    """Execute every not-yet-memoized job in one parallel fan-out.
+
+    Deduplicates against both the batch itself and the in-process memo, so
+    drivers can list their full working set unconditionally.
+    """
+    missing: List[RunJob] = []
+    seen = set()
+    for job in jobs_list:
+        key = job.key()
+        if key not in _CACHE and key not in seen:
+            seen.add(key)
+            missing.append(job)
+    if not missing:
+        return
+    results = run_jobs(missing, jobs=_jobs(), cache_dir=_cache_dir())
+    for job, result in zip(missing, results):
+        _CACHE[job.key()] = result
+
+
+def _run(job: RunJob) -> RunResult:
+    key = job.key()
+    if key not in _CACHE:
+        _CACHE[key] = run_jobs([job], jobs=1, cache_dir=_cache_dir())[0]
+    return _CACHE[key]
+
+
+def _oracle_overrides(oracle: bool) -> Optional[Dict[str, bool]]:
+    return {"oracle_dependent_hits": True} if oracle else None
+
+
+def _mix_job(mix: str, prefetcher: str = "none", emc: bool = False,
+             n_instrs: Optional[int] = None, seed: int = 1,
+             oracle: bool = False) -> RunJob:
+    n = n_instrs if n_instrs is not None else scaled(N_MIX)
+    return mix_job(mix, n, prefetcher=prefetcher, emc=emc, seed=seed,
+                   overrides=_oracle_overrides(oracle))
+
+
+def _homog_job(name: str, prefetcher: str = "none", emc: bool = False,
+               n_instrs: Optional[int] = None, seed: int = 1,
+               oracle: bool = False) -> RunJob:
+    n = n_instrs if n_instrs is not None else scaled(N_SINGLE)
+    return homog_job(name, 4, n, prefetcher=prefetcher, emc=emc, seed=seed,
+                     overrides=_oracle_overrides(oracle))
+
+
+def _eight_job(mix: str, prefetcher: str = "none", emc: bool = False,
+               num_mcs: int = 1, n_instrs: Optional[int] = None,
+               seed: int = 1) -> RunJob:
+    n = n_instrs if n_instrs is not None else scaled(N_SWEEP)
+    return eight_job(mix, n, prefetcher=prefetcher, emc=emc,
+                     num_mcs=num_mcs, seed=seed)
+
+
+def _solo_job(name: str, n_instrs: Optional[int] = None,
+              seed: int = 1) -> RunJob:
+    n = n_instrs if n_instrs is not None else scaled(N_MIX)
+    return solo_job(name, n, seed=seed)
+
+
 def mix_run(mix: str, prefetcher: str = "none", emc: bool = False,
             n_instrs: Optional[int] = None, seed: int = 1,
             oracle: bool = False) -> RunResult:
     """Memoized quad-core run of a Table 3 mix."""
-    n = n_instrs if n_instrs is not None else scaled(N_MIX)
-    key = ("mix", mix, prefetcher, emc, n, seed, oracle)
-    if key not in _CACHE:
-        cfg = quad_core_config(prefetcher=prefetcher, emc=emc, seed=seed)
-        cfg.oracle_dependent_hits = oracle
-        _CACHE[key] = run_system(cfg, build_mix(mix, n, seed=seed))
-    return _CACHE[key]
+    return _run(_mix_job(mix, prefetcher, emc, n_instrs, seed, oracle))
 
 
 def homog_run(name: str, prefetcher: str = "none", emc: bool = False,
               n_instrs: Optional[int] = None, seed: int = 1,
               oracle: bool = False) -> RunResult:
     """Memoized quad-core run of four copies of one benchmark."""
-    n = n_instrs if n_instrs is not None else scaled(N_SINGLE)
-    key = ("homog", name, prefetcher, emc, n, seed, oracle)
-    if key not in _CACHE:
-        cfg = quad_core_config(prefetcher=prefetcher, emc=emc, seed=seed)
-        cfg.oracle_dependent_hits = oracle
-        _CACHE[key] = run_system(cfg, build_homogeneous(name, 4, n,
-                                                        seed=seed))
-    return _CACHE[key]
+    return _run(_homog_job(name, prefetcher, emc, n_instrs, seed, oracle))
 
 
 def eight_run(mix: str, prefetcher: str = "none", emc: bool = False,
               num_mcs: int = 1, n_instrs: Optional[int] = None,
               seed: int = 1) -> RunResult:
-    n = n_instrs if n_instrs is not None else scaled(N_SWEEP)
-    key = ("eight", mix, prefetcher, emc, num_mcs, n, seed)
-    if key not in _CACHE:
-        cfg = eight_core_config(prefetcher=prefetcher, emc=emc,
-                                num_mcs=num_mcs, seed=seed)
-        _CACHE[key] = run_system(cfg, build_eight_core_mix(mix, n, seed=seed))
-    return _CACHE[key]
+    return _run(_eight_job(mix, prefetcher, emc, num_mcs, n_instrs, seed))
 
 
 def solo_run(name: str, n_instrs: Optional[int] = None,
              seed: int = 1) -> RunResult:
     """Memoized single-core run of one benchmark on the baseline machine
     (no prefetching, no EMC) — the denominator of weighted speedup."""
-    n = n_instrs if n_instrs is not None else scaled(N_MIX)
-    key = ("solo", name, n, seed)
-    if key not in _CACHE:
-        cfg = SystemConfig(num_cores=1, seed=seed)
-        cfg.prefetch.kind = "none"
-        cfg.emc.enabled = False
-        _CACHE[key] = run_system(cfg, build_named([name], n, seed=seed))
-    return _CACHE[key]
+    return _run(_solo_job(name, n_instrs, seed))
 
 
 def weighted_speedup(result: RunResult,
@@ -111,6 +178,8 @@ def weighted_speedup(result: RunResult,
                      seed: int = 1) -> float:
     """Σ IPC_shared_i / IPC_alone_i — the standard multiprogrammed
     performance metric.  Solo baselines are memoized per benchmark."""
+    prewarm(_solo_job(core.benchmark, n_instrs, seed)
+            for core in result.stats.cores)
     total = 0.0
     for core in result.stats.cores:
         alone = solo_run(core.benchmark, n_instrs, seed).stats.cores[0]
@@ -141,6 +210,7 @@ def fig01_latency_breakdown(benchmarks: Optional[Sequence[str]] = None,
                             ) -> List[LatencySplitRow]:
     """DRAM vs on-chip delay per benchmark, quad-core, sorted by MPKI."""
     names = list(benchmarks) if benchmarks else list(PROFILES)
+    prewarm(_homog_job(name, n_instrs=n_instrs) for name in names)
     rows = []
     for name in names:
         result = homog_run(name, n_instrs=n_instrs)
@@ -167,6 +237,8 @@ def fig02_dependent_misses(benchmarks: Optional[Sequence[str]] = None,
                            n_instrs: Optional[int] = None
                            ) -> List[DependentMissRow]:
     names = list(benchmarks) if benchmarks else list(PROFILES)
+    prewarm(_homog_job(name, n_instrs=n_instrs, oracle=oracle)
+            for name in names for oracle in (False, True))
     rows = []
     for name in names:
         base = homog_run(name, n_instrs=n_instrs)
@@ -187,10 +259,13 @@ def fig03_prefetch_coverage(benchmarks: Optional[Sequence[str]] = None,
                             ) -> Dict[str, Dict[str, float]]:
     """{benchmark: {prefetcher: coverage}} over the high-MPKI suite."""
     names = list(benchmarks) if benchmarks else list(HIGH_INTENSITY)
+    prefetchers = ("ghb", "stream", "markov+stream")
+    prewarm(_homog_job(name, prefetcher=pf, n_instrs=n_instrs)
+            for name in names for pf in prefetchers)
     out: Dict[str, Dict[str, float]] = {}
     for name in names:
         out[name] = {}
-        for pf in ("ghb", "stream", "markov+stream"):
+        for pf in prefetchers:
             result = homog_run(name, prefetcher=pf, n_instrs=n_instrs)
             out[name][pf] = result.stats.dependent_prefetch_coverage()
     return out
@@ -199,6 +274,8 @@ def fig03_prefetch_coverage(benchmarks: Optional[Sequence[str]] = None,
 def prefetcher_bandwidth_overhead(prefetcher: str,
                                   n_instrs: Optional[int] = None) -> float:
     """DRAM-traffic increase of a prefetcher over no prefetching (§1)."""
+    prewarm(_mix_job(mix, pf, n_instrs=n_instrs)
+            for mix in MIX_NAMES for pf in ("none", prefetcher))
     base_reads = emc_reads = 0
     for mix in MIX_NAMES:
         base_reads += mix_run(mix, "none", n_instrs=n_instrs).dram_reads
@@ -214,6 +291,7 @@ def fig06_chain_lengths(benchmarks: Optional[Sequence[str]] = None,
                         n_instrs: Optional[int] = None
                         ) -> Dict[str, float]:
     names = list(benchmarks) if benchmarks else list(HIGH_INTENSITY)
+    prewarm(_homog_job(name, n_instrs=n_instrs) for name in names)
     return {name: homog_run(name, n_instrs=n_instrs)
             .stats.avg_dependent_chain_ops() for name in names}
 
@@ -235,9 +313,23 @@ class PerfRow:
         return with_emc / base - 1.0 if base else 0.0
 
 
-def _perf_rows(runner, workloads: Sequence[str],
+def _grid_jobs(job_builder, workloads: Sequence[str],
+               prefetchers: Sequence[str],
+               n_instrs: Optional[int]) -> List[RunJob]:
+    """The full workload × prefetcher × EMC job set of a perf/energy grid,
+    including the no-prefetch/no-EMC normalization baseline."""
+    jobs_list = [job_builder(wl, "none", False, n_instrs)
+                 for wl in workloads]
+    jobs_list += [job_builder(wl, pf, emc, n_instrs)
+                  for wl in workloads for pf in prefetchers
+                  for emc in (False, True)]
+    return jobs_list
+
+
+def _perf_rows(runner, job_builder, workloads: Sequence[str],
                prefetchers: Sequence[str],
                n_instrs: Optional[int]) -> List[PerfRow]:
+    prewarm(_grid_jobs(job_builder, workloads, prefetchers, n_instrs))
     rows = []
     for wl in workloads:
         base = runner(wl, "none", False, n_instrs).throughput
@@ -255,6 +347,7 @@ def fig12_quadcore_hetero(prefetchers: Sequence[str] = ("none", "ghb"),
                           n_instrs: Optional[int] = None) -> List[PerfRow]:
     mixes = list(mixes) if mixes else list(MIX_NAMES)
     return _perf_rows(lambda wl, pf, emc, n: mix_run(wl, pf, emc, n),
+                      lambda wl, pf, emc, n: _mix_job(wl, pf, emc, n),
                       mixes, prefetchers, n_instrs)
 
 
@@ -264,6 +357,7 @@ def fig13_quadcore_homogeneous(prefetchers: Sequence[str] = ("none", "ghb"),
                                ) -> List[PerfRow]:
     names = list(benchmarks) if benchmarks else list(HIGH_INTENSITY)
     return _perf_rows(lambda wl, pf, emc, n: homog_run(wl, pf, emc, n),
+                      lambda wl, pf, emc, n: _homog_job(wl, pf, emc, n),
                       names, prefetchers, n_instrs)
 
 
@@ -280,6 +374,7 @@ def fig14_eightcore(mixes: Optional[Sequence[str]] = None,
     for num_mcs in (1, 2):
         out[num_mcs] = _perf_rows(
             lambda wl, pf, emc, n, m=num_mcs: eight_run(wl, pf, emc, m, n),
+            lambda wl, pf, emc, n, m=num_mcs: _eight_job(wl, pf, emc, m, n),
             mixes, prefetchers, n_instrs)
     return out
 
@@ -307,6 +402,8 @@ class EMCBehaviourRow:
 def emc_behaviour(mixes: Optional[Sequence[str]] = None,
                   n_instrs: Optional[int] = None) -> List[EMCBehaviourRow]:
     mixes = list(mixes) if mixes else list(MIX_NAMES)
+    prewarm(_mix_job(mix, "none", emc, n_instrs)
+            for mix in mixes for emc in (False, True))
     rows = []
     for mix in mixes:
         base = mix_run(mix, "none", False, n_instrs)
@@ -335,6 +432,18 @@ def emc_behaviour(mixes: Optional[Sequence[str]] = None,
 # Figure 20 — DRAM channel/rank sensitivity
 # ---------------------------------------------------------------------------
 
+def _geometry_job(mix: str, channels: int, ranks: int, emc: bool,
+                  n: int) -> RunJob:
+    """One Figure 20 point as a job: the ``with_dram_geometry`` derivation
+    expressed as dotted overrides (queue scales with the geometry, §5)."""
+    queue = max(32, 64 * channels * ranks // 2)
+    return mix_job(mix, n, emc=emc, seed=1, overrides={
+        "dram.channels": channels,
+        "dram.ranks_per_channel": ranks,
+        "dram.queue_entries": queue,
+    })
+
+
 def fig20_dram_sweep(geometries: Sequence[Tuple[int, int]] = (
         (1, 1), (1, 2), (2, 1), (2, 2), (2, 4), (4, 2), (4, 4)),
         mixes: Optional[Sequence[str]] = None,
@@ -343,18 +452,17 @@ def fig20_dram_sweep(geometries: Sequence[Tuple[int, int]] = (
     1-channel 1-rank without EMC."""
     mixes = list(mixes) if mixes else ["H3", "H4", "H8"]
     n = n_instrs if n_instrs is not None else scaled(N_SWEEP)
+    prewarm(_geometry_job(mix, channels, ranks, emc, n)
+            for channels, ranks in geometries for emc in (False, True)
+            for mix in mixes)
     rows = []
     baseline = None
     for channels, ranks in geometries:
         for emc in (False, True):
             total = 0.0
             for mix in mixes:
-                key = ("sweep", mix, channels, ranks, emc, n)
-                if key not in _CACHE:
-                    cfg = with_dram_geometry(
-                        quad_core_config(emc=emc), channels, ranks)
-                    _CACHE[key] = run_system(cfg, build_mix(mix, n, seed=1))
-                total += _CACHE[key].throughput
+                total += _run(_geometry_job(mix, channels, ranks, emc,
+                                            n)).throughput
             avg = total / len(mixes)
             if baseline is None:
                 baseline = avg
@@ -374,6 +482,8 @@ def fig21_emc_prefetch_overlap(prefetchers: Sequence[str] = (
         n_instrs: Optional[int] = None) -> Dict[str, float]:
     """Fraction of EMC LLC-path requests that hit on prefetched lines."""
     mixes = list(mixes) if mixes else list(MIX_NAMES)
+    prewarm(_mix_job(mix, pf, True, n_instrs)
+            for pf in prefetchers for mix in mixes)
     out = {}
     for pf in prefetchers:
         hits = requests = 0
@@ -398,9 +508,10 @@ class EnergyRow:
     normalized: Dict[Tuple[str, bool], float] = field(default_factory=dict)
 
 
-def energy_rows(runner, workloads: Sequence[str],
+def energy_rows(runner, job_builder, workloads: Sequence[str],
                 prefetchers: Sequence[str],
                 n_instrs: Optional[int]) -> List[EnergyRow]:
+    prewarm(_grid_jobs(job_builder, workloads, prefetchers, n_instrs))
     rows = []
     for wl in workloads:
         base = runner(wl, "none", False, n_instrs).energy.total
@@ -418,6 +529,7 @@ def fig23_energy_hetero(prefetchers: Sequence[str] = ("none", "ghb"),
                         n_instrs: Optional[int] = None) -> List[EnergyRow]:
     mixes = list(mixes) if mixes else list(MIX_NAMES)
     return energy_rows(lambda wl, pf, emc, n: mix_run(wl, pf, emc, n),
+                       lambda wl, pf, emc, n: _mix_job(wl, pf, emc, n),
                        mixes, prefetchers, n_instrs)
 
 
@@ -427,6 +539,7 @@ def fig24_energy_homogeneous(prefetchers: Sequence[str] = ("none", "ghb"),
                              ) -> List[EnergyRow]:
     names = list(benchmarks) if benchmarks else list(HIGH_INTENSITY)
     return energy_rows(lambda wl, pf, emc, n: homog_run(wl, pf, emc, n),
+                       lambda wl, pf, emc, n: _homog_job(wl, pf, emc, n),
                        names, prefetchers, n_instrs)
 
 
@@ -437,8 +550,9 @@ def fig24_energy_homogeneous(prefetchers: Sequence[str] = ("none", "ghb"),
 def sec65_overheads(mixes: Optional[Sequence[str]] = None,
                     n_instrs: Optional[int] = None) -> dict:
     mixes = list(mixes) if mixes else list(MIX_NAMES)
+    prewarm(_mix_job(mix, "none", emc, n_instrs)
+            for mix in mixes for emc in (False, True))
     base_data = base_ctrl = emc_data = emc_ctrl = 0
-    emc_share_data = emc_share_ctrl = 0
     for mix in mixes:
         b = mix_run(mix, "none", False, n_instrs)
         e = mix_run(mix, "none", True, n_instrs)

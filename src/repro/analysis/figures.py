@@ -74,6 +74,27 @@ def stacked_bar_chart(rows: Sequence[Tuple[str, Mapping[str, float]]],
     return "\n".join(lines)
 
 
+def progress_bar(done: int, total: int, width: int = 28,
+                 glyphs: str = "█░") -> str:
+    """Render a ``done``/``total`` completion bar (parallel-runner ETA
+    lines, long sweeps)."""
+    total = max(total, 1)
+    filled = max(0, min(width, round(width * done / total)))
+    return glyphs[0] * filled + glyphs[1] * (width - filled)
+
+
+def format_eta(seconds: float) -> str:
+    """Compact duration for progress lines: ``42s``, ``3m10s``, ``1h02m``."""
+    seconds = max(0, int(round(seconds)))
+    if seconds < 60:
+        return f"{seconds}s"
+    minutes, secs = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
 def histogram_chart(buckets: Iterable[Tuple[int, int, int]],
                     title: str = "", width: int = BAR_WIDTH) -> str:
     """Render (low, high, count) latency buckets."""

@@ -1,0 +1,393 @@
+"""Parallel experiment execution: fan simulation jobs across processes.
+
+The figure drivers, sweeps, and CLI all reduce to "run this list of
+configurations and collect one :class:`~repro.sim.runner.RunResult` each".
+Those runs are embarrassingly parallel — every :class:`System` is fully
+isolated (no module- or class-level simulator state) — so this module
+provides the one execution layer they share:
+
+- :class:`RunJob` — a small, picklable, hashable description of one run
+  (topology + workload + seed + dotted config overrides).  Jobs carry
+  *specifications*, not built objects, so shipping one to a worker process
+  is cheap and the job doubles as a cache key.
+- :func:`run_jobs` — execute a job list with ``jobs`` worker processes
+  (``ProcessPoolExecutor``), a per-job wall-clock timeout, one automatic
+  retry per failed job, deterministic input-order results, an optional
+  on-disk result cache keyed by a hash of the job, and progress/ETA
+  reporting.
+
+``jobs=1`` runs everything in-process through the exact same job-execution
+code path, which is what makes the serial and parallel paths bit-identical
+for a fixed seed (each worker builds the same config and workload from the
+same spec and the simulator is deterministic).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import signal
+import sys
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
+
+from ..sim.runner import RunResult, apply_config_overrides, run_system
+from ..uarch.params import (SystemConfig, eight_core_config,
+                            quad_core_config)
+from ..workloads.mixes import (build_eight_core_mix, build_homogeneous,
+                               build_mix, build_named)
+from .figures import format_eta, progress_bar
+
+#: bump to invalidate every on-disk cache entry when result layout changes
+CACHE_SCHEMA = 1
+
+Overrides = Tuple[Tuple[str, Any], ...]
+ProgressFn = Callable[[int, int, str, float], None]
+
+
+class ParallelRunError(RuntimeError):
+    """A job failed on its initial attempt *and* its retry."""
+
+
+class JobTimeoutError(RuntimeError):
+    """A job exceeded its per-job wall-clock timeout."""
+
+
+# ---------------------------------------------------------------------------
+# job specification
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunJob:
+    """Everything needed to rebuild and run one simulation, by value.
+
+    ``workload`` is a spec tuple, resolved in the executing process:
+    ``("mix", name)``, ``("homog", name, num_cores)``, ``("eight", name)``,
+    or ``("named", name, ...)``.  ``overrides`` are dotted
+    :class:`SystemConfig` paths applied after the base topology is built.
+    """
+
+    workload: Tuple[Any, ...]
+    n_instrs: int
+    topology: str = "quad"            # quad | eight | single
+    prefetcher: str = "none"
+    emc: bool = False
+    num_mcs: int = 1
+    seed: int = 1
+    overrides: Overrides = ()
+    max_cycles: int = 50_000_000
+    label: str = ""
+
+    def key(self) -> tuple:
+        """Identity of the run — everything except the display label."""
+        return (self.workload, self.n_instrs, self.topology, self.prefetcher,
+                self.emc, self.num_mcs, self.seed, self.overrides,
+                self.max_cycles)
+
+
+def _as_overrides(overrides: Optional[Mapping[str, Any]]) -> Overrides:
+    return tuple(sorted((overrides or {}).items()))
+
+
+def mix_job(mix: str, n_instrs: int, prefetcher: str = "none",
+            emc: bool = False, seed: int = 1,
+            overrides: Optional[Mapping[str, Any]] = None,
+            max_cycles: int = 50_000_000, label: str = "") -> RunJob:
+    """Quad-core Table 3 mix (the ``run_quad_mix`` shape)."""
+    return RunJob(workload=("mix", mix), n_instrs=n_instrs,
+                  prefetcher=prefetcher, emc=emc, seed=seed,
+                  overrides=_as_overrides(overrides), max_cycles=max_cycles,
+                  label=label or f"{mix}/{prefetcher}{'+emc' if emc else ''}")
+
+
+def homog_job(name: str, num_cores: int, n_instrs: int,
+              prefetcher: str = "none", emc: bool = False, seed: int = 1,
+              overrides: Optional[Mapping[str, Any]] = None,
+              label: str = "") -> RunJob:
+    """N copies of one benchmark (the ``run_homogeneous`` shape)."""
+    return RunJob(workload=("homog", name, num_cores), n_instrs=n_instrs,
+                  topology="quad" if num_cores == 4 else "eight",
+                  prefetcher=prefetcher, emc=emc, seed=seed,
+                  overrides=_as_overrides(overrides),
+                  label=label or f"{num_cores}x{name}/{prefetcher}"
+                  f"{'+emc' if emc else ''}")
+
+
+def eight_job(mix: str, n_instrs: int, prefetcher: str = "none",
+              emc: bool = False, num_mcs: int = 1, seed: int = 1,
+              overrides: Optional[Mapping[str, Any]] = None,
+              label: str = "") -> RunJob:
+    """Eight-core mix, 1 or 2 memory controllers (Figure 14 shape)."""
+    return RunJob(workload=("eight", mix), n_instrs=n_instrs,
+                  topology="eight", prefetcher=prefetcher, emc=emc,
+                  num_mcs=num_mcs, seed=seed,
+                  overrides=_as_overrides(overrides),
+                  label=label or f"8c-{num_mcs}mc/{mix}/{prefetcher}"
+                  f"{'+emc' if emc else ''}")
+
+
+def named_job(names: Sequence[str], n_instrs: int, prefetcher: str = "none",
+              emc: bool = False, seed: int = 1,
+              overrides: Optional[Mapping[str, Any]] = None,
+              label: str = "") -> RunJob:
+    """Explicit benchmark list, one per core of a quad/eight topology."""
+    topology = {4: "quad", 8: "eight"}.get(len(names))
+    if topology is None:
+        raise ValueError(f"named workloads need 4 or 8 names, got "
+                         f"{len(names)}")
+    return RunJob(workload=("named",) + tuple(names), n_instrs=n_instrs,
+                  topology=topology, prefetcher=prefetcher, emc=emc,
+                  seed=seed, overrides=_as_overrides(overrides),
+                  label=label or "+".join(names))
+
+
+def solo_job(name: str, n_instrs: int, seed: int = 1,
+             label: str = "") -> RunJob:
+    """Single-core baseline run (weighted-speedup denominator)."""
+    return RunJob(workload=("named", name), n_instrs=n_instrs,
+                  topology="single", seed=seed,
+                  label=label or f"solo/{name}")
+
+
+# ---------------------------------------------------------------------------
+# job execution (runs in the worker process)
+# ---------------------------------------------------------------------------
+
+def build_job_config(job: RunJob) -> SystemConfig:
+    if job.topology == "quad":
+        cfg = quad_core_config(prefetcher=job.prefetcher, emc=job.emc,
+                               seed=job.seed)
+    elif job.topology == "eight":
+        cfg = eight_core_config(prefetcher=job.prefetcher, emc=job.emc,
+                                num_mcs=job.num_mcs, seed=job.seed)
+    elif job.topology == "single":
+        cfg = SystemConfig(num_cores=1, seed=job.seed)
+        cfg.prefetch.kind = job.prefetcher
+        cfg.emc.enabled = job.emc
+    else:
+        raise ValueError(f"unknown topology {job.topology!r}")
+    apply_config_overrides(cfg, job.overrides)
+    cfg.validate()
+    return cfg
+
+
+def build_job_workload(job: RunJob):
+    kind, args = job.workload[0], job.workload[1:]
+    if kind == "mix":
+        return build_mix(args[0], job.n_instrs, seed=job.seed)
+    if kind == "homog":
+        return build_homogeneous(args[0], args[1], job.n_instrs,
+                                 seed=job.seed)
+    if kind == "eight":
+        return build_eight_core_mix(args[0], job.n_instrs, seed=job.seed)
+    if kind == "named":
+        return build_named(list(args), job.n_instrs, seed=job.seed)
+    raise ValueError(f"unknown workload kind {kind!r}")
+
+
+def execute_job(job: RunJob) -> RunResult:
+    """Build the config + workload a job describes and run it."""
+    cfg = build_job_config(job)
+    workload = build_job_workload(job)
+    return run_system(cfg, workload, label=job.label,
+                      max_cycles=job.max_cycles)
+
+
+def _on_alarm(_signum, _frame):
+    raise JobTimeoutError("job exceeded its wall-clock timeout")
+
+
+def _execute_with_timeout(job: RunJob,
+                          timeout: Optional[float]) -> RunResult:
+    """Worker entry point: run one job under an optional SIGALRM budget.
+
+    ``signal`` only works in a main thread; where it is unavailable the
+    job simply runs without a wall-clock bound (``max_cycles`` still
+    bounds the simulation itself).
+    """
+    if not timeout or not hasattr(signal, "setitimer"):
+        return execute_job(job)
+    try:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+    except ValueError:          # not in the main thread
+        return execute_job(job)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return execute_job(job)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ---------------------------------------------------------------------------
+# on-disk result cache
+# ---------------------------------------------------------------------------
+
+def job_hash(job: RunJob) -> str:
+    """Stable configuration hash identifying a job's result on disk."""
+    text = repr((CACHE_SCHEMA, job.key()))
+    return hashlib.sha256(text.encode()).hexdigest()[:32]
+
+
+def _cache_path(cache_dir: str, job: RunJob) -> str:
+    return os.path.join(cache_dir, f"run-{job_hash(job)}.pkl")
+
+
+def _cache_load(cache_dir: Optional[str],
+                job: RunJob) -> Optional[RunResult]:
+    if not cache_dir:
+        return None
+    try:
+        with open(_cache_path(cache_dir, job), "rb") as fh:
+            return pickle.load(fh)
+    except Exception:
+        # Missing, truncated, corrupt, or stale (pickled against an old
+        # module layout) entry: recompute.  pickle surfaces corruption as
+        # almost any exception type, so a narrow list is a trap.
+        return None
+
+
+def _cache_store(cache_dir: Optional[str], job: RunJob,
+                 result: RunResult) -> None:
+    if not cache_dir:
+        return
+    os.makedirs(cache_dir, exist_ok=True)
+    path = _cache_path(cache_dir, job)
+    fd, tmp = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)   # atomic: concurrent writers can't corrupt
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# the executor
+# ---------------------------------------------------------------------------
+
+def default_jobs() -> int:
+    """Worker-count default: ``REPRO_JOBS`` env var, else 1 (serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def default_cache_dir() -> Optional[str]:
+    """On-disk cache default: ``REPRO_CACHE_DIR`` env var, else disabled."""
+    return os.environ.get("REPRO_CACHE_DIR") or None
+
+
+def _stderr_progress(done: int, total: int, label: str,
+                     elapsed: float) -> None:
+    eta = elapsed / done * (total - done) if done else 0.0
+    line = (f"\r[{done}/{total}] {progress_bar(done, total)} "
+            f"{label[:28]:<28s} elapsed {format_eta(elapsed)} "
+            f"ETA {format_eta(eta)}")
+    sys.stderr.write(line + ("\n" if done >= total else ""))
+    sys.stderr.flush()
+
+
+def _run_one(job: RunJob, timeout: Optional[float]) -> RunResult:
+    """Serial path: execute with the same retry-once policy as the pool."""
+    try:
+        return _execute_with_timeout(job, timeout)
+    except Exception as first:                          # retry once
+        try:
+            return _execute_with_timeout(job, timeout)
+        except Exception as second:
+            raise ParallelRunError(
+                f"job {job.label or job.workload!r} failed twice: "
+                f"{second!r} (first attempt: {first!r})") from second
+
+
+def run_jobs(jobs_list: Sequence[RunJob], jobs: int = 1,
+             cache_dir: Optional[str] = None,
+             timeout: Optional[float] = None,
+             progress: Union[None, bool, ProgressFn] = None
+             ) -> List[RunResult]:
+    """Execute ``jobs_list`` and return results in input order.
+
+    - ``jobs``: worker processes; ``<= 1`` runs serially in-process (the
+      same code path, so results are bit-identical for a fixed seed).
+    - ``cache_dir``: directory of pickled results keyed by
+      :func:`job_hash`; hits skip execution entirely, misses are stored
+      after the run.  Unreadable entries are recomputed, not fatal.
+    - ``timeout``: per-job wall-clock seconds; a timed-out job counts as a
+      failure and is retried once like any other failure.
+    - ``progress``: ``True`` for a stderr progress/ETA line, or a callable
+      ``(done, total, label, elapsed_seconds)``.
+
+    A job that fails twice raises :class:`ParallelRunError`.
+    """
+    jobs_list = list(jobs_list)
+    total = len(jobs_list)
+    report: Optional[ProgressFn]
+    report = _stderr_progress if progress is True else (progress or None)
+
+    results: List[Optional[RunResult]] = [None] * total
+    pending: List[int] = []
+    done = 0
+    started = time.monotonic()
+    for i, job in enumerate(jobs_list):
+        cached = _cache_load(cache_dir, job)
+        if cached is not None:
+            results[i] = cached
+            done += 1
+            if report:
+                report(done, total, f"{job.label} (cached)",
+                       time.monotonic() - started)
+        else:
+            pending.append(i)
+
+    def finish(i: int, result: RunResult) -> None:
+        nonlocal done
+        results[i] = result
+        _cache_store(cache_dir, jobs_list[i], result)
+        done += 1
+        if report:
+            report(done, total, jobs_list[i].label,
+                   time.monotonic() - started)
+
+    if jobs <= 1 or len(pending) <= 1:
+        for i in pending:
+            finish(i, _run_one(jobs_list[i], timeout))
+        return results          # type: ignore[return-value]
+
+    workers = min(jobs, len(pending))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        attempts: Dict[Any, Tuple[int, int]] = {}   # future -> (index, tries)
+        first_error: Dict[int, BaseException] = {}
+
+        def submit(i: int, tries: int) -> None:
+            future = pool.submit(_execute_with_timeout, jobs_list[i],
+                                 timeout)
+            attempts[future] = (i, tries)
+
+        for i in pending:
+            submit(i, 1)
+        while attempts:
+            ready, _ = wait(list(attempts), return_when=FIRST_COMPLETED)
+            for future in ready:
+                i, tries = attempts.pop(future)
+                error = future.exception()
+                if error is None:
+                    finish(i, future.result())
+                elif tries == 1:
+                    first_error[i] = error
+                    submit(i, 2)                    # retry once
+                else:
+                    raise ParallelRunError(
+                        f"job {jobs_list[i].label or jobs_list[i].workload!r}"
+                        f" failed twice: {error!r} "
+                        f"(first attempt: {first_error[i]!r})") from error
+    return results              # type: ignore[return-value]

@@ -4,6 +4,13 @@ workload and collect the metrics of interest.
 Used by the design-space example, the CLI's ``sweep`` subcommand, and the
 ablation benches.  Sweepable fields address nested config dataclasses with
 dotted paths (``emc.num_contexts``, ``dram.channels``, ``llc.latency``).
+
+Grid points are independent simulations, so spec-based sweeps
+(:func:`sweep_jobs`, :func:`sweep_mix`) route through the parallel
+experiment executor (:mod:`repro.analysis.parallel`) and accept ``jobs``,
+``cache_dir``, and ``progress`` arguments.  :func:`run_sweep` keeps the
+callable-factory API for workloads that exist only in-process and
+therefore runs serially.
 """
 
 from __future__ import annotations
@@ -11,31 +18,16 @@ from __future__ import annotations
 import copy
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Mapping, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..sim.runner import RunResult, run_system
-from ..uarch.params import SystemConfig, quad_core_config
+from ..uarch.params import (SystemConfig, get_config_field,
+                            quad_core_config, set_config_field)
 from ..workloads.mixes import Workload, build_mix
+from .parallel import RunJob, mix_job, run_jobs
 
-
-def set_config_field(cfg: SystemConfig, path: str, value: Any) -> None:
-    """Set a possibly nested config field by dotted path (in place)."""
-    parts = path.split(".")
-    target = cfg
-    for part in parts[:-1]:
-        if not hasattr(target, part):
-            raise AttributeError(f"no config section {part!r} in {path!r}")
-        target = getattr(target, part)
-    if not hasattr(target, parts[-1]):
-        raise AttributeError(f"no config field {parts[-1]!r} in {path!r}")
-    setattr(target, parts[-1], value)
-
-
-def get_config_field(cfg: SystemConfig, path: str) -> Any:
-    target = cfg
-    for part in path.split("."):
-        target = getattr(target, part)
-    return target
+__all__ = ["SweepPoint", "SweepResult", "get_config_field",
+           "run_sweep", "set_config_field", "sweep_jobs", "sweep_mix"]
 
 
 @dataclass
@@ -70,23 +62,30 @@ class SweepResult:
         return rows
 
 
+def grid_overrides(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Expand a grid into its cross product, in deterministic order."""
+    names = list(grid)
+    return [dict(zip(names, values))
+            for values in itertools.product(*(grid[n] for n in names))]
+
+
 def run_sweep(grid: Mapping[str, Sequence[Any]],
               workload_factory: Callable[[], Workload],
               base_config_factory: Callable[[], SystemConfig] = None,
               max_cycles: int = 50_000_000) -> SweepResult:
-    """Run the full cross product of ``grid`` values.
+    """Run the full cross product of ``grid`` values, serially.
 
     ``workload_factory`` is called per point (each run needs fresh memory
     images).  ``base_config_factory`` defaults to the Table 1 quad-core
-    with the EMC enabled.
+    with the EMC enabled.  The factories may close over arbitrary state,
+    which is why this path stays in-process; use :func:`sweep_jobs` /
+    :func:`sweep_mix` for multi-process execution.
     """
     base_config_factory = base_config_factory or (
         lambda: quad_core_config(emc=True))
-    names = list(grid)
     out = SweepResult()
-    for values in itertools.product(*(grid[n] for n in names)):
+    for overrides in grid_overrides(grid):
         cfg = copy.deepcopy(base_config_factory())
-        overrides = dict(zip(names, values))
         for path, value in overrides.items():
             set_config_field(cfg, path, value)
         cfg.validate()
@@ -95,12 +94,38 @@ def run_sweep(grid: Mapping[str, Sequence[Any]],
     return out
 
 
+def sweep_jobs(grid: Mapping[str, Sequence[Any]], base_job: RunJob,
+               jobs: int = 1, cache_dir: Optional[str] = None,
+               timeout: Optional[float] = None,
+               progress=None) -> SweepResult:
+    """Run the cross product of ``grid`` as variants of ``base_job``.
+
+    Each point is ``base_job`` with the point's dotted-path overrides
+    appended, fanned out through :func:`repro.analysis.parallel.run_jobs`
+    (so ``jobs``, ``cache_dir``, ``timeout``, and ``progress`` behave as
+    documented there).  Point order — and therefore result order — is the
+    deterministic grid cross-product order regardless of worker count.
+    """
+    all_overrides = grid_overrides(grid)
+    jobs_list = []
+    for overrides in all_overrides:
+        merged = base_job.overrides + tuple(sorted(overrides.items()))
+        label = ",".join(f"{k}={v}" for k, v in overrides.items())
+        jobs_list.append(replace(base_job, overrides=merged,
+                                 label=f"{base_job.label}[{label}]"))
+    results = run_jobs(jobs_list, jobs=jobs, cache_dir=cache_dir,
+                       timeout=timeout, progress=progress)
+    return SweepResult(points=[
+        SweepPoint(overrides=o, result=r)
+        for o, r in zip(all_overrides, results)])
+
+
 def sweep_mix(grid: Mapping[str, Sequence[Any]], mix: str, n_instrs: int,
-              seed: int = 1, emc: bool = True,
-              prefetcher: str = "none") -> SweepResult:
-    """Convenience wrapper: sweep over one Table 3 mix."""
-    return run_sweep(
-        grid,
-        workload_factory=lambda: build_mix(mix, n_instrs, seed=seed),
-        base_config_factory=lambda: quad_core_config(
-            prefetcher=prefetcher, emc=emc, seed=seed))
+              seed: int = 1, emc: bool = True, prefetcher: str = "none",
+              jobs: int = 1, cache_dir: Optional[str] = None,
+              timeout: Optional[float] = None, progress=None) -> SweepResult:
+    """Convenience wrapper: sweep over one Table 3 mix, optionally in
+    parallel (``jobs`` worker processes, on-disk ``cache_dir``)."""
+    base = mix_job(mix, n_instrs, prefetcher=prefetcher, emc=emc, seed=seed)
+    return sweep_jobs(grid, base, jobs=jobs, cache_dir=cache_dir,
+                      timeout=timeout, progress=progress)

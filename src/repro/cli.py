@@ -17,6 +17,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .analysis.parallel import ParallelRunError
 from .analysis.report import format_table, percent
 from .sim.runner import (PREFETCHER_CONFIGS, RunResult, run_system)
 from .uarch.params import eight_core_config, quad_core_config
@@ -107,21 +108,24 @@ def cmd_homog(args) -> int:
 
 def cmd_compare(args) -> int:
     """All prefetchers x EMC on one workload, normalized."""
+    from .analysis.parallel import mix_job, run_jobs
+    combos = [(prefetcher, emc) for prefetcher in args.prefetchers
+              for emc in (False, True)]
+    results = run_jobs(
+        [mix_job(args.mix, args.n_instrs, prefetcher=prefetcher, emc=emc,
+                 seed=args.seed) for prefetcher, emc in combos],
+        jobs=args.jobs, cache_dir=args.cache_dir,
+        progress=True if args.jobs > 1 else None)
     rows = []
     base_perf: Optional[float] = None
-    for prefetcher in args.prefetchers:
-        for emc in (False, True):
-            cfg = quad_core_config(prefetcher=prefetcher, emc=emc,
-                                   seed=args.seed)
-            workload = build_mix(args.mix, args.n_instrs, seed=args.seed)
-            result = run_system(cfg, workload)
-            perf = result.aggregate_ipc
-            if base_perf is None:
-                base_perf = perf
-            rows.append((f"{prefetcher}{'+emc' if emc else ''}",
-                         perf, perf / base_perf,
-                         result.stats.emc_miss_fraction(),
-                         result.dram_reads))
+    for (prefetcher, emc), result in zip(combos, results):
+        perf = result.aggregate_ipc
+        if base_perf is None:
+            base_perf = perf
+        rows.append((f"{prefetcher}{'+emc' if emc else ''}",
+                     perf, perf / base_perf,
+                     result.stats.emc_miss_fraction(),
+                     result.dram_reads))
     print(f"workload {args.mix}, {args.n_instrs} instrs/core, "
           f"normalized to {args.prefetchers[0]} without EMC:")
     print(format_table(
@@ -154,10 +158,13 @@ def cmd_sweep(args) -> int:
             return 2
         path, values = spec.split("=", 1)
         grid[path] = [_parse_value(v) for v in values.split(",")]
-    print(f"sweeping {args.mix} over {grid}")
+    print(f"sweeping {args.mix} over {grid}"
+          + (f" with {args.jobs} workers" if args.jobs > 1 else ""))
     result = sweep_mix(grid, mix=args.mix, n_instrs=args.n_instrs,
                        seed=args.seed, emc=args.emc,
-                       prefetcher=args.prefetcher)
+                       prefetcher=args.prefetcher,
+                       jobs=args.jobs, cache_dir=args.cache_dir,
+                       progress=True if args.jobs > 1 else None)
     headers = list(grid) + ["perf", "emc_frac"]
     rows = [tuple(p.overrides[k] for k in grid)
             + (p.performance, p.result.stats.emc_miss_fraction())
@@ -225,9 +232,27 @@ def cmd_figure(args) -> int:
     env = dict(os.environ)
     if args.scale is not None:
         env["REPRO_BENCH_SCALE"] = str(args.scale)
+    if args.jobs is not None:
+        env["REPRO_JOBS"] = str(args.jobs)
+    if args.cache_dir is not None:
+        env["REPRO_CACHE_DIR"] = args.cache_dir
     cmd = [sys.executable, "-m", "pytest",
            f"benchmarks/{FIGURES[name]}", "-q", "--benchmark-disable", "-s"]
     return subprocess.call(cmd, env=env)
+
+
+def _add_parallel(parser: argparse.ArgumentParser,
+                  jobs_default=None) -> None:
+    from .analysis.parallel import default_cache_dir, default_jobs
+    parser.add_argument(
+        "--jobs", type=int,
+        default=jobs_default if jobs_default is not None else default_jobs(),
+        help="worker processes for independent runs (default: "
+             "$REPRO_JOBS or 1; 1 = serial, bit-identical results)")
+    parser.add_argument(
+        "--cache-dir", default=default_cache_dir(), metavar="DIR",
+        help="on-disk result cache keyed by config hash "
+             "(default: $REPRO_CACHE_DIR or disabled)")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -273,6 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--prefetchers", nargs="+",
                        default=["none", "ghb"],
                        choices=PREFETCHER_CONFIGS)
+    _add_parallel(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_prof = sub.add_parser("profiles",
@@ -284,6 +310,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("name", help=f"one of: {', '.join(sorted(FIGURES))}")
     p_fig.add_argument("--scale", type=float, default=None,
                        help="REPRO_BENCH_SCALE multiplier")
+    p_fig.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (exported as REPRO_JOBS to "
+                            "the figure's driver)")
+    p_fig.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="on-disk result cache (exported as "
+                            "REPRO_CACHE_DIR)")
     p_fig.set_defaults(func=cmd_figure)
 
     p_sweep = sub.add_parser(
@@ -295,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
                          required=True, metavar="PATH=V1,V2,...",
                          help="dotted config path and comma-separated "
                               "values (repeatable)")
+    _add_parallel(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_trace = sub.add_parser(
@@ -313,7 +346,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ParallelRunError, ValueError) as exc:
+        # Bad config overrides and failed runs are user errors, not
+        # tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

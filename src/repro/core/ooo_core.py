@@ -15,6 +15,7 @@ scheduling tick events and is woken by memory completions.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..emc.chain import ChainUop, DependenceChain
@@ -30,6 +31,25 @@ from .inflight import InflightUop, UopState
 MISS_WALK_LIMIT = 24
 
 
+@dataclass(frozen=True)
+class CoreProgress:
+    """Public point-in-time snapshot of a core's execution state.
+
+    This is the supported surface for diagnostics (deadlock reports,
+    watchdogs, progress displays); it insulates callers from the core's
+    private fetch/window bookkeeping.
+    """
+
+    core_id: int
+    fetched: int          # uops fetched from the current trace pass
+    trace_len: int        # uops in one trace pass
+    rob_occupancy: int
+    ready: int            # uops ready to issue
+    finished: bool        # completed its first full (measured) trace pass
+    wrap_count: int       # interference-only wrapped passes completed
+    rob_head: Optional[object]   # oldest in-flight uop, or None
+
+
 class OutOfOrderCore:
     """One core: front-end, window, L1, and the chain-generation unit."""
 
@@ -39,7 +59,8 @@ class OutOfOrderCore:
         self.cfg = system.cfg.core
         self.wheel = system.wheel
         self.image = system.images[core_id]
-        self.page_table = PageTable(asid=core_id)
+        self.page_table = PageTable(asid=core_id,
+                                    allocator=system.frame_allocator)
         self.stats = CoreStats(core_id=core_id, benchmark=trace.name)
 
         self._trace = trace.uops
@@ -107,6 +128,19 @@ class OutOfOrderCore:
                     self.wheel.now - self._doze_started)
             self._doze_started = None
         self._schedule_tick()
+
+    def progress(self) -> CoreProgress:
+        """Snapshot fetch/window state without exposing internals."""
+        return CoreProgress(
+            core_id=self.core_id,
+            fetched=self._fetch_index,
+            trace_len=len(self._trace),
+            rob_occupancy=len(self.rob),
+            ready=len(self.ready),
+            finished=self.finished,
+            wrap_count=self.wrap_count,
+            rob_head=self.rob[0] if self.rob else None,
+        )
 
     def _has_work(self) -> bool:
         if self.ready:

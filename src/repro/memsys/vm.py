@@ -9,7 +9,7 @@ execution and falls back to the core, as in Section 4.1.4 of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from ..uarch.params import PAGE_BYTES
 
@@ -21,23 +21,46 @@ class PageTableEntry:
     asid: int
 
 
+class FrameAllocator:
+    """Hands out physical frame numbers on first touch.
+
+    One allocator exists per simulated machine (owned by the
+    :class:`~repro.sim.system.System`) and is shared by every core's page
+    table, so different cores' working sets map to disjoint physical
+    addresses and contend realistically in the shared LLC and DRAM banks.
+    Keeping the allocator instance-scoped — never module- or class-level —
+    is what lets several ``System`` objects coexist in one process (the
+    parallel experiment runner, notebook workflows) without corrupting each
+    other's address spaces.
+    """
+
+    def __init__(self, first_frame: int = 1) -> None:
+        # Frame 0 is reserved so a zero physical address never appears.
+        self._next_frame = first_frame
+
+    def allocate(self) -> int:
+        pfn = self._next_frame
+        self._next_frame += 1
+        return pfn
+
+    @property
+    def frames_allocated(self) -> int:
+        return self._next_frame - 1
+
+
 class PageTable:
     """Per-address-space page table with on-demand frame allocation.
 
-    A single global frame allocator hands out physical frames so that
-    different cores' working sets map to disjoint physical addresses (and
-    therefore contend realistically in the shared LLC and DRAM banks).
+    ``allocator`` is normally the owning system's shared
+    :class:`FrameAllocator`; a standalone page table (unit tests, tooling)
+    gets a private one.
     """
 
-    _next_frame = 1  # class-level allocator; frame 0 reserved
-
-    def __init__(self, asid: int) -> None:
+    def __init__(self, asid: int,
+                 allocator: Optional[FrameAllocator] = None) -> None:
         self.asid = asid
+        self.allocator = allocator if allocator is not None else FrameAllocator()
         self._entries: Dict[int, PageTableEntry] = {}
-
-    @classmethod
-    def reset_frame_allocator(cls) -> None:
-        cls._next_frame = 1
 
     @staticmethod
     def vpn_of(vaddr: int) -> int:
@@ -48,9 +71,8 @@ class PageTable:
         vpn = self.vpn_of(vaddr)
         entry = self._entries.get(vpn)
         if entry is None:
-            entry = PageTableEntry(vpn=vpn, pfn=PageTable._next_frame,
+            entry = PageTableEntry(vpn=vpn, pfn=self.allocator.allocate(),
                                    asid=self.asid)
-            PageTable._next_frame += 1
             self._entries[vpn] = entry
         return entry.pfn * PAGE_BYTES + (vaddr % PAGE_BYTES)
 

@@ -8,7 +8,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..energy.model import EnergyBreakdown, compute_energy
 from ..uarch.params import (SystemConfig, eight_core_config,
-                            quad_core_config)
+                            quad_core_config, set_config_field)
 from ..workloads.mixes import (Workload, build_eight_core_mix,
                                build_homogeneous, build_mix, build_named)
 from .stats import SimStats
@@ -75,13 +75,35 @@ def run_system(cfg: SystemConfig, workload: Workload,
 PREFETCHER_CONFIGS = ["none", "ghb", "stream", "markov+stream"]
 
 
+def apply_config_overrides(cfg: SystemConfig, overrides) -> SystemConfig:
+    """Apply ``{field_or_dotted_path: value}`` overrides to ``cfg``.
+
+    Every key must name an existing field of :class:`SystemConfig` (or of a
+    nested sub-config via a dotted path such as ``"emc.num_contexts"``);
+    a typo'd key raises :class:`ValueError` instead of silently creating a
+    new, ignored attribute.
+    """
+    for key, value in dict(overrides).items():
+        try:
+            set_config_field(cfg, key, value)
+        except AttributeError as exc:
+            raise ValueError(f"unknown config override {key!r}: {exc}"
+                             ) from None
+    return cfg
+
+
 def run_quad_mix(mix: str, n_instrs: int, prefetcher: str = "none",
                  emc: bool = False, seed: int = 1,
                  **cfg_overrides) -> RunResult:
-    """One quad-core Table 3 mix under one configuration."""
+    """One quad-core Table 3 mix under one configuration.
+
+    ``cfg_overrides`` address :class:`SystemConfig` fields, including
+    nested ones via dotted keys (``**{"emc.num_contexts": 4}``); unknown
+    keys raise :class:`ValueError`.
+    """
     cfg = quad_core_config(prefetcher=prefetcher, emc=emc, seed=seed)
-    for key, value in cfg_overrides.items():
-        setattr(cfg, key, value)
+    apply_config_overrides(cfg, cfg_overrides)
+    cfg.validate()
     workload = build_mix(mix, n_instrs, seed=seed)
     return run_system(cfg, workload,
                       label=f"{mix}/{prefetcher}{'+emc' if emc else ''}")

@@ -192,6 +192,9 @@ class SimStats:
     emc_miss_latency: LatencyAccumulator = field(
         default_factory=LatencyAccumulator)
     total_cycles: int = 0
+    # True when the post-finish drain hit its event budget and in-flight
+    # traffic counters (DRAM, ring, energy) are therefore incomplete.
+    drain_truncated: bool = False
     llc_misses_from_emc: int = 0
     llc_misses_from_core: int = 0
     prefetches_issued: int = 0

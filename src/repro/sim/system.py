@@ -8,6 +8,7 @@ flows).
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.ooo_core import OutOfOrderCore
@@ -16,7 +17,7 @@ from ..emc.controller import EMC
 from ..interconnect.ring import Ring
 from ..memsys.cache import line_addr
 from ..memsys.hierarchy import MemoryHierarchy
-from ..memsys.vm import PageTable
+from ..memsys.vm import FrameAllocator
 from ..uarch.params import SystemConfig
 from ..uarch.uop import Trace, UopType
 from ..workloads.memory_image import MemoryImage
@@ -26,6 +27,20 @@ from .stats import SimStats
 
 class DeadlockError(RuntimeError):
     """The event wheel drained before every core finished its trace."""
+
+
+class SimTimeoutError(DeadlockError):
+    """The simulation exceeded its ``max_cycles`` budget before finishing.
+
+    Distinct from a true deadlock (empty wheel with unfinished cores) so
+    callers can treat a budget overrun — usually an undersized budget or a
+    pathological configuration, not a simulator bug — differently.
+    Subclasses :class:`DeadlockError` for backwards compatibility.
+    """
+
+
+#: Event budget for the post-finish drain of in-flight memory traffic.
+DRAIN_MAX_EVENTS = 2_000_000
 
 
 class System:
@@ -42,7 +57,7 @@ class System:
         self.stats = SimStats()
         self.energy_counters = self.stats.energy
 
-        PageTable.reset_frame_allocator()
+        self.frame_allocator = FrameAllocator()
         self.images: List[MemoryImage] = [image for _t, image in workload]
         num_stops = cfg.num_cores + cfg.num_mcs
         self.ring = Ring(num_stops, cfg.ring, self.wheel)
@@ -211,7 +226,8 @@ class System:
     def all_finished(self) -> bool:
         return self._finished >= self.cfg.num_cores
 
-    def run(self, max_cycles: int = 50_000_000) -> SimStats:
+    def run(self, max_cycles: int = 50_000_000,
+            drain_max_events: int = DRAIN_MAX_EVENTS) -> SimStats:
         """Run every core's trace to completion and return the stats."""
         for core in self.cores:
             core.start()
@@ -219,7 +235,7 @@ class System:
             if not self.wheel.step():
                 raise DeadlockError(self._deadlock_report())
             if self.wheel.now > max_cycles:
-                raise DeadlockError(
+                raise SimTimeoutError(
                     f"exceeded {max_cycles} cycles; "
                     + self._deadlock_report())
         self.stats.total_cycles = max(
@@ -227,7 +243,14 @@ class System:
         # Drain in-flight memory traffic (write-throughs, writebacks,
         # fills) so end-of-run counters settle; wrapped cores stop
         # fetching once everyone has finished, so the wheel empties.
-        self.wheel.run(max_events=2_000_000)
+        self.wheel.run(max_events=drain_max_events)
+        if self.wheel.pending:
+            self.stats.drain_truncated = True
+            warnings.warn(
+                f"post-finish drain stopped after {drain_max_events} events "
+                f"with {self.wheel.pending} still queued; in-flight traffic "
+                "counters (DRAM accesses, ring hops, energy) are incomplete",
+                RuntimeWarning, stacklevel=2)
         self._finalize_stats()
         return self.stats
 
@@ -239,11 +262,12 @@ class System:
     def _deadlock_report(self) -> str:
         parts = [f"deadlock at cycle {self.wheel.now}:"]
         for core in self.cores:
+            p = core.progress()
             parts.append(
-                f" core{core.core_id}: fetched={core._fetch_index}"
-                f"/{len(core._trace)} rob={len(core.rob)}"
-                f" ready={len(core.ready)} finished={core.finished}"
-                f" head={core.rob[0] if core.rob else None}")
+                f" core{p.core_id}: fetched={p.fetched}"
+                f"/{p.trace_len} rob={p.rob_occupancy}"
+                f" ready={p.ready} finished={p.finished}"
+                f" head={p.rob_head}")
         return "".join(parts)
 
     # -- convenience ----------------------------------------------------

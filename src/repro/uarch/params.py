@@ -8,7 +8,7 @@ pre-converted to core cycles here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Optional
 
 
 CACHE_LINE_BYTES = 64
@@ -189,6 +189,30 @@ class SystemConfig:
             raise ValueError("need at least one DRAM channel")
         if self.emc.max_chain_uops > self.emc.uop_buffer_entries:
             raise ValueError("chain length cannot exceed the EMC uop buffer")
+
+
+def set_config_field(cfg: SystemConfig, path: str, value: Any) -> None:
+    """Set a possibly nested config field by dotted path (in place).
+
+    Raises :class:`AttributeError` when any path component does not exist,
+    so a typo can never silently create a new attribute.
+    """
+    parts = path.split(".")
+    target = cfg
+    for part in parts[:-1]:
+        if not hasattr(target, part):
+            raise AttributeError(f"no config section {part!r} in {path!r}")
+        target = getattr(target, part)
+    if not hasattr(target, parts[-1]):
+        raise AttributeError(f"no config field {parts[-1]!r} in {path!r}")
+    setattr(target, parts[-1], value)
+
+
+def get_config_field(cfg: SystemConfig, path: str) -> Any:
+    target = cfg
+    for part in path.split("."):
+        target = getattr(target, part)
+    return target
 
 
 def quad_core_config(prefetcher: str = "none", emc: bool = False,

@@ -164,7 +164,7 @@ def test_fp_uops_execute_at_core():
 
 
 def test_deadlock_reported_not_hung():
-    from repro.sim.system import DeadlockError, System
+    from repro.sim.system import DeadlockError, SimTimeoutError, System
     from repro.uarch.uop import Trace
     # An empty wheel with unfinished work must raise, not hang.
     tw = TraceWriter()
@@ -173,5 +173,7 @@ def test_deadlock_reported_not_hung():
     system = System(cfg, [(tw.trace(), MemoryImage())])
     # Sabotage: drop every tick so nothing ever runs.
     system.cores[0]._schedule_tick = lambda *a, **k: None
-    with pytest.raises(DeadlockError):
+    with pytest.raises(DeadlockError) as excinfo:
         system.run(max_cycles=100)
+    # A drained wheel is a deadlock proper, not a cycle-budget timeout.
+    assert not isinstance(excinfo.value, SimTimeoutError)

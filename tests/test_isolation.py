@@ -1,0 +1,99 @@
+"""Regression tests: two Systems alive in one process must not corrupt
+each other's address spaces (the class-level frame-allocator bug), and
+simulations must be reproducible — the property the parallel experiment
+runner depends on."""
+
+import pytest
+
+from repro.sim.system import SimTimeoutError, System
+from repro.uarch.params import PAGE_BYTES, quad_core_config
+from repro.workloads.mixes import build_mix
+
+
+def _frames(system, core_id, vaddrs):
+    pt = system.cores[core_id].page_table
+    return [pt.translate(v) // PAGE_BYTES for v in vaddrs]
+
+
+def test_interleaved_systems_have_stable_disjoint_frames():
+    vaddrs = [0x1000, 0x5000, 0x9000]
+    # Reference: a System translating alone.
+    ref = System(quad_core_config(), build_mix("H1", 200, seed=1))
+    expected = _frames(ref, 0, vaddrs)
+
+    # Interleave: construct A, translate a bit, construct B and let it
+    # allocate, then continue on A.  Under the old class-level allocator,
+    # B's construction reset the counter and its allocations collided
+    # with (and perturbed) A's.
+    a = System(quad_core_config(), build_mix("H1", 200, seed=1))
+    got = _frames(a, 0, vaddrs[:1])
+    b = System(quad_core_config(), build_mix("H3", 200, seed=2))
+    _frames(b, 0, [0x2000, 0x6000])
+    _frames(b, 1, [0x2000])
+    got += _frames(a, 0, vaddrs[1:])
+
+    assert got == expected                      # stable under interleaving
+    assert len(set(got)) == len(got)            # and self-disjoint
+
+
+def test_cores_of_one_system_share_disjoint_frames():
+    system = System(quad_core_config(), build_mix("H1", 200, seed=1))
+    frames = []
+    for core_id in range(4):
+        frames += _frames(system, core_id, [0x1000, 0x2000])
+    assert len(set(frames)) == len(frames)
+
+
+def test_concurrent_systems_run_like_isolated_ones():
+    # Full-run check: a System whose lifetime overlaps another produces
+    # exactly the stats of one run alone.
+    alone = System(quad_core_config(), build_mix("H4", 300, seed=1))
+    alone_stats = alone.run(max_cycles=2_000_000)
+
+    bystander = System(quad_core_config(), build_mix("H1", 300, seed=2))
+    bystander.cores[0].page_table.translate(0x1234)   # allocate something
+    overlapped = System(quad_core_config(), build_mix("H4", 300, seed=1))
+    overlapped_stats = overlapped.run(max_cycles=2_000_000)
+
+    assert overlapped_stats == alone_stats
+
+
+def test_max_cycles_overrun_raises_sim_timeout():
+    system = System(quad_core_config(), build_mix("H4", 400, seed=1))
+    with pytest.raises(SimTimeoutError):
+        system.run(max_cycles=50)
+
+
+def test_truncated_drain_warns_and_flags():
+    system = System(quad_core_config(), build_mix("H3", 300, seed=1))
+    # A far-future event stands in for in-flight traffic that a zero-budget
+    # drain cannot retire (it never fires during the run itself: cores
+    # finish long before the wheel would reach it).
+    system.wheel.schedule(10 ** 9, lambda: None)
+    with pytest.warns(RuntimeWarning, match="drain"):
+        stats = system.run(max_cycles=2_000_000, drain_max_events=0)
+    assert stats.drain_truncated
+    assert system.wheel.pending > 0
+
+    clean = System(quad_core_config(), build_mix("H3", 300, seed=1))
+    assert not clean.run(max_cycles=2_000_000).drain_truncated
+
+
+def test_core_progress_snapshot():
+    system = System(quad_core_config(), build_mix("H3", 300, seed=1))
+    before = system.cores[0].progress()
+    assert (before.core_id, before.fetched, before.finished) == (0, 0, False)
+    assert before.trace_len > 0 and before.rob_head is None
+
+    system.run(max_cycles=2_000_000)
+    after = system.cores[0].progress()
+    assert after.finished
+    assert after.fetched > 0
+    assert after.rob_occupancy == len(system.cores[0].rob)
+
+
+def test_deadlock_report_uses_progress(monkeypatch):
+    system = System(quad_core_config(), build_mix("H3", 200, seed=1))
+    report = system._deadlock_report()
+    for core_id in range(4):
+        assert f"core{core_id}:" in report

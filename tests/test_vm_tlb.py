@@ -1,12 +1,8 @@
 """Unit tests for virtual memory and the EMC TLBs."""
 
-from repro.memsys.vm import PageTable
+from repro.memsys.vm import FrameAllocator, PageTable
 from repro.emc.tlb import EMCTlb, EMCTlbFile
 from repro.uarch.params import PAGE_BYTES
-
-
-def setup_function(_fn):
-    PageTable.reset_frame_allocator()
 
 
 def test_translation_is_stable():
@@ -30,8 +26,33 @@ def test_distinct_pages_distinct_frames():
 
 
 def test_address_spaces_are_disjoint():
-    pt0, pt1 = PageTable(asid=0), PageTable(asid=1)
+    # Page tables of one machine share its frame allocator, which keeps
+    # their physical mappings disjoint.
+    alloc = FrameAllocator()
+    pt0 = PageTable(asid=0, allocator=alloc)
+    pt1 = PageTable(asid=1, allocator=alloc)
     assert pt0.translate(0x1000) != pt1.translate(0x1000)
+
+
+def test_standalone_tables_have_private_allocators():
+    # Without an explicit allocator each table is its own address space
+    # universe: translations never depend on other tables' activity.
+    pt0, pt1 = PageTable(asid=0), PageTable(asid=1)
+    first = pt0.translate(0x1000)
+    pt1.translate(0x2000)
+    pt1.translate(0x3000)
+    # pt1's allocations did not advance pt0's allocator: pt0's second
+    # page still lands in its second frame.
+    assert pt0.translate(0x4000) // PAGE_BYTES == 2
+    assert pt0.translate(0x1000) == first
+
+
+def test_frame_allocator_counts():
+    alloc = FrameAllocator()
+    pt = PageTable(asid=0, allocator=alloc)
+    pt.translate(0)
+    pt.translate(PAGE_BYTES)
+    assert alloc.frames_allocated == 2
 
 
 def test_resident_tracking():

@@ -34,7 +34,8 @@ def test_weighted_speedup_bounds():
 def test_weighted_speedup_uses_cache():
     shared = exp.mix_run("H4", "none", False, 600)
     exp.weighted_speedup(shared, n_instrs=600)
-    cached = sum(1 for k in exp._CACHE if k[0] == "solo")
+    # RunJob keys: (workload, n, topology, ...); solo runs are single-core.
+    cached = sum(1 for k in exp._CACHE if k[2] == "single")
     assert cached == 4          # one solo run per distinct benchmark
 
 
