@@ -18,6 +18,9 @@ def test_sec65_ring_overheads(once):
     print_header("Section 6.5 — ring traffic increase due to the EMC")
     print(f"data ring:    {overhead['data_traffic_increase']:+.1%}")
     print(f"control ring: {overhead['control_traffic_increase']:+.1%}")
+    print(f"EMC-tagged share of the EMC run's hops: "
+          f"data {overhead['emc_share_of_data_hops']:.1%}, "
+          f"control {overhead['emc_share_of_control_hops']:.1%}")
 
     # The EMC adds some traffic, but within an order of magnitude of the
     # paper's observation.

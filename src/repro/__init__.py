@@ -22,6 +22,8 @@ from .sim.runner import (PREFETCHER_CONFIGS, RunResult,
                          run_system, speedup)
 from .sim.stats import SimStats
 from .sim.system import DeadlockError, SimTimeoutError, System
+from .trace import (LatencyAttribution, NullTracer, RequestTrace, Stage,
+                    TraceError, Tracer)
 from .analysis.parallel import (RunJob, eight_job, homog_job, mix_job,
                                 named_job, run_jobs, solo_job)
 from .uarch.params import (DRAMConfig, EMCConfig, PrefetchConfig,
@@ -44,6 +46,8 @@ __all__ = [
     "apply_config_overrides",
     "RunJob", "run_jobs", "mix_job", "homog_job", "eight_job", "named_job",
     "solo_job",
+    "Tracer", "NullTracer", "LatencyAttribution", "RequestTrace", "Stage",
+    "TraceError",
     "MIXES", "MIX_NAMES", "build_mix", "build_named", "build_homogeneous",
     "build_eight_core_mix", "build_trace",
     "HIGH_INTENSITY", "LOW_INTENSITY", "PROFILES",

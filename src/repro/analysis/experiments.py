@@ -118,18 +118,18 @@ def _oracle_overrides(oracle: bool) -> Optional[Dict[str, bool]]:
 
 def _mix_job(mix: str, prefetcher: str = "none", emc: bool = False,
              n_instrs: Optional[int] = None, seed: int = 1,
-             oracle: bool = False) -> RunJob:
+             oracle: bool = False, trace: bool = False) -> RunJob:
     n = n_instrs if n_instrs is not None else scaled(N_MIX)
     return mix_job(mix, n, prefetcher=prefetcher, emc=emc, seed=seed,
-                   overrides=_oracle_overrides(oracle))
+                   overrides=_oracle_overrides(oracle), trace=trace)
 
 
 def _homog_job(name: str, prefetcher: str = "none", emc: bool = False,
                n_instrs: Optional[int] = None, seed: int = 1,
-               oracle: bool = False) -> RunJob:
+               oracle: bool = False, trace: bool = False) -> RunJob:
     n = n_instrs if n_instrs is not None else scaled(N_SINGLE)
     return homog_job(name, 4, n, prefetcher=prefetcher, emc=emc, seed=seed,
-                     overrides=_oracle_overrides(oracle))
+                     overrides=_oracle_overrides(oracle), trace=trace)
 
 
 def _eight_job(mix: str, prefetcher: str = "none", emc: bool = False,
@@ -148,16 +148,18 @@ def _solo_job(name: str, n_instrs: Optional[int] = None,
 
 def mix_run(mix: str, prefetcher: str = "none", emc: bool = False,
             n_instrs: Optional[int] = None, seed: int = 1,
-            oracle: bool = False) -> RunResult:
+            oracle: bool = False, trace: bool = False) -> RunResult:
     """Memoized quad-core run of a Table 3 mix."""
-    return _run(_mix_job(mix, prefetcher, emc, n_instrs, seed, oracle))
+    return _run(_mix_job(mix, prefetcher, emc, n_instrs, seed, oracle,
+                         trace))
 
 
 def homog_run(name: str, prefetcher: str = "none", emc: bool = False,
               n_instrs: Optional[int] = None, seed: int = 1,
-              oracle: bool = False) -> RunResult:
+              oracle: bool = False, trace: bool = False) -> RunResult:
     """Memoized quad-core run of four copies of one benchmark."""
-    return _run(_homog_job(name, prefetcher, emc, n_instrs, seed, oracle))
+    return _run(_homog_job(name, prefetcher, emc, n_instrs, seed, oracle,
+                           trace))
 
 
 def eight_run(mix: str, prefetcher: str = "none", emc: bool = False,
@@ -208,16 +210,21 @@ class LatencySplitRow:
 def fig01_latency_breakdown(benchmarks: Optional[Sequence[str]] = None,
                             n_instrs: Optional[int] = None
                             ) -> List[LatencySplitRow]:
-    """DRAM vs on-chip delay per benchmark, quad-core, sorted by MPKI."""
+    """DRAM vs on-chip delay per benchmark, quad-core, sorted by MPKI.
+
+    The split comes from traced runs: per-request stage spans (bank + bus
+    = DRAM; everything else = on-chip), aggregated by
+    :meth:`repro.trace.LatencyAttribution.dram_onchip_split`.
+    """
     names = list(benchmarks) if benchmarks else list(PROFILES)
-    prewarm(_homog_job(name, n_instrs=n_instrs) for name in names)
+    prewarm(_homog_job(name, n_instrs=n_instrs, trace=True)
+            for name in names)
     rows = []
     for name in names:
-        result = homog_run(name, n_instrs=n_instrs)
-        lat = result.stats.core_miss_latency
+        result = homog_run(name, n_instrs=n_instrs, trace=True)
+        dram, onchip = result.latency_attribution.dram_onchip_split()
         mpki = sum(c.mpki() for c in result.stats.cores) / 4
-        rows.append(LatencySplitRow(name, mpki, lat.mean_dram,
-                                    lat.mean_onchip))
+        rows.append(LatencySplitRow(name, mpki, dram, onchip))
     rows.sort(key=lambda r: r.mpki)
     return rows
 
@@ -388,12 +395,15 @@ class EMCBehaviourRow:
     mix: str
     emc_miss_fraction: float          # Fig 15
     row_conflict_delta: float         # Fig 16 (emc minus baseline)
+    core_row_hit_rate: float          # Fig 16 evidence (traced, per class)
+    emc_row_hit_rate: float
     dcache_hit_rate: float            # Fig 17
-    core_miss_latency: float          # Fig 18
+    core_miss_latency: float          # Fig 18 (traced mean, same run)
     emc_miss_latency: float           # Fig 18
-    saved_fill_path: float            # Fig 19 (avg cycles/request)
+    saved_fill_path: float            # Fig 19 (mean cycles/request saved)
     saved_cache_access: float
     saved_queue: float
+    saved_dram: float
     avg_chain_uops: float             # Fig 22
     avg_live_ins: float
     avg_live_outs: float
@@ -401,26 +411,40 @@ class EMCBehaviourRow:
 
 def emc_behaviour(mixes: Optional[Sequence[str]] = None,
                   n_instrs: Optional[int] = None) -> List[EMCBehaviourRow]:
+    """EMC behaviour figures (15–19, 22) over the H mixes.
+
+    The EMC run is traced: Figure 18's per-class miss latencies and
+    Figure 19's savings attribution come from
+    :class:`repro.trace.LatencyAttribution` — exact per-request stage
+    accounting, in place of the running averages earlier versions kept in
+    ``EMCStats``.  Savings are core-miss minus EMC-miss mean cycles per
+    category, so a negative value means the EMC path pays *more* there.
+    """
     mixes = list(mixes) if mixes else list(MIX_NAMES)
-    prewarm(_mix_job(mix, "none", emc, n_instrs)
-            for mix in mixes for emc in (False, True))
+    prewarm([_mix_job(mix, "none", False, n_instrs) for mix in mixes]
+            + [_mix_job(mix, "none", True, n_instrs, trace=True)
+               for mix in mixes])
     rows = []
     for mix in mixes:
         base = mix_run(mix, "none", False, n_instrs)
-        emc = mix_run(mix, "none", True, n_instrs)
+        emc = mix_run(mix, "none", True, n_instrs, trace=True)
         stats = emc.stats
-        n_req = max(1, stats.llc_misses_from_emc)
+        att = emc.latency_attribution
+        saved = att.savings()
         rows.append(EMCBehaviourRow(
             mix=mix,
             emc_miss_fraction=stats.emc_miss_fraction(),
             row_conflict_delta=(emc.dram_row_conflict_rate
                                 - base.dram_row_conflict_rate),
+            core_row_hit_rate=att.core_miss.row_hit_rate,
+            emc_row_hit_rate=att.emc_miss.row_hit_rate,
             dcache_hit_rate=stats.emc.dcache_hit_rate,
-            core_miss_latency=stats.core_miss_latency.mean,
-            emc_miss_latency=stats.emc_miss_latency.mean,
-            saved_fill_path=stats.emc.saved_fill_path / n_req,
-            saved_cache_access=stats.emc.saved_cache_access / n_req,
-            saved_queue=stats.emc.saved_queue / n_req,
+            core_miss_latency=att.core_miss.mean_total,
+            emc_miss_latency=att.emc_miss.mean_total,
+            saved_fill_path=saved["fill_path"],
+            saved_cache_access=saved["cache_access"],
+            saved_queue=saved["queue"],
+            saved_dram=saved["dram"],
             avg_chain_uops=stats.emc.avg_chain_uops,
             avg_live_ins=stats.emc.avg_live_ins,
             avg_live_outs=stats.emc.avg_live_outs,
@@ -549,21 +573,33 @@ def fig24_energy_homogeneous(prefetchers: Sequence[str] = ("none", "ghb"),
 
 def sec65_overheads(mixes: Optional[Sequence[str]] = None,
                     n_instrs: Optional[int] = None) -> dict:
+    """Ring-traffic overhead of the EMC (§6.5).
+
+    Alongside the headline traffic increases, the per-kind EMC hop
+    counters the ring now keeps attribute how much of the EMC run's
+    traffic is EMC-tagged (chain shipping, live-out returns, LSQ/PTE
+    messages) versus demand traffic shifted by timing changes.
+    """
     mixes = list(mixes) if mixes else list(MIX_NAMES)
     prewarm(_mix_job(mix, "none", emc, n_instrs)
             for mix in mixes for emc in (False, True))
     base_data = base_ctrl = emc_data = emc_ctrl = 0
+    emc_tagged_data = emc_tagged_ctrl = 0
     for mix in mixes:
         b = mix_run(mix, "none", False, n_instrs)
         e = mix_run(mix, "none", True, n_instrs)
-        # Ring message counts come from the system's ring stats, preserved
-        # via the energy counters.
-        base_data += b.stats.energy.ring_data_hops
-        base_ctrl += b.stats.energy.ring_control_hops
-        emc_data += e.stats.energy.ring_data_hops
-        emc_ctrl += e.stats.energy.ring_control_hops
+        base_data += b.ring.data_hops
+        base_ctrl += b.ring.control_hops
+        emc_data += e.ring.data_hops
+        emc_ctrl += e.ring.control_hops
+        emc_tagged_data += e.ring.emc_data_hops
+        emc_tagged_ctrl += e.ring.emc_control_hops
     return {
         "data_traffic_increase": emc_data / base_data - 1 if base_data else 0,
         "control_traffic_increase": (emc_ctrl / base_ctrl - 1
                                      if base_ctrl else 0),
+        "emc_share_of_data_hops": (emc_tagged_data / emc_data
+                                   if emc_data else 0),
+        "emc_share_of_control_hops": (emc_tagged_ctrl / emc_ctrl
+                                      if emc_ctrl else 0),
     }

@@ -37,6 +37,7 @@ from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple, Union)
 
 from ..sim.runner import RunResult, apply_config_overrides, run_system
+from ..trace import Tracer
 from ..uarch.params import (SystemConfig, eight_core_config,
                             quad_core_config)
 from ..workloads.mixes import (build_eight_core_mix, build_homogeneous,
@@ -44,7 +45,7 @@ from ..workloads.mixes import (build_eight_core_mix, build_homogeneous,
 from .figures import format_eta, progress_bar
 
 #: bump to invalidate every on-disk cache entry when result layout changes
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
 
 Overrides = Tuple[Tuple[str, Any], ...]
 ProgressFn = Callable[[int, int, str, float], None]
@@ -70,6 +71,9 @@ class RunJob:
     ``("mix", name)``, ``("homog", name, num_cores)``, ``("eight", name)``,
     or ``("named", name, ...)``.  ``overrides`` are dotted
     :class:`SystemConfig` paths applied after the base topology is built.
+    ``trace`` attaches a :class:`repro.trace.Tracer` so the result carries a
+    :class:`~repro.trace.LatencyAttribution`; a traced run is a distinct
+    cache identity from its untraced twin (same timing, richer result).
     """
 
     workload: Tuple[Any, ...]
@@ -81,13 +85,14 @@ class RunJob:
     seed: int = 1
     overrides: Overrides = ()
     max_cycles: int = 50_000_000
+    trace: bool = False
     label: str = ""
 
     def key(self) -> tuple:
         """Identity of the run — everything except the display label."""
         return (self.workload, self.n_instrs, self.topology, self.prefetcher,
                 self.emc, self.num_mcs, self.seed, self.overrides,
-                self.max_cycles)
+                self.max_cycles, self.trace)
 
 
 def _as_overrides(overrides: Optional[Mapping[str, Any]]) -> Overrides:
@@ -97,23 +102,25 @@ def _as_overrides(overrides: Optional[Mapping[str, Any]]) -> Overrides:
 def mix_job(mix: str, n_instrs: int, prefetcher: str = "none",
             emc: bool = False, seed: int = 1,
             overrides: Optional[Mapping[str, Any]] = None,
-            max_cycles: int = 50_000_000, label: str = "") -> RunJob:
+            max_cycles: int = 50_000_000, trace: bool = False,
+            label: str = "") -> RunJob:
     """Quad-core Table 3 mix (the ``run_quad_mix`` shape)."""
     return RunJob(workload=("mix", mix), n_instrs=n_instrs,
                   prefetcher=prefetcher, emc=emc, seed=seed,
                   overrides=_as_overrides(overrides), max_cycles=max_cycles,
+                  trace=trace,
                   label=label or f"{mix}/{prefetcher}{'+emc' if emc else ''}")
 
 
 def homog_job(name: str, num_cores: int, n_instrs: int,
               prefetcher: str = "none", emc: bool = False, seed: int = 1,
               overrides: Optional[Mapping[str, Any]] = None,
-              label: str = "") -> RunJob:
+              trace: bool = False, label: str = "") -> RunJob:
     """N copies of one benchmark (the ``run_homogeneous`` shape)."""
     return RunJob(workload=("homog", name, num_cores), n_instrs=n_instrs,
                   topology="quad" if num_cores == 4 else "eight",
                   prefetcher=prefetcher, emc=emc, seed=seed,
-                  overrides=_as_overrides(overrides),
+                  overrides=_as_overrides(overrides), trace=trace,
                   label=label or f"{num_cores}x{name}/{prefetcher}"
                   f"{'+emc' if emc else ''}")
 
@@ -121,12 +128,12 @@ def homog_job(name: str, num_cores: int, n_instrs: int,
 def eight_job(mix: str, n_instrs: int, prefetcher: str = "none",
               emc: bool = False, num_mcs: int = 1, seed: int = 1,
               overrides: Optional[Mapping[str, Any]] = None,
-              label: str = "") -> RunJob:
+              trace: bool = False, label: str = "") -> RunJob:
     """Eight-core mix, 1 or 2 memory controllers (Figure 14 shape)."""
     return RunJob(workload=("eight", mix), n_instrs=n_instrs,
                   topology="eight", prefetcher=prefetcher, emc=emc,
                   num_mcs=num_mcs, seed=seed,
-                  overrides=_as_overrides(overrides),
+                  overrides=_as_overrides(overrides), trace=trace,
                   label=label or f"8c-{num_mcs}mc/{mix}/{prefetcher}"
                   f"{'+emc' if emc else ''}")
 
@@ -134,7 +141,7 @@ def eight_job(mix: str, n_instrs: int, prefetcher: str = "none",
 def named_job(names: Sequence[str], n_instrs: int, prefetcher: str = "none",
               emc: bool = False, seed: int = 1,
               overrides: Optional[Mapping[str, Any]] = None,
-              label: str = "") -> RunJob:
+              trace: bool = False, label: str = "") -> RunJob:
     """Explicit benchmark list, one per core of a quad/eight topology."""
     topology = {4: "quad", 8: "eight"}.get(len(names))
     if topology is None:
@@ -143,7 +150,7 @@ def named_job(names: Sequence[str], n_instrs: int, prefetcher: str = "none",
     return RunJob(workload=("named",) + tuple(names), n_instrs=n_instrs,
                   topology=topology, prefetcher=prefetcher, emc=emc,
                   seed=seed, overrides=_as_overrides(overrides),
-                  label=label or "+".join(names))
+                  trace=trace, label=label or "+".join(names))
 
 
 def solo_job(name: str, n_instrs: int, seed: int = 1,
@@ -194,8 +201,9 @@ def execute_job(job: RunJob) -> RunResult:
     """Build the config + workload a job describes and run it."""
     cfg = build_job_config(job)
     workload = build_job_workload(job)
+    tracer = Tracer() if job.trace else None
     return run_system(cfg, workload, label=job.label,
-                      max_cycles=job.max_cycles)
+                      max_cycles=job.max_cycles, tracer=tracer)
 
 
 def _on_alarm(_signum, _frame):

@@ -7,6 +7,7 @@ Examples::
     python -m repro run --benchmarks mcf lbm milc bwaves -n 4000
     python -m repro homog --benchmark mcf --emc
     python -m repro compare --mix H3 -n 5000
+    python -m repro trace --mix H4 --emc --out trace.json
     python -m repro profiles
     python -m repro figure fig12 --scale 0.5
 """
@@ -20,6 +21,7 @@ from typing import List, Optional
 from .analysis.parallel import ParallelRunError
 from .analysis.report import format_table, percent
 from .sim.runner import (PREFETCHER_CONFIGS, RunResult, run_system)
+from .trace import Tracer
 from .uarch.params import eight_core_config, quad_core_config
 from .workloads.mixes import (MIX_NAMES, MIXES, build_homogeneous,
                               build_mix, build_named)
@@ -47,6 +49,9 @@ def _print_result(result: RunResult, verbose: bool = False) -> None:
     if stats.prefetches_issued:
         print(f"prefetches: {stats.prefetches_issued} issued, "
               f"accuracy {stats.prefetch_accuracy():.1%}")
+    if result.latency_attribution is not None:
+        print("latency attribution (cycles/request):")
+        print(result.latency_attribution.format())
     if verbose:
         print(f"total cycles: {stats.total_cycles}")
         print(f"energy: chip {result.energy.chip * 1e3:.3f} mJ, "
@@ -71,26 +76,31 @@ def _build_config(args) -> object:
                             seed=args.seed)
 
 
-def cmd_run(args) -> int:
-    cfg = _build_config(args)
+def _build_workload(args, cfg):
+    """Resolve --mix/--benchmarks into a workload, or (None, error_rc)."""
     if args.mix:
-        workload = build_mix(args.mix, args.n_instrs, seed=args.seed)
-        label = args.mix
-    elif args.benchmarks:
+        return build_mix(args.mix, args.n_instrs, seed=args.seed), args.mix
+    if args.benchmarks:
         if len(args.benchmarks) != cfg.num_cores:
             print(f"error: need {cfg.num_cores} benchmark names, got "
                   f"{len(args.benchmarks)}", file=sys.stderr)
-            return 2
-        workload = build_named(args.benchmarks, args.n_instrs,
-                               seed=args.seed)
-        label = "+".join(args.benchmarks)
-    else:
-        print("error: give --mix or --benchmarks", file=sys.stderr)
+            return None, None
+        return (build_named(args.benchmarks, args.n_instrs, seed=args.seed),
+                "+".join(args.benchmarks))
+    print("error: give --mix or --benchmarks", file=sys.stderr)
+    return None, None
+
+
+def cmd_run(args) -> int:
+    cfg = _build_config(args)
+    workload, label = _build_workload(args, cfg)
+    if workload is None:
         return 2
     print(f"running {label} / prefetcher={args.prefetcher} "
           f"emc={'on' if args.emc else 'off'} "
           f"({args.n_instrs} instrs/core)")
-    result = run_system(cfg, workload)
+    tracer = Tracer() if args.trace else None
+    result = run_system(cfg, workload, tracer=tracer)
     _print_result(result, verbose=args.verbose)
     return 0
 
@@ -101,8 +111,31 @@ def cmd_homog(args) -> int:
                                  args.n_instrs, seed=args.seed)
     print(f"running {cfg.num_cores}x {args.benchmark} / "
           f"prefetcher={args.prefetcher} emc={'on' if args.emc else 'off'}")
-    result = run_system(cfg, workload)
+    tracer = Tracer() if args.trace else None
+    result = run_system(cfg, workload, tracer=tracer)
     _print_result(result, verbose=args.verbose)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one workload with tracing on; report + optionally export."""
+    cfg = _build_config(args)
+    workload, label = _build_workload(args, cfg)
+    if workload is None:
+        return 2
+    tracer = Tracer(limit=args.limit)
+    print(f"tracing {label} / prefetcher={args.prefetcher} "
+          f"emc={'on' if args.emc else 'off'} "
+          f"({args.n_instrs} instrs/core)")
+    result = run_system(cfg, workload, tracer=tracer)
+    att = result.latency_attribution
+    print(f"traced {len(tracer.finished())} requests over "
+          f"{result.stats.total_cycles} cycles")
+    print(att.format())
+    if args.out:
+        tracer.write_chrome_trace(args.out)
+        print(f"wrote Chrome trace-event JSON to {args.out} "
+              "(open in https://ui.perfetto.dev)")
     return 0
 
 
@@ -176,7 +209,7 @@ def cmd_sweep(args) -> int:
     return 0
 
 
-def cmd_trace(args) -> int:
+def cmd_workload(args) -> int:
     from .workloads.inspect import format_report, inspect_trace
     from .workloads.spec import build_trace
     trace, image = build_trace(args.benchmark, args.n_instrs,
@@ -263,6 +296,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         choices=PREFETCHER_CONFIGS)
     parser.add_argument("--emc", action="store_true",
                         help="enable the Enhanced Memory Controller")
+    parser.add_argument("--trace", action="store_true",
+                        help="record request lifecycles and print the "
+                             "latency attribution (also: REPRO_TRACE=1)")
     parser.add_argument("-v", "--verbose", action="store_true")
 
 
@@ -331,15 +367,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_trace = sub.add_parser(
-        "trace", help="generate, inspect, or save a workload trace")
-    p_trace.add_argument("--benchmark", required=True,
-                         choices=sorted(PROFILES))
-    p_trace.add_argument("-n", "--n-instrs", type=int, default=5000)
-    p_trace.add_argument("--seed", type=int, default=1)
-    p_trace.add_argument("--save", metavar="PATH",
-                         help="write the (trace, image) pair to PATH "
-                              "(.gz for compression)")
+        "trace", help="run one workload with lifecycle tracing on and "
+                      "report the latency attribution")
+    _add_common(p_trace)
+    p_trace.add_argument("--mix", choices=MIX_NAMES,
+                         help="a Table 3 mix (H1..H10)")
+    p_trace.add_argument("--benchmarks", nargs="+",
+                         help="explicit benchmark names, one per core")
+    p_trace.add_argument("--eight-core", action="store_true")
+    p_trace.add_argument("--num-mcs", type=int, default=1, choices=(1, 2))
+    p_trace.add_argument("--out", metavar="PATH",
+                         help="write the per-request timelines as Chrome "
+                              "trace-event JSON (Perfetto-viewable)")
+    p_trace.add_argument("--limit", type=int, default=None,
+                         help="trace only the first N requests")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_wl = sub.add_parser(
+        "workload", help="generate, inspect, or save a workload trace")
+    p_wl.add_argument("--benchmark", required=True,
+                      choices=sorted(PROFILES))
+    p_wl.add_argument("-n", "--n-instrs", type=int, default=5000)
+    p_wl.add_argument("--seed", type=int, default=1)
+    p_wl.add_argument("--save", metavar="PATH",
+                      help="write the (trace, image) pair to PATH "
+                           "(.gz for compression)")
+    p_wl.set_defaults(func=cmd_workload)
     return parser
 
 

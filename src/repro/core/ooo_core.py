@@ -58,6 +58,7 @@ class OutOfOrderCore:
         self.system = system
         self.cfg = system.cfg.core
         self.wheel = system.wheel
+        self.tracer = system.tracer
         self.image = system.images[core_id]
         self.page_table = PageTable(asid=core_id,
                                     allocator=system.frame_allocator)
@@ -364,6 +365,7 @@ class OutOfOrderCore:
 
     def _l1_fill(self, req: MemRequest) -> None:
         # Installing the line and waking dependents costs an L1 access.
+        self.tracer.instant(req, "l1.fill")
         self.wheel.schedule(self.l1_latency, lambda: self._l1_fill_done(req))
 
     def _l1_fill_done(self, req: MemRequest) -> None:
@@ -376,6 +378,7 @@ class OutOfOrderCore:
             iu.llc_miss_pending = False
             value = self.image.read(iu.vaddr)
             self._complete(iu, value)
+        self.tracer.instant(req, "core.wakeup")
         self.wake()
 
     # ------------------------------------------------------------------

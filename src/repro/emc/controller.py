@@ -17,6 +17,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional
 
 from ..memsys.cache import SetAssocCache, line_addr
+from ..trace import Stage
 from ..uarch.isa import effective_address, execute_alu
 from ..uarch.params import EMCConfig
 from ..uarch.uop import UopType
@@ -74,6 +75,7 @@ class EMC:
         self.system = system
         self.cfg = cfg
         self.wheel = system.wheel
+        self.trace = system.tracer
         self.stats = system.stats.emc
         self.contexts = [EMCContext(i) for i in range(cfg.num_contexts)]
         self.dcache = SetAssocCache(cfg.data_cache_bytes, cfg.data_cache_ways)
@@ -103,6 +105,7 @@ class EMC:
         """Take a chain: run it if its source data already arrived, park it
         in an execution context otherwise (or in the optional pending
         buffer when configured).  Returns False when everything is full."""
+        self.trace.track(Stage.CHAIN_ARRIVE, self.mc_id, chain.core_id)
         source = chain.source_ref
         ready = source is not None and not source.llc_miss_pending
         ctx = next((c for c in self.contexts
@@ -172,6 +175,7 @@ class EMC:
     # ------------------------------------------------------------------
     def _start(self, ctx: EMCContext) -> None:
         chain = ctx.chain
+        self.trace.track(Stage.CHAIN_DISPATCH, self.mc_id, chain.core_id)
         ctx.state = ContextState.RUNNING
         image = self.system.images[chain.core_id]
         ctx.values[-1] = image.read(chain.source_vaddr)
@@ -313,8 +317,10 @@ class EMC:
         waiter = (ctx, cu, chain, vaddr)
         pending = self._pending_lines.get(line)
         if pending is not None:
-            # A fetch for this line is already in flight: merge.
+            # A fetch for this line is already in flight: merge in the LSQ.
             pending.append(waiter)
+            self.trace.track(Stage.CHAIN_LSQ_MERGE, self.mc_id,
+                             chain.core_id)
             self.system.notify_core_lsq(self.mc_id, chain.core_id)
             return
         self._pending_lines[line] = [waiter]
@@ -361,6 +367,8 @@ class EMC:
                 self._cancel(ctx, "branch", holds_slot=False)
                 return
             ctx.release()
+            self.trace.track(Stage.CHAIN_COMPLETE, self.mc_id,
+                             chain.core_id)
             self.system.return_liveouts(self.mc_id, chain, values)
             self._dispatch_pending()
         else:
@@ -379,6 +387,7 @@ class EMC:
         else:
             self.stats.chains_cancelled_disambiguation += 1
         chain = ctx.chain
+        self.trace.track(Stage.CHAIN_CANCEL, self.mc_id, chain.core_id)
         ctx.state = ContextState.CANCELLED
         ctx.release()
         self.system.chain_cancelled(self.mc_id, chain)

@@ -25,15 +25,31 @@ class RingStats:
     total_hops: int = 0
     control_hops: int = 0
     data_hops: int = 0
+    emc_control_hops: int = 0
+    emc_data_hops: int = 0
     total_latency: int = 0
+    emc_latency: int = 0
 
     @property
     def messages(self) -> int:
         return self.control_messages + self.data_messages
 
     @property
+    def emc_messages(self) -> int:
+        return self.emc_control_messages + self.emc_data_messages
+
+    @property
+    def emc_hops(self) -> int:
+        return self.emc_control_hops + self.emc_data_hops
+
+    @property
     def avg_latency(self) -> float:
         return self.total_latency / self.messages if self.messages else 0.0
+
+    @property
+    def avg_emc_latency(self) -> float:
+        n = self.emc_messages
+        return self.emc_latency / n if n else 0.0
 
 
 class Ring:
@@ -112,9 +128,15 @@ class Ring:
         self.stats.total_hops += hops
         if kind == "ctrl":
             self.stats.control_hops += hops
+            if emc:
+                self.stats.emc_control_hops += hops
         else:
             self.stats.data_hops += hops
+            if emc:
+                self.stats.emc_data_hops += hops
         self.stats.total_latency += latency
+        if emc:
+            self.stats.emc_latency += latency
 
         self.wheel.schedule(latency, callback)
         return latency

@@ -28,6 +28,7 @@ class DRAMRequest:
     is_prefetch: bool = False
     queued_at: int = 0
     service_start: int = 0
+    bank_done: int = 0              # activate+CAS done; bus phase begins
     completed_at: int = 0
     row_hit: bool = False
     marked: bool = False            # PAR-BS batch membership
@@ -207,6 +208,7 @@ class DRAMChannel:
         bank.open_row = row
 
         cas_done = now + access
+        req.bank_done = cas_done
         data_start = max(cas_done, self.bus_free_at)
         data_done = data_start + cfg.data_bus_cycles
         self.bus_free_at = data_done

@@ -4,7 +4,9 @@ paths, the write-through store stream, and prefetch injection.
 
 Every latency the paper's figures decompose (Figure 1's on-chip delay,
 Figure 18's EMC-vs-core miss latency, Figure 19's savings attribution) is
-measured here from actual event timestamps.
+measured here from actual event timestamps: each transition stamps the
+request through the system tracer (:mod:`repro.trace`), which is a no-op
+unless a run opts in to tracing.
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ from typing import Callable, Dict, List, Optional
 from ..interconnect.ring import Ring
 from ..prefetch import build_prefetcher
 from ..prefetch.base import FDPThrottle, NullPrefetcher
+from ..trace import Stage
 from .cache import line_addr
 from .dram import DRAMRequest, DRAMSystem
 from .llc import LLC
@@ -33,6 +36,7 @@ class MemoryHierarchy:
         self.wheel = system.wheel
         self.ring: Ring = system.ring
         self.stats = system.stats
+        self.trace = system.tracer
         self.llc = LLC(cfg.num_cores, cfg.llc)
         self.llc.emc_invalidate_hook = self._emc_invalidate
 
@@ -51,11 +55,6 @@ class MemoryHierarchy:
         else:
             self.fdp = None
 
-        # Running averages for the Figure 19 savings attribution.
-        self._fill_leg_total = 0
-        self._fill_leg_count = 0
-        self._core_queue_total = 0
-        self._core_queue_count = 0
         # Per-slice tag/data pipeline occupancy (single-ported slices).
         self._slice_free = [0] * cfg.num_cores
 
@@ -86,12 +85,18 @@ class MemoryHierarchy:
     def demand_request(self, req: MemRequest) -> None:
         """Entry point for a core's L1 miss."""
         req.t_start = self.wheel.now
+        self.trace.begin(req, Stage.RING_REQ)
+        # Loads reach this point exactly one L1 latency after the miss was
+        # detected at the core.
+        self.trace.instant_at(req, Stage.L1_MISS,
+                              req.t_start - self.cfg.l1.latency)
         slice_stop = self.llc.slice_stop(req.line)
         self.ring.send(req.core_id, slice_stop, "ctrl",
                        lambda: self._at_slice(req))
 
     def _at_slice(self, req: MemRequest) -> None:
         req.t_at_slice = self.wheel.now
+        self.trace.mark(req, Stage.LLC_LOOKUP)
         self.wheel.schedule(self._slice_wait(req.line) + self.cfg.llc.latency,
                             lambda: self._llc_probe(req))
 
@@ -118,9 +123,11 @@ class MemoryHierarchy:
             hit = True
         if hit:
             slice_stop = self.llc.slice_stop(req.line)
+            self.trace.mark(req, Stage.RING_DATA)
             self.ring.send(slice_stop, req.core_id, "data",
                            lambda: self._delivered(req, from_dram=False))
             return
+        self.trace.mark(req, Stage.MSHR_ALLOC)
         self._allocate_llc_miss(req)
 
     def _allocate_llc_miss(self, req: MemRequest) -> None:
@@ -138,18 +145,23 @@ class MemoryHierarchy:
             self._to_mc(req)
             return
         if sl.mshr.lookup(req.line) is not None:
-            return   # coalesced; the existing fill will notify us
+            # Coalesced; the existing fill will notify us.  The wait until
+            # that fill completes is the request's mshr.merge stage.
+            self.trace.mark(req, Stage.MSHR_MERGE)
+            return
         self.wheel.schedule(RETRY_CYCLES,
                             lambda: self._allocate_llc_miss(req))
 
     def _to_mc(self, req: MemRequest) -> None:
         mc_id = self.mc_of_line(req.line)
         slice_stop = self.llc.slice_stop(req.line)
+        self.trace.mark(req, Stage.RING_MC)
         self.ring.send(slice_stop, self.mc_stop(mc_id), "ctrl",
                        lambda: self._at_mc(req, mc_id))
 
     def _at_mc(self, req: MemRequest, mc_id: int) -> None:
         req.t_at_mc = self.wheel.now
+        self.trace.mark(req, Stage.MC_QUEUE)
         dram_req = DRAMRequest(
             line=req.line, source=req.core_id, is_write=False,
             emc_generated=False,
@@ -163,11 +175,15 @@ class MemoryHierarchy:
         req.t_dram_start = dram_req.service_start
         req.t_dram_done = self.wheel.now
         req.row_hit = dram_req.row_hit
+        # Retroactively split the time since the MC-queue mark: waiting in
+        # the queue until service_start, then bank activate+CAS, then the
+        # data-bus phase ending now.
+        self.trace.mark_at(req, Stage.DRAM_BANK, dram_req.service_start)
+        self.trace.mark_at(req, Stage.DRAM_BUS, dram_req.bank_done)
+        self.trace.mark(req, Stage.RING_FILL)
         self.stats.energy.dram_reads += 1
         if not dram_req.row_hit:
             self.stats.energy.dram_activations += 1
-        self._core_queue_total += req.queue_delay
-        self._core_queue_count += 1
         emc = self.system.emc_at(mc_id)
         if emc is not None:
             emc.on_dram_line(req.line)
@@ -179,6 +195,7 @@ class MemoryHierarchy:
         # The fill path is not free: installing the line in the slice and
         # forwarding it costs an LLC access — part of what the EMC bypasses
         # by executing dependents at the controller (§6.3).
+        self.trace.mark(req, Stage.LLC_FILL)
         self.wheel.schedule(self._slice_wait(req.line) + self.cfg.llc.latency,
                             lambda: self._fill_llc_done(req, mc_id))
 
@@ -193,22 +210,17 @@ class MemoryHierarchy:
             waiter(req.line)
 
     def _on_fill(self, req: MemRequest) -> None:
+        # Last leg of the fill path the EMC bypasses: DRAM data on chip ->
+        # ring to the slice -> LLC fill -> ring to the core (+ L1 fill at
+        # the core, charged separately by the core model).
         slice_stop = self.llc.slice_stop(req.line)
-
-        def arrived() -> None:
-            # Full fill path the EMC bypasses: DRAM data on chip -> ring to
-            # the slice -> LLC fill -> ring to the core (+ L1 fill at the
-            # core, charged separately by the core model).
-            if req.t_dram_done:
-                self._fill_leg_total += (self.wheel.now - req.t_dram_done
-                                         + self.cfg.l1.latency)
-                self._fill_leg_count += 1
-            self._delivered(req, from_dram=True)
-
-        self.ring.send(slice_stop, req.core_id, "data", arrived)
+        self.trace.mark(req, Stage.RING_CORE)
+        self.ring.send(slice_stop, req.core_id, "data",
+                       lambda: self._delivered(req, from_dram=True))
 
     def _delivered(self, req: MemRequest, from_dram: bool) -> None:
         req.t_done = self.wheel.now
+        self.trace.end(req, from_dram)
         if from_dram:
             self.stats.llc_misses_from_core += 1
             self.stats.core_miss_latency.add(
@@ -359,20 +371,25 @@ class MemoryHierarchy:
             else:
                 self.stats.emc.miss_pred_wrong += 1
 
+        self.trace.begin(req, Stage.EMC_ISSUE)
         if predicted_miss:
             req.bypassed_llc = True
             self.stats.emc.direct_dram_requests += 1
+            self.trace.track(Stage.EMC_DIRECT_DRAM, mc_id, core_id)
             # EMC requests are demand requests: the line still fills the
             # LLC (off the critical path), it just isn't *waited on*.
             self._emc_to_dram(req, mc_id, fill_llc=True)
             return
         self.stats.emc.llc_path_requests += 1
+        self.trace.track(Stage.EMC_LLC_PATH, mc_id, core_id)
+        self.trace.mark(req, Stage.RING_REQ)
         slice_stop = self.llc.slice_stop(line)
         self.ring.send(self.mc_stop(mc_id), slice_stop, "ctrl",
                        lambda: self._emc_llc_probe(req, mc_id), emc=True)
 
     def _emc_llc_probe(self, req: MemRequest, mc_id: int) -> None:
         self.stats.energy.llc_accesses += 1
+        self.trace.mark(req, Stage.LLC_LOOKUP)
         self.wheel.schedule(self._slice_wait(req.line) + self.cfg.llc.latency,
                             lambda: self._emc_llc_outcome(req, mc_id))
 
@@ -384,6 +401,7 @@ class MemoryHierarchy:
             if state.prefetched:
                 self.stats.emc.llc_hits_on_prefetched += 1
             state.emc_bit = True
+            self.trace.mark(req, Stage.RING_DATA)
             self.ring.send(slice_stop, self.mc_stop(mc_id), "data",
                            lambda: self._emc_delivered(req, went_to_dram=False),
                            emc=True)
@@ -393,9 +411,13 @@ class MemoryHierarchy:
     def _emc_to_dram(self, req: MemRequest, requesting_mc: int,
                      fill_llc: bool = False) -> None:
         owner = self.mc_of_line(req.line)
+        # Zero-length unless the line's channel belongs to another MC, in
+        # which case this is the cross-channel request hop (Section 4.4).
+        self.trace.mark(req, Stage.RING_EMC)
 
         def enqueue_at_owner() -> None:
             req.t_at_mc = self.wheel.now
+            self.trace.mark(req, Stage.MC_QUEUE)
             dram_req = DRAMRequest(
                 line=req.line, source=req.core_id, is_write=False,
                 emc_generated=True,
@@ -407,6 +429,8 @@ class MemoryHierarchy:
             req.t_dram_start = dram_req.service_start
             req.t_dram_done = self.wheel.now
             req.row_hit = dram_req.row_hit
+            self.trace.mark_at(req, Stage.DRAM_BANK, dram_req.service_start)
+            self.trace.mark_at(req, Stage.DRAM_BUS, dram_req.bank_done)
             self.stats.energy.dram_reads += 1
             if not dram_req.row_hit:
                 self.stats.energy.dram_activations += 1
@@ -422,6 +446,7 @@ class MemoryHierarchy:
             else:
                 # Cross-channel dependency: data ships EMC-to-EMC directly,
                 # cutting the core out (Section 4.4).
+                self.trace.mark(req, Stage.RING_EMC)
                 self.ring.send(self.mc_stop(owner),
                                self.mc_stop(requesting_mc), "data",
                                lambda: self._emc_delivered(req,
@@ -441,29 +466,13 @@ class MemoryHierarchy:
 
     def _emc_delivered(self, req: MemRequest, went_to_dram: bool) -> None:
         req.t_done = self.wheel.now
+        self.trace.end(req, went_to_dram)
         if went_to_dram:
             self.stats.llc_misses_from_emc += 1
             self.stats.emc_miss_latency.add(
                 req.total_latency, req.dram_latency, req.queue_delay)
-            self._attribute_savings(req)
         if req.callback is not None:
             req.callback(req)
-
-    def _attribute_savings(self, req: MemRequest) -> None:
-        """Figure 19: estimate the cycles this EMC request saved, split into
-        fill-path bypass, cache-hierarchy bypass, and queueing reduction."""
-        emc_stats = self.stats.emc
-        if self._fill_leg_count:
-            emc_stats.saved_fill_path += (self._fill_leg_total
-                                          // self._fill_leg_count)
-        else:
-            emc_stats.saved_fill_path += 2 * self.cfg.ring.link_cycles * 2
-        if req.bypassed_llc:
-            hops = 2 * self.cfg.ring.link_cycles * 2
-            emc_stats.saved_cache_access += self.cfg.llc.latency + hops
-        if self._core_queue_count:
-            avg_queue = self._core_queue_total // self._core_queue_count
-            emc_stats.saved_queue += max(0, avg_queue - req.queue_delay)
 
     # ------------------------------------------------------------------
     # coherence hooks

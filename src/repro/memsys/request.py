@@ -22,6 +22,9 @@ class MemRequest:
     callback: Optional[Callable[["MemRequest"], None]] = None
     #: core-side in-flight uop that triggered this request (loads)
     uop: Any = None
+    #: lifecycle record attached by an enabled :class:`repro.trace.Tracer`
+    #: (None when tracing is off — the default)
+    trace: Any = None
 
     # Path timestamps (cycles).
     t_start: int = 0                  # left the core (post L1 miss)

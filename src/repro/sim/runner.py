@@ -7,6 +7,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..energy.model import EnergyBreakdown, compute_energy
+from ..interconnect.ring import RingStats
+from ..trace import LatencyAttribution, Tracer, trace_enabled_from_env
 from ..uarch.params import (SystemConfig, eight_core_config,
                             quad_core_config, set_config_field)
 from ..workloads.mixes import (Workload, build_eight_core_mix,
@@ -28,6 +30,11 @@ class RunResult:
     ring_messages: int
     label: str = ""
     per_core_ipc: List[float] = field(default_factory=list)
+    #: Stage-level latency attribution; populated only when the run was
+    #: traced (a :class:`repro.trace.Tracer` was passed or REPRO_TRACE set).
+    latency_attribution: Optional[LatencyAttribution] = None
+    #: Full ring counters (messages, hops, EMC share) — §6.5 evidence.
+    ring: Optional[RingStats] = None
 
     @property
     def aggregate_ipc(self) -> float:
@@ -50,9 +57,18 @@ class RunResult:
 
 
 def run_system(cfg: SystemConfig, workload: Workload,
-               label: str = "", max_cycles: int = 50_000_000) -> RunResult:
-    """Run one workload on one configuration to completion."""
-    system = System(cfg, workload)
+               label: str = "", max_cycles: int = 50_000_000,
+               tracer: Optional[Tracer] = None) -> RunResult:
+    """Run one workload on one configuration to completion.
+
+    Pass a :class:`repro.trace.Tracer` (or set ``REPRO_TRACE=1``) to record
+    per-request lifecycle timelines; the result then carries a
+    :class:`~repro.trace.LatencyAttribution`.  Without one the run uses the
+    no-op :data:`~repro.trace.NULL_TRACER` and pays no tracing cost.
+    """
+    if tracer is None and trace_enabled_from_env():
+        tracer = Tracer()
+    system = System(cfg, workload, tracer=tracer)
     stats = system.run(max_cycles=max_cycles)
     dram_stats = system.dram_stats
     accesses = sum(d.accesses for d in dram_stats)
@@ -68,6 +84,10 @@ def run_system(cfg: SystemConfig, workload: Workload,
         ring_messages=system.ring.stats.messages,
         label=label,
         per_core_ipc=[c.ipc() for c in stats.cores],
+        latency_attribution=(tracer.attribution()
+                             if tracer is not None and tracer.enabled
+                             else None),
+        ring=system.ring.stats,
     )
 
 

@@ -129,10 +129,6 @@ class EMCStats:
     tlb_misses: int = 0
     miss_pred_correct: int = 0
     miss_pred_wrong: int = 0
-    # Figure 19 attribution: cycles the EMC saved per request, by source.
-    saved_fill_path: int = 0
-    saved_cache_access: int = 0
-    saved_queue: int = 0
 
     @property
     def dcache_hit_rate(self) -> float:

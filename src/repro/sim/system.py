@@ -18,6 +18,7 @@ from ..interconnect.ring import Ring
 from ..memsys.cache import line_addr
 from ..memsys.hierarchy import MemoryHierarchy
 from ..memsys.vm import FrameAllocator
+from ..trace import NULL_TRACER
 from ..uarch.params import SystemConfig
 from ..uarch.uop import Trace, UopType
 from ..workloads.memory_image import MemoryImage
@@ -47,13 +48,16 @@ class System:
     """One simulated machine running one multiprogrammed workload."""
 
     def __init__(self, cfg: SystemConfig,
-                 workload: Sequence[Tuple[Trace, MemoryImage]]) -> None:
+                 workload: Sequence[Tuple[Trace, MemoryImage]],
+                 tracer=None) -> None:
         cfg.validate()
         if len(workload) != cfg.num_cores:
             raise ValueError(
                 f"workload has {len(workload)} traces for {cfg.num_cores} cores")
         self.cfg = cfg
         self.wheel = EventWheel()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind(self.wheel)
         self.stats = SimStats()
         self.energy_counters = self.stats.energy
 

@@ -1,0 +1,468 @@
+"""Request-lifecycle tracing and latency attribution.
+
+An opt-in observability layer over the memory system.  When enabled, a
+:class:`Tracer` stamps every :class:`~repro.memsys.request.MemRequest` at
+each lifecycle stage — ring hops, LLC lookup, MSHR allocate/merge, memory
+controller queue, DRAM bank and bus, the fill path back to the requester —
+plus the mirror EMC path, producing:
+
+- per-request timelines exportable as Chrome trace-event JSON (viewable in
+  Perfetto / ``chrome://tracing``), and
+- an aggregated latency-attribution report splitting end-to-end miss
+  latency into queue / bank / bus / interconnect / fill-path / cache-access
+  cycles, whose per-request stage sums are *asserted* equal to the measured
+  end-to-end latency.
+
+When disabled (the default), the :data:`NULL_TRACER` singleton stands in:
+every hook is a no-op method call that allocates nothing, so the simulator's
+hot path is unchanged.
+
+Stage model
+-----------
+
+A request's trace is an ordered list of ``(cycle, stage)`` marks.  Mark
+``i`` opens stage ``stage_i`` over the half-open interval
+``[cycle_i, cycle_{i+1})``; the final stage closes at the delivery cycle.
+Stage durations therefore tile ``[t_begin, t_end]`` exactly — the sum of
+stage durations equals the end-to-end latency *by construction*, and
+:meth:`RequestTrace.verify` checks the invariant (monotone marks, exact
+sum) for every finished request.
+
+See ``docs/tracing.md`` for the full stage taxonomy and the Perfetto
+how-to.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class TraceError(RuntimeError):
+    """A per-request trace violated the tiling invariant."""
+
+
+# ---------------------------------------------------------------------------
+# stage taxonomy
+# ---------------------------------------------------------------------------
+
+class Stage:
+    """Lifecycle stage names (the ``stage`` of every mark)."""
+
+    RING_REQ = "ring.req"        # request ring hop(s) toward the LLC slice
+    LLC_LOOKUP = "llc.lookup"    # slice pipeline wait + tag/data access
+    RING_DATA = "ring.data"      # LLC-hit data returning to the requester
+    MSHR_ALLOC = "mshr.alloc"    # MSHR allocation, incl. full-MSHR retries
+    MSHR_MERGE = "mshr.merge"    # coalesced onto another request's fill
+    RING_MC = "ring.mc"          # slice -> memory controller hop(s)
+    MC_QUEUE = "mc.queue"        # memory-controller queue residency
+    DRAM_BANK = "dram.bank"      # activate (tRP/tRCD as needed) + CAS
+    DRAM_BUS = "dram.bus"        # data-bus wait + line transfer
+    RING_FILL = "ring.fill"      # MC -> slice data hop(s) (fill path)
+    LLC_FILL = "llc.fill"        # fill install at the slice (fill path)
+    RING_CORE = "ring.core"      # slice -> core data hop(s) (fill path)
+    EMC_ISSUE = "emc.issue"      # zero-length marker: issued by an EMC
+    RING_EMC = "ring.emc"        # MC <-> MC hops of cross-channel requests
+
+    # Instant (zero-duration) event names.
+    L1_MISS = "l1.miss"          # the core detected the L1 miss
+    L1_FILL = "l1.fill"          # fill data reached the core's L1
+    CORE_WAKEUP = "core.wakeup"  # dependents woken at the core
+
+    # EMC chain-lifecycle track events.
+    CHAIN_ARRIVE = "chain.arrive"
+    CHAIN_DISPATCH = "chain.dispatch"
+    CHAIN_LSQ_MERGE = "chain.lsq_merge"
+    CHAIN_COMPLETE = "chain.complete"
+    CHAIN_CANCEL = "chain.cancel"
+    EMC_DIRECT_DRAM = "emc.direct_dram"
+    EMC_LLC_PATH = "emc.llc_path"
+
+
+#: attribution categories, in report order
+CATEGORIES = ("queue", "bank", "bus", "interconnect", "fill_path",
+              "cache_access")
+
+#: stage -> attribution category
+CATEGORY_OF: Dict[str, str] = {
+    Stage.RING_REQ: "interconnect",
+    Stage.LLC_LOOKUP: "cache_access",
+    Stage.RING_DATA: "interconnect",
+    Stage.MSHR_ALLOC: "queue",
+    Stage.MSHR_MERGE: "queue",
+    Stage.RING_MC: "interconnect",
+    Stage.MC_QUEUE: "queue",
+    Stage.DRAM_BANK: "bank",
+    Stage.DRAM_BUS: "bus",
+    Stage.RING_FILL: "fill_path",
+    Stage.LLC_FILL: "fill_path",
+    Stage.RING_CORE: "fill_path",
+    Stage.EMC_ISSUE: "queue",
+    Stage.RING_EMC: "interconnect",
+}
+
+
+# ---------------------------------------------------------------------------
+# per-request record
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RequestTrace:
+    """The recorded lifecycle of one memory request."""
+
+    req_id: int
+    core_id: int
+    pc: int
+    line: int
+    emc: bool                    # issued by an EMC, not a core
+    t_begin: int
+    #: ordered (cycle, stage) marks; mark i opens stage i until mark i+1
+    marks: List[Tuple[int, str]] = field(default_factory=list)
+    #: zero-duration annotations (cycle, name)
+    instants: List[Tuple[int, str]] = field(default_factory=list)
+    t_end: Optional[int] = None
+    #: the request was served by DRAM (an LLC miss end to end)
+    dram: bool = False
+    dependent: bool = False
+    bypassed_llc: bool = False
+    row_hit: bool = False
+
+    @property
+    def finished(self) -> bool:
+        return self.t_end is not None
+
+    @property
+    def total(self) -> int:
+        """End-to-end latency in cycles (0 while in flight)."""
+        return (self.t_end - self.t_begin) if self.finished else 0
+
+    def stages(self) -> List[str]:
+        return [stage for _t, stage in self.marks]
+
+    def spans(self) -> List[Tuple[int, int, str]]:
+        """Non-empty ``(start, end, stage)`` intervals tiling the trace."""
+        if not self.finished:
+            return []
+        out = []
+        for i, (start, stage) in enumerate(self.marks):
+            end = (self.marks[i + 1][0] if i + 1 < len(self.marks)
+                   else self.t_end)
+            if end > start:
+                out.append((start, end, stage))
+        return out
+
+    def breakdown(self) -> Dict[str, int]:
+        """Cycles per attribution category; values sum to :attr:`total`."""
+        out = {cat: 0 for cat in CATEGORIES}
+        for start, end, stage in self.spans():
+            out[CATEGORY_OF[stage]] += end - start
+        return out
+
+    def verify(self) -> None:
+        """Check the tiling invariant; raises :class:`TraceError`."""
+        if not self.finished:
+            return
+        prev = self.t_begin
+        for cycle, stage in self.marks:
+            if cycle < prev:
+                raise TraceError(
+                    f"request {self.req_id}: mark {stage!r}@{cycle} is "
+                    f"before the previous mark @{prev}")
+            prev = cycle
+        if self.t_end < prev:
+            raise TraceError(
+                f"request {self.req_id}: ended @{self.t_end} before its "
+                f"last mark @{prev}")
+        span_sum = sum(end - start for start, end, _ in self.spans())
+        if span_sum != self.total:
+            raise TraceError(
+                f"request {self.req_id}: stage spans sum to {span_sum} "
+                f"cycles but end-to-end latency is {self.total}")
+
+
+# ---------------------------------------------------------------------------
+# aggregated attribution
+# ---------------------------------------------------------------------------
+
+@dataclass
+class StageBucket:
+    """Aggregate of one request class (core/EMC x hit/miss)."""
+
+    count: int = 0
+    total_cycles: int = 0
+    row_hits: int = 0
+    by_category: Dict[str, int] = field(
+        default_factory=lambda: {cat: 0 for cat in CATEGORIES})
+
+    def add(self, rec: RequestTrace) -> None:
+        self.count += 1
+        self.total_cycles += rec.total
+        if rec.row_hit:
+            self.row_hits += 1
+        for cat, cycles in rec.breakdown().items():
+            self.by_category[cat] += cycles
+
+    @property
+    def mean_total(self) -> float:
+        return self.total_cycles / self.count if self.count else 0.0
+
+    def mean(self, category: str) -> float:
+        return (self.by_category[category] / self.count
+                if self.count else 0.0)
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.count if self.count else 0.0
+
+
+@dataclass
+class LatencyAttribution:
+    """Aggregated latency breakdown of one traced run.
+
+    Requests are bucketed by issuer (core vs EMC) and outcome (DRAM miss
+    vs LLC hit).  Every bucket's per-category cycles sum to its total
+    cycles — guaranteed by the per-request tiling invariant, which is
+    verified for every finished request before aggregation.
+    """
+
+    core_miss: StageBucket = field(default_factory=StageBucket)
+    core_hit: StageBucket = field(default_factory=StageBucket)
+    emc_miss: StageBucket = field(default_factory=StageBucket)
+    emc_hit: StageBucket = field(default_factory=StageBucket)
+    #: requests still in flight when the run ended (excluded above)
+    unfinished: int = 0
+
+    def bucket(self, rec: RequestTrace) -> StageBucket:
+        if rec.emc:
+            return self.emc_miss if rec.dram else self.emc_hit
+        return self.core_miss if rec.dram else self.core_hit
+
+    # -- figure-facing views -------------------------------------------------
+    def dram_onchip_split(self) -> Tuple[float, float]:
+        """Figure 1: (DRAM cycles, on-chip cycles) of the mean core-issued
+        miss.  DRAM = bank + bus; everything else is on-chip delay."""
+        b = self.core_miss
+        dram = b.mean("bank") + b.mean("bus")
+        return dram, b.mean_total - dram
+
+    def savings(self) -> Dict[str, float]:
+        """Figure 19: mean cycles an EMC-issued miss saves over a
+        core-issued miss, per category (negative = the EMC path pays
+        more).  ``cache_access`` folds in the interconnect legs the EMC
+        skips; the four keys sum to the Figure 18 latency difference."""
+        core, emc = self.core_miss, self.emc_miss
+        return {
+            "queue": core.mean("queue") - emc.mean("queue"),
+            "cache_access": (core.mean("cache_access")
+                             + core.mean("interconnect")
+                             - emc.mean("cache_access")
+                             - emc.mean("interconnect")),
+            "fill_path": core.mean("fill_path") - emc.mean("fill_path"),
+            "dram": (core.mean("bank") + core.mean("bus")
+                     - emc.mean("bank") - emc.mean("bus")),
+        }
+
+    def format(self) -> str:
+        """Aligned text report (the ``repro trace`` CLI output)."""
+        rows = [("core miss", self.core_miss),
+                ("core hit", self.core_hit),
+                ("emc miss", self.emc_miss),
+                ("emc hit", self.emc_hit)]
+        header = (f"{'class':<10} {'count':>7} {'mean':>8} "
+                  + " ".join(f"{cat:>12}" for cat in CATEGORIES)
+                  + f" {'rowhit':>7}")
+        lines = [header]
+        for name, b in rows:
+            if not b.count:
+                continue
+            lines.append(
+                f"{name:<10} {b.count:>7} {b.mean_total:>8.1f} "
+                + " ".join(f"{b.mean(cat):>12.1f}" for cat in CATEGORIES)
+                + f" {b.row_hit_rate:>6.1%}")
+        if self.unfinished:
+            lines.append(f"(+{self.unfinished} requests still in flight "
+                         "at end of run)")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# tracers
+# ---------------------------------------------------------------------------
+
+class NullTracer:
+    """The default tracer: every hook is a do-nothing method.
+
+    The simulator calls these on its hot path, so they must not allocate
+    and must not touch the request.  ``enabled`` lets instrumentation
+    sites guard optional extra work.
+    """
+
+    enabled = False
+
+    def bind(self, wheel) -> None:
+        return None
+
+    def begin(self, req, stage) -> None:
+        return None
+
+    def mark(self, req, stage) -> None:
+        return None
+
+    def mark_at(self, req, stage, at) -> None:
+        return None
+
+    def instant(self, req, name) -> None:
+        return None
+
+    def instant_at(self, req, name, at) -> None:
+        return None
+
+    def end(self, req, dram) -> None:
+        return None
+
+    def track(self, name, mc_id, core_id) -> None:
+        return None
+
+
+#: process-wide no-op singleton used wherever tracing is off
+NULL_TRACER = NullTracer()
+
+
+class Tracer(NullTracer):
+    """Records request lifecycles; attach via ``System(..., tracer=...)``
+    or ``run_system(..., tracer=...)``.
+
+    ``limit`` caps the number of traced requests (later requests pass
+    through untraced); ``None`` traces everything.
+    """
+
+    enabled = True
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        self.limit = limit
+        self.requests: List[RequestTrace] = []
+        self.track_events: List[Tuple[int, str, int, int]] = []
+        self._wheel = None
+        self._next_id = 0
+
+    def bind(self, wheel) -> None:
+        """Attach the event wheel whose clock timestamps every mark."""
+        self._wheel = wheel
+
+    # -- request lifecycle ---------------------------------------------------
+    def begin(self, req, stage) -> None:
+        if self.limit is not None and self._next_id >= self.limit:
+            return
+        now = self._wheel.now
+        rec = RequestTrace(req_id=self._next_id, core_id=req.core_id,
+                           pc=req.pc, line=req.line, emc=req.emc,
+                           t_begin=now)
+        rec.marks.append((now, stage))
+        self._next_id += 1
+        req.trace = rec
+        self.requests.append(rec)
+
+    def mark(self, req, stage) -> None:
+        rec = req.trace
+        if rec is not None and rec.t_end is None:
+            rec.marks.append((self._wheel.now, stage))
+
+    def mark_at(self, req, stage, at) -> None:
+        rec = req.trace
+        if rec is not None and rec.t_end is None:
+            rec.marks.append((at, stage))
+
+    def instant(self, req, name) -> None:
+        rec = req.trace
+        if rec is not None:
+            rec.instants.append((self._wheel.now, name))
+
+    def instant_at(self, req, name, at) -> None:
+        rec = req.trace
+        if rec is not None:
+            rec.instants.append((at, name))
+
+    def end(self, req, dram) -> None:
+        rec = req.trace
+        if rec is not None and rec.t_end is None:
+            rec.t_end = self._wheel.now
+            rec.dram = dram
+            rec.dependent = req.dependent
+            rec.bypassed_llc = req.bypassed_llc
+            rec.row_hit = req.row_hit
+
+    def track(self, name, mc_id, core_id) -> None:
+        self.track_events.append((self._wheel.now, name, mc_id, core_id))
+
+    # -- outputs -------------------------------------------------------------
+    def finished(self) -> List[RequestTrace]:
+        return [rec for rec in self.requests if rec.finished]
+
+    def attribution(self) -> LatencyAttribution:
+        """Aggregate all finished requests, verifying each one's tiling
+        invariant (raises :class:`TraceError` on a violation)."""
+        att = LatencyAttribution()
+        for rec in self.requests:
+            if not rec.finished:
+                att.unfinished += 1
+                continue
+            rec.verify()
+            att.bucket(rec).add(rec)
+        return att
+
+    def chrome_events(self) -> List[dict]:
+        """Chrome trace-event list: one ``pid`` per core (EMC request
+        tracks at ``pid = 1000 + mc``), one ``tid`` per request, "X"
+        complete events per stage span, "i" instants, plus "M" metadata
+        naming the tracks.  Timestamps are in cycles (rendered by
+        Perfetto as microseconds)."""
+        events: List[dict] = []
+        pids: Dict[int, str] = {}
+        for rec in self.requests:
+            pid = rec.core_id
+            name = f"core {rec.core_id}"
+            if rec.emc:
+                pid = 1000 + rec.core_id
+                name = f"emc requests (core {rec.core_id})"
+            pids.setdefault(pid, name)
+            args = {"pc": hex(rec.pc), "line": hex(rec.line),
+                    "dram": rec.dram, "emc": rec.emc}
+            for start, end, stage in rec.spans():
+                events.append({"name": stage, "cat": CATEGORY_OF[stage],
+                               "ph": "X", "ts": start, "dur": end - start,
+                               "pid": pid, "tid": rec.req_id, "args": args})
+            for cycle, name_ in rec.instants:
+                events.append({"name": name_, "ph": "i", "s": "t",
+                               "ts": cycle, "pid": pid, "tid": rec.req_id})
+        for cycle, name_, mc_id, core_id in self.track_events:
+            pid = 2000 + mc_id
+            pids.setdefault(pid, f"emc {mc_id} chains")
+            events.append({"name": name_, "ph": "i", "s": "t", "ts": cycle,
+                           "pid": pid, "tid": core_id,
+                           "args": {"core": core_id}})
+        meta = [{"name": "process_name", "ph": "M", "pid": pid,
+                 "args": {"name": label}}
+                for pid, label in sorted(pids.items())]
+        return meta + events
+
+    def to_chrome_json(self, indent: Optional[int] = None) -> str:
+        payload = {
+            "traceEvents": self.chrome_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {"timeUnit":
+                          "simulator cycles (1 cycle shown as 1 us)"},
+        }
+        return json.dumps(payload, indent=indent)
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_chrome_json())
+
+
+def trace_enabled_from_env() -> bool:
+    """True when the ``REPRO_TRACE`` environment variable turns tracing on
+    (``1``/``true``/``on``/``yes``, case-insensitive)."""
+    return os.environ.get("REPRO_TRACE", "").strip().lower() in (
+        "1", "true", "on", "yes")

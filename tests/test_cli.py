@@ -111,3 +111,40 @@ def test_sweep_value_parsing():
     assert _parse_value("3") == 3
     assert _parse_value("0.5") == 0.5
     assert _parse_value("cancel") == "cancel"
+
+
+def test_trace_subcommand(capsys, tmp_path):
+    out_path = tmp_path / "trace.json"
+    rc = main(["trace", "--mix", "H1", "-n", "800", "--emc",
+               "--out", str(out_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "traced" in out
+    assert "core miss" in out
+    import json
+    assert json.loads(out_path.read_text())["traceEvents"]
+
+
+def test_trace_subcommand_limit(capsys):
+    rc = main(["trace", "--mix", "H1", "-n", "800", "--limit", "5"])
+    assert rc == 0
+    assert "traced 5 requests" in capsys.readouterr().out
+
+
+def test_trace_without_workload_fails(capsys):
+    rc = main(["trace", "-n", "500"])
+    assert rc == 2
+
+
+def test_run_trace_flag_prints_attribution(capsys):
+    rc = main(["run", "--mix", "H1", "-n", "800", "--trace"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "latency attribution" in out
+    assert "core miss" in out
+
+
+def test_workload_subcommand(capsys):
+    rc = main(["workload", "--benchmark", "mcf", "-n", "500"])
+    assert rc == 0
+    assert "mcf" in capsys.readouterr().out

@@ -89,4 +89,7 @@ def test_fig23_energy_rows():
 
 def test_sec65_overheads_keys():
     out = exp.sec65_overheads(["H4"], n_instrs=N)
-    assert set(out) == {"data_traffic_increase", "control_traffic_increase"}
+    assert set(out) == {"data_traffic_increase", "control_traffic_increase",
+                       "emc_share_of_data_hops", "emc_share_of_control_hops"}
+    assert 0 <= out["emc_share_of_data_hops"] <= 1
+    assert 0 <= out["emc_share_of_control_hops"] <= 1

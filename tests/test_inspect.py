@@ -49,9 +49,9 @@ def test_format_report_readable():
     assert "op mix" in text
 
 
-def test_cli_trace_subcommand(capsys, tmp_path):
+def test_cli_workload_subcommand(capsys, tmp_path):
     out_path = tmp_path / "t.trace.gz"
-    rc = main(["trace", "--benchmark", "mcf", "-n", "500",
+    rc = main(["workload", "--benchmark", "mcf", "-n", "500",
                "--save", str(out_path)])
     assert rc == 0
     out = capsys.readouterr().out
