@@ -15,8 +15,7 @@ import sys
 from repro.analysis.experiments import (clear_cache,
                                         fig01_latency_breakdown,
                                         fig02_dependent_misses,
-                                        fig06_chain_lengths, homog_run,
-                                        mix_run)
+                                        fig06_chain_lengths, mix_run)
 from repro.analysis.report import format_table, percent
 
 

@@ -23,11 +23,11 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Final, Iterable, List, Optional, Sequence, Tuple
 
 from ..sim.runner import RunResult
-from ..workloads.mixes import MIX_NAMES, MIXES
-from ..workloads.spec import HIGH_INTENSITY, LOW_INTENSITY, PROFILES
+from ..workloads.mixes import MIX_NAMES
+from ..workloads.spec import HIGH_INTENSITY, PROFILES
 from .parallel import (RunJob, default_cache_dir, default_jobs, eight_job,
                        homog_job, mix_job, run_jobs, solo_job)
 
@@ -45,14 +45,19 @@ N_MIX = 5000         # multiprogrammed mixes (most figures)
 N_SINGLE = 4000      # per-benchmark characterization figures
 N_SWEEP = 3000       # many-configuration sweeps
 
-PREFETCHERS = ["none", "ghb", "stream", "markov+stream"]
+PREFETCHERS: Final[Tuple[str, ...]] = (
+    "none", "ghb", "stream", "markov+stream")
 
 
 # ---------------------------------------------------------------------------
 # run cache + parallel execution
 # ---------------------------------------------------------------------------
 
-_CACHE: Dict[tuple, RunResult] = {}
+# In-process memo of finished runs.  Module-level mutable state is
+# normally a SIM001 violation, but this one is safe by construction: keys
+# are full (config, workload, seed) hashes, values are deterministic pure
+# functions of their key, and clear_cache() exposes an explicit reset.
+_CACHE: Dict[tuple, RunResult] = {}  # simlint: disable=SIM001
 
 #: ``None`` means "fall back to the REPRO_JOBS / REPRO_CACHE_DIR env vars"
 _JOBS: Optional[int] = None

@@ -23,7 +23,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 from ..sim.runner import RunResult, run_system
 from ..uarch.params import (SystemConfig, get_config_field,
                             quad_core_config, set_config_field)
-from ..workloads.mixes import Workload, build_mix
+from ..workloads.mixes import Workload
 from .parallel import RunJob, mix_job, run_jobs
 
 __all__ = ["SweepPoint", "SweepResult", "get_config_field",

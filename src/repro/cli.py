@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from types import MappingProxyType
+from typing import Final, List, Mapping, Optional
 
 from .analysis.parallel import ParallelRunError
-from .analysis.report import format_table, percent
+from .analysis.report import format_table
 from .sim.runner import (PREFETCHER_CONFIGS, RunResult, run_system)
 from .trace import Tracer
 from .uarch.params import eight_core_config, quad_core_config
@@ -92,6 +93,20 @@ def _build_workload(args, cfg):
 
 
 def cmd_run(args) -> int:
+    if getattr(args, "sanitize", False):
+        from .lint.sanitize import sanitize_runs, snapshot_run
+
+        def run_once():
+            cfg = _build_config(args)
+            workload, _label = _build_workload(args, cfg)
+            if workload is None:
+                raise ValueError("give --mix or --benchmarks")
+            tracer = Tracer() if args.trace else None
+            return snapshot_run(run_system(cfg, workload, tracer=tracer))
+
+        report = sanitize_runs(run_once, label=args.mix or "run")
+        print(report.format())
+        return 0 if report.deterministic else 1
     cfg = _build_config(args)
     workload, label = _build_workload(args, cfg)
     if workload is None:
@@ -236,7 +251,7 @@ def cmd_profiles(_args) -> int:
     return 0
 
 
-FIGURES = {
+FIGURES: Final[Mapping[str, str]] = MappingProxyType({
     "fig01": "test_fig01_latency_breakdown.py",
     "fig02": "test_fig02_dependent_misses.py",
     "fig03": "test_fig03_prefetch_coverage.py",
@@ -250,7 +265,7 @@ FIGURES = {
     "fig23": "test_fig23_24_energy.py",
     "sec65": "test_sec65_overheads.py",
     "ablations": "test_ablations.py",
-}
+})
 
 
 def cmd_figure(args) -> int:
@@ -317,6 +332,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="explicit benchmark names, one per core")
     p_run.add_argument("--eight-core", action="store_true")
     p_run.add_argument("--num-mcs", type=int, default=1, choices=(1, 2))
+    p_run.add_argument("--sanitize", action="store_true",
+                       help="run twice and diff the full stats tree "
+                            "instead of printing results (determinism "
+                            "check; non-zero exit on divergence)")
     p_run.set_defaults(func=cmd_run)
 
     p_homog = sub.add_parser("homog",
@@ -393,6 +412,23 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the (trace, image) pair to PATH "
                            "(.gz for compression)")
     p_wl.set_defaults(func=cmd_workload)
+
+    from .lint.cli import (add_lint_arguments, add_sanitize_arguments,
+                           cmd_lint, cmd_sanitize)
+    p_lint = sub.add_parser(
+        "lint", help="simlint: check simulator invariants "
+                     "(SIM001-SIM006) with the AST-based static analyzer")
+    add_lint_arguments(p_lint)
+    p_lint.add_argument("-v", "--verbose", action="store_true",
+                        help="also print suppressed/baselined findings")
+    p_lint.set_defaults(func=cmd_lint)
+
+    p_san = sub.add_parser(
+        "sanitize", help="determinism sanitizer: run one config twice "
+                         "with the same seed and diff the full stats "
+                         "tree + traced stage sums")
+    add_sanitize_arguments(p_san)
+    p_san.set_defaults(func=cmd_sanitize)
     return parser
 
 

@@ -522,7 +522,7 @@ class OutOfOrderCore:
             if not system.emc_context_available(iu.paddr):
                 # Leave the source eligible: a later stall evaluation
                 # retries once a context frees up.
-                system.stats.emc.chains_rejected_no_context += 1
+                system.stats.emc.note_rejected_no_context()
                 return
             attempts += 1
             iu.chain_attempted = True
@@ -544,13 +544,10 @@ class OutOfOrderCore:
                 self._chain_cache.popitem(last=False)
         gen_cycles = 1 if cached else len(chain) + 1
         self._chain_gen_busy_until = self.wheel.now + gen_cycles
-        system.stats.emc.chains_generated += 1
-        if cached:
-            system.stats.emc.chains_from_cache += 1
-        system.stats.emc.chain_gen_cycles += gen_cycles
-        system.stats.emc.chain_uops_total += len(chain)
-        system.stats.emc.chain_live_ins_total += chain.live_in_count
-        system.stats.emc.chain_live_outs_total += chain.live_out_count
+        system.stats.emc.note_chain_generated(
+            uops=len(chain), live_ins=chain.live_in_count,
+            live_outs=chain.live_out_count, gen_cycles=gen_cycles,
+            from_cache=cached)
         self.wheel.schedule(gen_cycles, lambda: system.send_chain(chain))
         self._schedule_tick(1)
 
@@ -664,7 +661,7 @@ class OutOfOrderCore:
                         and c.seq not in fills_present)]
         kept = kept[: emc_cfg.max_chain_uops]
         if not any(c.uop.op is UopType.LOAD for c in kept):
-            self.system.stats.emc.chains_no_load += 1
+            self.system.stats.emc.note_chain_no_load()
             return None
 
         # Assign EMC physical registers and build the shippable chain.
@@ -725,7 +722,7 @@ class OutOfOrderCore:
             chain_uops.append(cu)
 
         if not any(cu.uop.op is UopType.LOAD for cu in chain_uops):
-            self.system.stats.emc.chains_no_load += 1
+            self.system.stats.emc.note_chain_no_load()
             return None
         chain = DependenceChain(
             core_id=self.core_id,

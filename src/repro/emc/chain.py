@@ -10,7 +10,7 @@ reconcile live-outs afterwards.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, List, Optional
 
 from ..uarch.params import CACHE_LINE_BYTES
 from ..uarch.uop import MicroOp

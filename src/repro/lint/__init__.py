@@ -1,0 +1,40 @@
+"""simlint: AST-based simulator-invariant checking.
+
+A pluggable static-analysis pass enforcing the isolation and determinism
+invariants the simulator's correctness rests on — the ones PR 1's shared
+``PageTable`` frame allocator violated and the parallel sweep cache and
+trace subsystem silently depend on:
+
+- **SIM001** shared mutable state at module/class level in simulator code
+- **SIM002** unseeded (module-level) randomness
+- **SIM003** wall-clock reads inside simulation hot paths
+- **SIM004** float-contaminated cycle arithmetic
+- **SIM005** stats counters mutated from outside their owning component
+- **SIM006** mutable default arguments
+
+Run it as ``repro lint src/`` (or via :func:`lint_paths`), suppress a
+finding inline with ``# simlint: disable=SIM001``, and grandfather legacy
+findings in a committed baseline file.  The dynamic counterpart — the
+two-run determinism sanitizer — lives in :mod:`repro.lint.sanitize` and is
+exposed as ``repro sanitize``.
+
+See ``docs/lint.md`` for the rule catalogue and workflow.
+"""
+
+from .engine import LintResult, lint_paths
+from .findings import Finding, Severity
+from .registry import all_rules, get_rule, register_rule
+from .sanitize import SanitizeReport, flatten_tree, sanitize_runs
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "SanitizeReport",
+    "Severity",
+    "all_rules",
+    "flatten_tree",
+    "get_rule",
+    "lint_paths",
+    "register_rule",
+    "sanitize_runs",
+]

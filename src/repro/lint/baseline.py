@@ -1,0 +1,77 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is a JSON file listing findings that existed when the lint
+gate was introduced: matching findings are reported separately and do not
+fail the build, so the gate can land before every legacy violation is
+fixed.  Matching is by ``(rule, path, stripped source line)`` — stable
+across unrelated edits that only shift line numbers — with a count per
+key so N grandfathered copies of one line do not hide an N+1th.
+
+``repro lint --update-baseline`` rewrites the file from the current
+findings; an empty baseline (this repo's steady state) means every
+finding fails.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+class Baseline:
+    """A multiset of grandfathered finding keys."""
+
+    def __init__(self, counts: Dict[Key, int] = None) -> None:
+        self.counts: Counter = Counter(counts or {})
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    def match(self, finding: Finding) -> bool:
+        """Consume one baseline slot for ``finding`` if available."""
+        key = finding.baseline_key()
+        if self.counts.get(key, 0) > 0:
+            self.counts[key] -= 1
+            return True
+        return False
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(Counter(f.baseline_key() for f in findings))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path}")
+        counts: Counter = Counter()
+        for entry in data.get("findings", []):
+            key = (entry["rule"], entry["path"], entry["line_text"])
+            counts[key] += int(entry.get("count", 1))
+        return cls(counts)
+
+    def dump(self, path: Union[str, Path]) -> None:
+        entries: List[dict] = []
+        for (rule, fpath, text), count in sorted(self.counts.items()):
+            if count <= 0:
+                continue
+            entry = {"rule": rule, "path": fpath, "line_text": text}
+            if count > 1:
+                entry["count"] = count
+            entries.append(entry)
+        payload = {"version": BASELINE_VERSION, "findings": entries}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")

@@ -1,0 +1,108 @@
+"""CLI entry points for ``repro lint`` and ``repro sanitize``.
+
+Kept out of :mod:`repro.cli` so the lint toolchain is importable (and
+testable) without the simulator CLI, and vice versa.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import Baseline
+from .engine import lint_paths
+from .findings import Severity
+from .registry import select_rules
+from .report import format_human, format_json, format_rules
+
+DEFAULT_BASELINE = "simlint-baseline.json"
+
+
+def add_lint_arguments(parser) -> None:
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("human", "json"),
+                        default="human")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help=f"baseline file of grandfathered findings "
+                             f"(default: ./{DEFAULT_BASELINE} if present)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current findings "
+                             "and exit 0")
+    parser.add_argument("--select", nargs="+", metavar="CODE",
+                        default=None,
+                        help="run only these rule codes (e.g. SIM001)")
+    parser.add_argument("--fail-on", choices=("warning", "error"),
+                        default="warning",
+                        help="minimum severity that fails the run "
+                             "(default: warning — any finding fails)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+
+
+def cmd_lint(args) -> int:
+    if args.list_rules:
+        print(format_rules())
+        return 0
+    try:
+        rules = select_rules(args.select)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE).exists():
+        baseline_path = DEFAULT_BASELINE
+    baseline = (Baseline.load(baseline_path) if baseline_path
+                else Baseline())
+    try:
+        result = lint_paths(args.paths, rules=rules, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        out_path = args.baseline or DEFAULT_BASELINE
+        Baseline.from_findings(
+            result.findings + result.baselined).dump(out_path)
+        print(f"wrote {len(result.findings) + len(result.baselined)} "
+              f"grandfathered findings to {out_path}")
+        return 0
+    if args.format == "json":
+        print(format_json(result))
+    else:
+        print(format_human(result, verbose=getattr(args, "verbose",
+                                                   False)))
+    return result.exit_code(Severity(args.fail_on))
+
+
+def add_sanitize_arguments(parser) -> None:
+    parser.add_argument("--mix", default="H4",
+                        help="Table 3 mix to check (default: H4)")
+    parser.add_argument("-n", "--n-instrs", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--prefetcher", default="none")
+    parser.add_argument("--emc", action="store_true")
+    parser.add_argument("--no-trace", action="store_true",
+                        help="skip comparing traced stage sums")
+
+
+def cmd_sanitize(args) -> int:
+    from .sanitize import sanitize_quad_mix
+    report = sanitize_quad_mix(
+        args.mix, args.n_instrs, prefetcher=args.prefetcher,
+        emc=args.emc, seed=args.seed, trace=not args.no_trace)
+    print(report.format())
+    return 0 if report.deterministic else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint.cli``)."""
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="simlint", description="simulator-invariant checker")
+    add_lint_arguments(parser)
+    return cmd_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""The simlint engine: walk files, run rules, apply suppressions/baseline.
+
+One :func:`lint_paths` call parses each Python file once and hands the
+tree to every selected rule.  Findings then pass through two filters:
+
+- inline suppressions — ``# simlint: disable=SIM001`` (comma-separate
+  for several codes, or ``disable=all``) on the *reported line* silences
+  the finding there;
+- the committed baseline (:mod:`repro.lint.baseline`) — grandfathered
+  findings are counted but do not fail the run.
+
+A file that fails to parse yields a single ``SIM000`` parse-error finding
+instead of crashing the whole run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from .baseline import Baseline
+from .findings import Finding, LintContext, Severity, is_hot_path
+from .registry import Rule, select_rules
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+?)(?:\s*#|$)")
+
+PARSE_ERROR_RULE = "SIM000"
+
+
+def suppressed_codes(line: str) -> frozenset:
+    """Rule codes disabled by an inline comment on ``line`` (upper-cased);
+    the special token ``all`` disables every rule."""
+    match = _SUPPRESS_RE.search(line)
+    if not match:
+        return frozenset()
+    return frozenset(code.strip().upper()
+                     for code in match.group(1).split(",") if code.strip())
+
+
+def is_suppressed(finding: Finding, line: str) -> bool:
+    codes = suppressed_codes(line)
+    return "ALL" in codes or finding.rule.upper() in codes
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)     # active
+    suppressed: List[Finding] = field(default_factory=list)   # inline
+    baselined: List[Finding] = field(default_factory=list)    # grandfathered
+    files_checked: int = 0
+
+    def worst(self) -> Optional[Severity]:
+        if any(f.severity is Severity.ERROR for f in self.findings):
+            return Severity.ERROR
+        if self.findings:
+            return Severity.WARNING
+        return None
+
+    def exit_code(self, fail_on: Severity = Severity.WARNING) -> int:
+        worst = self.worst()
+        return 1 if worst is not None and worst >= fail_on else 0
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(p for p in sorted(path.rglob("*.py"))
+                         if "__pycache__" not in p.parts
+                         and not any(part.startswith(".")
+                                     for part in p.parts))
+        elif path.suffix == ".py":
+            files.append(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return files
+
+
+def lint_file(path: Union[str, Path],
+              rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Run rules over one file; raw findings, no suppression/baseline."""
+    path = Path(path)
+    norm = path.as_posix()
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=norm)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        lines = tuple(source.splitlines())
+        text = lines[line - 1].strip() if 0 < line <= len(lines) else ""
+        return [Finding(rule=PARSE_ERROR_RULE, severity=Severity.ERROR,
+                        path=norm, line=line, col=(exc.offset or 1) - 1,
+                        message=f"syntax error: {exc.msg}",
+                        line_text=text)]
+    ctx = LintContext(path=norm, source=source,
+                      lines=tuple(source.splitlines()),
+                      hot_path=is_hot_path(norm))
+    findings: List[Finding] = []
+    for rule in (rules if rules is not None else select_rules()):
+        findings.extend(rule.check(tree, ctx))
+    return findings
+
+
+def lint_paths(paths: Iterable[Union[str, Path]],
+               rules: Optional[Sequence[Rule]] = None,
+               baseline: Optional[Baseline] = None) -> LintResult:
+    """Lint files/directories, applying suppressions and the baseline."""
+    result = LintResult()
+    baseline = baseline if baseline is not None else Baseline()
+    for path in iter_python_files(paths):
+        raw = lint_file(path, rules=rules)
+        result.files_checked += 1
+        if not raw:
+            continue
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for finding in sorted(raw, key=lambda f: (f.line, f.col, f.rule)):
+            line_src = (lines[finding.line - 1]
+                        if 0 < finding.line <= len(lines) else "")
+            if is_suppressed(finding, line_src):
+                result.suppressed.append(finding)
+            elif baseline.match(finding):
+                result.baselined.append(finding)
+            else:
+                result.findings.append(finding)
+    return result

@@ -1,0 +1,60 @@
+"""Human and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .engine import LintResult
+from .registry import all_rules
+
+JSON_SCHEMA_VERSION = 1
+
+
+def format_human(result: LintResult, verbose: bool = False) -> str:
+    """One ``path:line:col: CODE [severity] message`` line per finding,
+    then a summary."""
+    lines: List[str] = [f.format() for f in result.findings]
+    if verbose:
+        lines.extend(f"{f.format()}  (suppressed inline)"
+                     for f in result.suppressed)
+        lines.extend(f"{f.format()}  (baselined)"
+                     for f in result.baselined)
+    summary = (f"{len(result.findings)} finding"
+               f"{'' if len(result.findings) == 1 else 's'} "
+               f"({len(result.suppressed)} suppressed, "
+               f"{len(result.baselined)} baselined) "
+               f"across {result.files_checked} files")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    """Machine-readable report; schema locked by a test."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "simlint",
+        "findings": [f.to_json() for f in result.findings],
+        "suppressed": [f.to_json() for f in result.suppressed],
+        "baselined": [f.to_json() for f in result.baselined],
+        "summary": {
+            "files_checked": result.files_checked,
+            "findings": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def format_rules() -> str:
+    """The ``--list-rules`` catalogue."""
+    lines: List[str] = []
+    for rule in all_rules():
+        lines.append(f"{rule.code} {rule.name} "
+                     f"[{rule.default_severity.value}]")
+        for part in rule.description.split(". "):
+            part = part.strip().rstrip(".")
+            if part:
+                lines.append(f"    {part}.")
+    return "\n".join(lines)

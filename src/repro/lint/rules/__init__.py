@@ -1,0 +1,14 @@
+"""Built-in simlint rules; importing this package registers SIM001–SIM006."""
+
+from . import (sim001_shared_state, sim002_unseeded_random,
+               sim003_wall_clock, sim004_float_cycles,
+               sim005_foreign_stats, sim006_mutable_defaults)
+
+__all__ = [
+    "sim001_shared_state",
+    "sim002_unseeded_random",
+    "sim003_wall_clock",
+    "sim004_float_cycles",
+    "sim005_foreign_stats",
+    "sim006_mutable_defaults",
+]

@@ -1,0 +1,101 @@
+"""AST helpers shared by the built-in rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+#: constructors that build mutable containers
+MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "OrderedDict", "Counter", "ChainMap",
+})
+
+#: constructors/wrappers whose result is read-only
+IMMUTABLE_CALLS = frozenset({
+    "tuple", "frozenset", "MappingProxyType", "mappingproxy",
+})
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Terminal name of a call: ``f(...)`` -> ``f``, ``m.f(...)`` -> ``f``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def is_mutable_container(node: ast.AST) -> bool:
+    """True when evaluating ``node`` yields a mutable container.
+
+    Literals and comprehensions of list/dict/set are mutable; so are calls
+    to the well-known mutable constructors.  A tuple literal is immutable
+    only if every element is (a tuple *of lists* still shares state).
+    """
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Tuple):
+        return any(is_mutable_container(el) for el in node.elts)
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name in IMMUTABLE_CALLS:
+            return False
+        if name in MUTABLE_CALLS:
+            return True
+    return False
+
+
+def is_final_annotation(annotation: Optional[ast.AST]) -> bool:
+    """True for ``Final`` / ``Final[...]`` / ``typing.Final[...]``."""
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id == "Final"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "Final"
+    return False
+
+
+def target_names(stmt: ast.stmt) -> List[ast.expr]:
+    """Assignment targets of an Assign/AnnAssign/AugAssign statement."""
+    if isinstance(stmt, ast.Assign):
+        return list(stmt.targets)
+    if isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        return [stmt.target]
+    return []
+
+
+def attribute_chain(node: ast.expr) -> Tuple[Optional[ast.expr], List[str]]:
+    """Unroll ``a.b.c`` into ``(base_node, ["b", "c"])``.
+
+    The base is whatever the left-most value is — a Name, a Call result,
+    a subscript, etc.  For a bare Name the chain is empty.
+    """
+    attrs: List[str] = []
+    while isinstance(node, ast.Attribute):
+        attrs.append(node.attr)
+        node = node.value
+    attrs.reverse()
+    return node, attrs
+
+
+def contains_true_div(node: ast.AST) -> bool:
+    """True when ``node`` contains a ``/`` whose float result escapes.
+
+    Divisions fully wrapped in an int-coercing call (``int``, ``round``,
+    ``floor``, ``ceil``) are fine — the coercion restores integer cycle
+    arithmetic before the value is stored.
+    """
+    if isinstance(node, ast.Call) and call_name(node) in (
+            "int", "round", "floor", "ceil"):
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        return True
+    return any(contains_true_div(child)
+               for child in ast.iter_child_nodes(node))

@@ -1,0 +1,102 @@
+"""SIM002: unseeded (module-level) randomness.
+
+``random.random()`` and friends draw from the interpreter-global Mersenne
+Twister: the result depends on everything else that touched the module
+state first, so two simulations in one process — or one simulation after
+an unrelated warm-up — stop being bit-deterministic.  ``random.seed()``
+is just as bad: it rewrites the shared state under every other component.
+
+The sanctioned pattern is a per-instance generator seeded from the
+config, as in ``workloads/generators.py``::
+
+    self.rng = random.Random(seed)
+
+The same applies to numpy's legacy global (``np.random.rand`` etc.) —
+use ``np.random.default_rng(seed)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from ..findings import Finding, LintContext
+from ..registry import Rule, register_rule
+
+#: names importable *from* random/numpy.random that do not touch the
+#: global generator state
+_SAFE_FACTORIES = frozenset({
+    "Random", "SystemRandom", "default_rng", "Generator", "RandomState",
+    "SeedSequence", "BitGenerator", "PCG64", "Philox", "MT19937", "SFC64",
+})
+
+
+@register_rule
+class UnseededRandom(Rule):
+    code = "SIM002"
+    name = "unseeded-randomness"
+    description = (
+        "Call through the process-global RNG (random.* module functions, "
+        "random.seed, numpy's legacy np.random.* globals): breaks "
+        "bit-determinism and cross-run isolation.  Use a per-instance "
+        "random.Random(seed) / np.random.default_rng(seed) wired from "
+        "the config instead.")
+
+    def check(self, tree: ast.Module,
+              ctx: LintContext) -> Iterator[Finding]:
+        # alias -> module it names ("random" or "numpy.random")
+        module_aliases: Dict[str, str] = {}
+        numpy_aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        module_aliases[target] = "random"
+                    elif alias.name in ("numpy", "numpy.random"):
+                        numpy_aliases[alias.asname or "numpy"] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in ("random", "numpy.random"):
+                    for alias in node.names:
+                        if alias.name not in _SAFE_FACTORIES:
+                            yield self.finding(
+                                ctx, node,
+                                f"'from {node.module} import {alias.name}' "
+                                f"binds a global-state RNG function; import "
+                                f"the Random class and seed a per-instance "
+                                f"generator instead")
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr in _SAFE_FACTORIES:
+                continue
+            value = func.value
+            # random.<fn>(...)
+            if (isinstance(value, ast.Name)
+                    and module_aliases.get(value.id) == "random"):
+                yield self.finding(
+                    ctx, node,
+                    f"call to global-state 'random.{func.attr}'; use a "
+                    f"per-instance random.Random(seed)")
+            # np.random.<fn>(...) via `import numpy as np`
+            elif (isinstance(value, ast.Attribute)
+                    and value.attr == "random"
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id in numpy_aliases):
+                yield self.finding(
+                    ctx, node,
+                    f"call to numpy's legacy global "
+                    f"'np.random.{func.attr}'; use "
+                    f"np.random.default_rng(seed)")
+            # npr.<fn>(...) via `import numpy.random as npr`
+            elif (isinstance(value, ast.Name)
+                    and numpy_aliases.get(value.id) == "numpy.random"):
+                yield self.finding(
+                    ctx, node,
+                    f"call to numpy's legacy global "
+                    f"'numpy.random.{func.attr}'; use "
+                    f"np.random.default_rng(seed)")

@@ -1,0 +1,90 @@
+"""SIM003: wall-clock reads inside simulation hot paths.
+
+Simulated time is the :class:`~repro.sim.events.EventWheel`'s ``now``;
+host time has no business inside ``sim``/``core``/``memsys``/``emc``/
+``interconnect`` code.  A wall-clock read in a hot path is either a
+determinism leak (timing-dependent behaviour) or dead profiling code that
+belongs in the analysis layer (``analysis/parallel.py`` legitimately uses
+``time.monotonic`` for progress ETAs — and is outside the hot packages,
+so this rule does not fire there).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from ..findings import Finding, LintContext
+from ..registry import Rule, register_rule
+
+_TIME_FUNCS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "clock",
+})
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+@register_rule
+class WallClockRead(Rule):
+    code = "SIM003"
+    name = "wall-clock-in-hot-path"
+    description = (
+        "Host wall-clock read (time.time/monotonic/perf_counter, "
+        "datetime.now, ...) inside a simulation hot-path package "
+        "(sim/core/memsys/emc/interconnect/prefetch).  Simulated time is "
+        "EventWheel.now; host timing belongs in the analysis layer.")
+
+    def check(self, tree: ast.Module,
+              ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.hot_path:
+            return
+        time_aliases: Dict[str, bool] = {}
+        datetime_aliases: Dict[str, bool] = {}
+        from_time: Dict[str, str] = {}   # local name -> time.<fn>
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases[alias.asname or "time"] = True
+                    elif alias.name == "datetime":
+                        datetime_aliases[alias.asname or "datetime"] = True
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_FUNCS:
+                            from_time[alias.asname or alias.name] = alias.name
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # time.<fn>() / t.<fn>()
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in time_aliases
+                    and func.attr in _TIME_FUNCS):
+                yield self._flag(ctx, node, f"time.{func.attr}")
+            # bare <fn>() imported from time
+            elif isinstance(func, ast.Name) and func.id in from_time:
+                yield self._flag(ctx, node, f"time.{from_time[func.id]}")
+            # datetime.datetime.now() / datetime.date.today()
+            elif (isinstance(func, ast.Attribute)
+                    and func.attr in _DATETIME_FUNCS):
+                value = func.value
+                if (isinstance(value, ast.Attribute)
+                        and isinstance(value.value, ast.Name)
+                        and value.value.id in datetime_aliases):
+                    yield self._flag(
+                        ctx, node, f"datetime.{value.attr}.{func.attr}")
+                elif (isinstance(value, ast.Name)
+                        and value.id in ("datetime", "date")):
+                    yield self._flag(ctx, node,
+                                     f"{value.id}.{func.attr}")
+
+    def _flag(self, ctx: LintContext, node: ast.AST,
+              what: str) -> Finding:
+        return self.finding(
+            ctx, node,
+            f"wall-clock read '{what}' in a simulation hot path; use the "
+            f"event wheel's simulated time (wheel.now) or move host "
+            f"timing to the analysis layer")

@@ -1,0 +1,86 @@
+"""SIM004: float-contaminated cycle arithmetic.
+
+Every simulated timestamp in this codebase is an integer cycle count; the
+event wheel orders events by exact integer comparison.  A true division
+(``/``) feeding a cycle/tick attribute silently turns the timeline into
+floats — comparisons still "work", so nothing crashes, but rounding makes
+event order (and therefore every downstream stat) platform- and
+history-dependent.  Use ``//`` for integer division, or coerce with
+``int(...)``/``round(...)`` before storing.
+
+The rule fires on hot-path code when a ``/`` whose result is not
+re-coerced to int reaches (a) an assignment to a cycle-named target
+(``*_cycle[s]``, ``*_tick[s]``, ``*_at``, ``when``, ``deadline``) or
+(b) an argument of an event-wheel ``schedule``/``schedule_at`` call.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..findings import Finding, LintContext
+from ..registry import Rule, register_rule
+from .common import attribute_chain, contains_true_div, target_names
+
+_CYCLE_NAME = re.compile(
+    r"(?:^|_)(?:cycle|cycles|tick|ticks|when|deadline)$|_at$")
+_SCHEDULE_CALLS = frozenset({"schedule", "schedule_at"})
+
+
+def _terminal_name(target: ast.expr) -> str:
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    _base, attrs = attribute_chain(target)
+    return attrs[-1] if attrs else ""
+
+
+@register_rule
+class FloatCycleArithmetic(Rule):
+    code = "SIM004"
+    name = "float-cycle-arithmetic"
+    description = (
+        "True division (/) feeding a cycle/tick attribute or an event-"
+        "wheel schedule() argument in hot-path code: simulated timestamps "
+        "must stay integers or event ordering becomes rounding-dependent. "
+        "Use // or wrap in int()/round().")
+
+    def check(self, tree: ast.Module,
+              ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.hot_path:
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                value = getattr(node, "value", None)
+                if value is None:
+                    continue
+                div_here = contains_true_div(value) or (
+                    isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, ast.Div))
+                if not div_here:
+                    continue
+                for target in target_names(node):
+                    name = _terminal_name(target)
+                    if _CYCLE_NAME.search(name):
+                        yield self.finding(
+                            ctx, node,
+                            f"true division feeds cycle-valued target "
+                            f"{name!r}; simulated time must stay integral "
+                            f"(use // or int(...))")
+                        break
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in _SCHEDULE_CALLS):
+                    for arg in list(node.args) + [
+                            kw.value for kw in node.keywords]:
+                        if contains_true_div(arg):
+                            yield self.finding(
+                                ctx, node,
+                                f"true division in a {func.attr}() "
+                                f"argument; event delays must be integral "
+                                f"cycles (use // or int(...))")
+                            break

@@ -1,0 +1,62 @@
+"""SIM005: stats counters mutated from outside their owning component.
+
+Stats objects (``CoreStats``, ``EMCStats``, ``LLCSliceStats``,
+``PrefetchStats``, ...) are owned by exactly one component; a foreign
+component poking their counters directly (``core.stats.llc_misses += 1``,
+``system.stats.emc.chains_generated += 1``) couples components to each
+other's accounting internals and makes double-counting invisible — the
+sweep cache and regression bands then memoize silently-wrong numbers.
+
+The sanctioned channel is a method on the owner (``sl.note_writeback()``,
+``stats.emc.note_chain_generated(...)``): the mutation stays encapsulated
+next to the counters it maintains.  ``self.stats.<field> = ...`` (a
+component updating its *own* stats subtree) is always fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, LintContext
+from ..registry import Rule, register_rule
+from .common import attribute_chain, target_names
+
+
+@register_rule
+class ForeignStatsMutation(Rule):
+    code = "SIM005"
+    name = "foreign-stats-mutation"
+    description = (
+        "Assignment through another object's .stats container "
+        "(x.stats.counter += 1 where x is not self): stats counters must "
+        "be mutated by their owning component.  Add a note_*() method on "
+        "the owner and call that instead.")
+
+    def check(self, tree: ast.Module,
+              ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign,
+                                     ast.AugAssign)):
+                continue
+            for target in target_names(node):
+                if not isinstance(target, ast.Attribute):
+                    continue
+                base, attrs = attribute_chain(target)
+                # need a field *after* 'stats' — `self.stats = ...` is a
+                # rebind of the component's own pointer, not a counter poke
+                if "stats" not in attrs[:-1]:
+                    continue
+                prefix = attrs[:attrs.index("stats")]
+                owned = (not prefix and isinstance(base, ast.Name)
+                         and base.id == "self")
+                if owned:
+                    continue
+                through = ".".join(
+                    ([base.id] if isinstance(base, ast.Name) else ["<expr>"])
+                    + attrs[:-1])
+                yield self.finding(
+                    ctx, node,
+                    f"stats counter {attrs[-1]!r} mutated through foreign "
+                    f"object '{through}'; route it through a method on "
+                    f"the owning component")

@@ -1,0 +1,168 @@
+"""Dynamic determinism sanitizer: run twice, diff everything.
+
+The static rules (SIM001–SIM006) catch the *patterns* that break
+determinism; this is the cheap end-to-end check that nothing slipped
+through: run the same configuration twice with the same seed in one
+process and require the full stats tree — every counter, every latency
+histogram bucket, every traced stage sum — to match bit for bit.  Any
+divergence means hidden cross-run state (the PR-1 bug class), global RNG
+use, or iteration over an unordered container leaking into timing, and
+the report names the first divergent field so the offender is usually
+obvious.
+
+Exposed as ``repro sanitize`` and as ``repro run --sanitize``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+
+def flatten_tree(obj: Any, prefix: str = "",
+                 out: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Flatten a stats tree into ``{"dotted.path": scalar}``.
+
+    Dataclasses flatten by field, mappings by (sorted) key, sequences by
+    index, sets as sorted tuples; scalars pass through.  Properties are
+    deliberately ignored — they are derived from the fields already
+    captured.
+    """
+    if out is None:
+        out = {}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        for f in dataclasses.fields(obj):
+            name = f"{prefix}.{f.name}" if prefix else f.name
+            flatten_tree(getattr(obj, f.name), name, out)
+    elif isinstance(obj, dict):
+        for key in sorted(obj, key=repr):
+            name = f"{prefix}[{key!r}]"
+            flatten_tree(obj[key], name, out)
+    elif isinstance(obj, (list, tuple)):
+        for index, item in enumerate(obj):
+            flatten_tree(item, f"{prefix}[{index}]", out)
+    elif isinstance(obj, (set, frozenset)):
+        out[prefix] = tuple(sorted(obj, key=repr))
+    else:
+        out[prefix] = obj
+    return out
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """First field where the two runs disagreed."""
+
+    field: str
+    first: Any
+    second: Any
+
+
+@dataclass
+class SanitizeReport:
+    """Outcome of a two-run determinism check."""
+
+    deterministic: bool
+    fields_compared: int
+    divergences: List[Divergence]
+    label: str = ""
+
+    @property
+    def first_divergence(self) -> Optional[Divergence]:
+        return self.divergences[0] if self.divergences else None
+
+    def format(self, max_divergences: int = 10) -> str:
+        if self.deterministic:
+            return (f"determinism sanitizer PASS"
+                    f"{f' [{self.label}]' if self.label else ''}: "
+                    f"{self.fields_compared} stats fields bit-identical "
+                    f"across 2 runs")
+        lines = [f"determinism sanitizer FAIL"
+                 f"{f' [{self.label}]' if self.label else ''}: "
+                 f"{len(self.divergences)} of {self.fields_compared} "
+                 f"fields diverged; first divergence:"]
+        for div in self.divergences[:max_divergences]:
+            lines.append(f"  {div.field}: run1={div.first!r} "
+                         f"run2={div.second!r}")
+        if len(self.divergences) > max_divergences:
+            lines.append(f"  ... and "
+                         f"{len(self.divergences) - max_divergences} more")
+        return "\n".join(lines)
+
+
+def diff_trees(first: Dict[str, Any],
+               second: Dict[str, Any]) -> List[Divergence]:
+    """All field-level differences between two flattened trees, in key
+    order; a key present in only one tree diverges against ``<absent>``."""
+    divergences: List[Divergence] = []
+    absent = "<absent>"
+    for key in sorted(set(first) | set(second)):
+        a, b = first.get(key, absent), second.get(key, absent)
+        if a is absent or b is absent or a != b or type(a) is not type(b):
+            divergences.append(Divergence(key, a, b))
+    return divergences
+
+
+def sanitize_runs(run_fn: Callable[[], Any],
+                  label: str = "") -> SanitizeReport:
+    """Call ``run_fn`` twice and diff the flattened results.
+
+    ``run_fn`` must build everything fresh on each call (config, workload,
+    System) — sharing is exactly what the sanitizer exists to catch.  It
+    may return any flatten-able tree (a dataclass, dict, or scalar).
+    """
+    first = flatten_tree(run_fn())
+    second = flatten_tree(run_fn())
+    divergences = diff_trees(first, second)
+    return SanitizeReport(
+        deterministic=not divergences,
+        fields_compared=len(set(first) | set(second)),
+        divergences=divergences,
+        label=label)
+
+
+def snapshot_run(result, attribution=None) -> Dict[str, Any]:
+    """Flatten one :class:`~repro.sim.runner.RunResult` into the tree the
+    sanitizer compares: the full stats tree, the DRAM/ring aggregates, and
+    (when traced) the per-stage attribution sums."""
+    tree: Dict[str, Any] = {}
+    flatten_tree(result.stats, "stats", tree)
+    tree["dram.accesses"] = result.dram_accesses
+    tree["dram.reads"] = result.dram_reads
+    tree["dram.row_conflict_rate"] = result.dram_row_conflict_rate
+    tree["ring.messages"] = result.ring_messages
+    flatten_tree(list(result.per_core_ipc), "per_core_ipc", tree)
+    attribution = (attribution if attribution is not None
+                   else result.latency_attribution)
+    if attribution is not None:
+        flatten_tree(attribution, "trace.attribution", tree)
+    return tree
+
+
+def sanitize_quad_mix(mix: str, n_instrs: int, prefetcher: str = "none",
+                      emc: bool = False, seed: int = 1,
+                      trace: bool = True,
+                      **cfg_overrides) -> SanitizeReport:
+    """Two-run determinism check of one quad-core Table 3 mix.
+
+    Each run rebuilds config, workload, and System from scratch; with
+    ``trace=True`` (the default) the traced stage sums are compared too,
+    so the check also covers the tracing subsystem's own determinism.
+    """
+    from ..sim.runner import (apply_config_overrides, run_system)
+    from ..trace import Tracer
+    from ..uarch.params import quad_core_config
+    from ..workloads.mixes import build_mix
+
+    def run_once() -> Dict[str, Any]:
+        cfg = quad_core_config(prefetcher=prefetcher, emc=emc, seed=seed)
+        apply_config_overrides(cfg, cfg_overrides)
+        cfg.validate()
+        workload = build_mix(mix, n_instrs, seed=seed)
+        tracer = Tracer() if trace else None
+        result = run_system(cfg, workload, tracer=tracer)
+        return snapshot_run(result)
+
+    label = f"{mix}/{prefetcher}{'+emc' if emc else ''} n={n_instrs} " \
+            f"seed={seed}"
+    return sanitize_runs(run_once, label=label)

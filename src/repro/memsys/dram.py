@@ -9,7 +9,7 @@ EMC's row-locality benefit (Figure 16) comes from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..sim.events import EventWheel

@@ -11,7 +11,7 @@ unless a run opts in to tracing.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List
 
 from ..interconnect.ring import Ring
 from ..prefetch import build_prefetcher
@@ -136,7 +136,7 @@ class MemoryHierarchy:
         if prior is not None and not prior.demand:
             # Late prefetch: accurate but not timely.  FDP treats it as a
             # useful prediction and ramps degree/distance up (§5, FDP).
-            self.prefetcher.stats.late += 1
+            self.prefetcher.note_late()
             if self.fdp is not None:
                 self.fdp.record_useful()
         entry = sl.mshr.allocate(req.line, self.wheel.now,
@@ -311,6 +311,7 @@ class MemoryHierarchy:
 
     def _record_prefetch_useful(self) -> None:
         self.stats.prefetches_useful += 1
+        self.prefetcher.note_useful()
         if self.fdp is not None:
             self.fdp.record_useful()
 
@@ -323,10 +324,10 @@ class MemoryHierarchy:
         entry = sl.mshr.allocate(line, self.wheel.now,
                                  waiter=lambda _l: None, demand=False)
         if entry is None:
-            self.prefetcher.stats.dropped += 1
+            self.prefetcher.note_dropped()
             return
         self.stats.prefetches_issued += 1
-        self.prefetcher.stats.issued += 1
+        self.prefetcher.note_issued()
         if self.fdp is not None:
             self.fdp.record_issue()
         mc_id = self.mc_of_line(line)

@@ -37,6 +37,29 @@ class LLCSlice:
         self.mshr = MSHRFile(cfg.mshr_entries)
         self.stats = LLCSliceStats()
 
+    # -- stats mutation API (SIM005: counters change only via the owner) -----
+    def note_access(self, hit: bool, emc: bool = False,
+                    prefetched: bool = False) -> None:
+        """Record one demand access to this slice."""
+        if emc:
+            self.stats.emc_accesses += 1
+        if not hit:
+            self.stats.demand_misses += 1
+            return
+        self.stats.demand_hits += 1
+        if emc:
+            self.stats.emc_hits += 1
+        if prefetched:
+            self.stats.prefetch_hits += 1
+
+    def note_writeback(self) -> None:
+        """A dirty victim left this slice for DRAM."""
+        self.stats.writebacks += 1
+
+    def note_back_invalidation(self) -> None:
+        """The EMC copy of one of this slice's lines was invalidated."""
+        self.stats.back_invalidations += 1
+
 
 class LLC:
     """The full distributed LLC: slice selection + coherence bookkeeping."""
@@ -64,16 +87,10 @@ class LLC:
         line = line_addr(addr)
         sl = self.slice_of(line)
         state = sl.cache.access(line, write=write)
-        if emc:
-            sl.stats.emc_accesses += 1
+        sl.note_access(hit=state is not None, emc=emc,
+                       prefetched=state is not None and state.prefetched)
         if state is None:
-            sl.stats.demand_misses += 1
             return None
-        sl.stats.demand_hits += 1
-        if emc:
-            sl.stats.emc_hits += 1
-        if state.prefetched:
-            sl.stats.prefetch_hits += 1
         if write and state.emc_bit:
             self._invalidate_emc_copy(line, state)
         return state
@@ -98,7 +115,7 @@ class LLC:
         if victim.emc_bit:
             self._invalidate_emc_copy(victim_addr, victim)
         if victim.dirty:
-            sl.stats.writebacks += 1
+            sl.note_writeback()
             return victim_addr
         return None
 
@@ -110,7 +127,7 @@ class LLC:
 
     def _invalidate_emc_copy(self, line: int, state: CacheLineState) -> None:
         state.emc_bit = False
-        self.slice_of(line).stats.back_invalidations += 1
+        self.slice_of(line).note_back_invalidation()
         if self.emc_invalidate_hook is not None:
             self.emc_invalidate_hook(line)
 

@@ -6,7 +6,7 @@ Timestamps along the path feed the latency breakdowns of Figures 1, 18 and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 

@@ -36,6 +36,23 @@ class Prefetcher:
         """Called on each LLC demand access; returns candidate lines."""
         return []
 
+    # -- stats mutation API (SIM005: counters change only via the owner) -----
+    def note_issued(self) -> None:
+        """A candidate of this prefetcher was issued to memory."""
+        self.stats.issued += 1
+
+    def note_useful(self) -> None:
+        """A demand access hit a line this prefetcher brought in."""
+        self.stats.useful += 1
+
+    def note_late(self) -> None:
+        """A demand arrived while the prefetch was still in flight."""
+        self.stats.late += 1
+
+    def note_dropped(self) -> None:
+        """A candidate was dropped (MSHRs full or filtered out)."""
+        self.stats.dropped += 1
+
 
 class NullPrefetcher(Prefetcher):
     """No prefetching (the paper's baseline)."""

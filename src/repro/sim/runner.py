@@ -4,7 +4,7 @@ and package the results benches and examples consume."""
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Final, List, Optional, Sequence, Tuple
 
 from ..energy.model import EnergyBreakdown, compute_energy
 from ..interconnect.ring import RingStats
@@ -92,7 +92,8 @@ def run_system(cfg: SystemConfig, workload: Workload,
 
 
 #: The four baseline prefetcher configurations of the evaluation.
-PREFETCHER_CONFIGS = ["none", "ghb", "stream", "markov+stream"]
+PREFETCHER_CONFIGS: Final[Tuple[str, ...]] = (
+    "none", "ghb", "stream", "markov+stream")
 
 
 def apply_config_overrides(cfg: SystemConfig, overrides) -> SystemConfig:

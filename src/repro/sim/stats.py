@@ -130,6 +130,29 @@ class EMCStats:
     miss_pred_correct: int = 0
     miss_pred_wrong: int = 0
 
+    # -- mutation API for the chain-generation unit --------------------------
+    # The CGU lives in the core but its counters are the EMC's; these
+    # methods keep the mutation next to the counters (SIM005).
+    def note_chain_generated(self, uops: int, live_ins: int,
+                             live_outs: int, gen_cycles: int,
+                             from_cache: bool = False) -> None:
+        """Record one generated dependence chain (Section 4.2)."""
+        self.chains_generated += 1
+        if from_cache:
+            self.chains_from_cache += 1
+        self.chain_gen_cycles += gen_cycles
+        self.chain_uops_total += uops
+        self.chain_live_ins_total += live_ins
+        self.chain_live_outs_total += live_outs
+
+    def note_chain_no_load(self) -> None:
+        """A backward walk found no dependent load to off-load."""
+        self.chains_no_load += 1
+
+    def note_rejected_no_context(self) -> None:
+        """A chain was dropped because every issue context was busy."""
+        self.chains_rejected_no_context += 1
+
     @property
     def dcache_hit_rate(self) -> float:
         total = self.dcache_hits + self.dcache_misses

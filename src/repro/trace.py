@@ -37,7 +37,8 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from types import MappingProxyType
+from typing import Dict, Final, List, Mapping, Optional, Tuple
 
 
 class TraceError(RuntimeError):
@@ -86,7 +87,7 @@ CATEGORIES = ("queue", "bank", "bus", "interconnect", "fill_path",
               "cache_access")
 
 #: stage -> attribution category
-CATEGORY_OF: Dict[str, str] = {
+CATEGORY_OF: Final[Mapping[str, str]] = MappingProxyType({
     Stage.RING_REQ: "interconnect",
     Stage.LLC_LOOKUP: "cache_access",
     Stage.RING_DATA: "interconnect",
@@ -101,7 +102,7 @@ CATEGORY_OF: Dict[str, str] = {
     Stage.RING_CORE: "fill_path",
     Stage.EMC_ISSUE: "queue",
     Stage.RING_EMC: "interconnect",
-}
+})
 
 
 # ---------------------------------------------------------------------------

@@ -8,7 +8,7 @@ pre-converted to core cycles here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Optional
+from typing import Any
 
 
 CACHE_LINE_BYTES = 64

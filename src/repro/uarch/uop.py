@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from types import MappingProxyType
+from typing import Final, List, Mapping, Optional, Tuple
 
 
 class UopType(enum.Enum):
@@ -53,7 +54,7 @@ EMC_ALLOWED_TYPES = frozenset(
 )
 
 #: Execution latency in cycles on the core's functional units.
-UOP_LATENCY = {
+UOP_LATENCY: Final[Mapping["UopType", int]] = MappingProxyType({
     UopType.ADD: 1,
     UopType.SUB: 1,
     UopType.MOV: 1,
@@ -69,7 +70,7 @@ UOP_LATENCY = {
     UopType.VEC: 4,
     UopType.NOP: 1,
     # LOAD/STORE latency comes from the memory system, not this table.
-}
+})
 
 MASK64 = (1 << 64) - 1
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import List
 
 from ..uarch.uop import MASK64, UopType
-from .generators import PAGE, TraceBuilder
+from .generators import TraceBuilder
 
 
 @dataclass

@@ -24,7 +24,7 @@ Kernels:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..uarch.isa import effective_address, execute_alu

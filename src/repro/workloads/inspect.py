@@ -10,10 +10,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set
 
 from ..uarch.isa import effective_address, execute_alu
-from ..uarch.uop import MicroOp, Trace, UopType
+from ..uarch.uop import Trace, UopType
 from .memory_image import MemoryImage
 
 

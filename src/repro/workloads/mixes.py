@@ -2,27 +2,28 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from types import MappingProxyType
+from typing import Final, List, Mapping, Sequence, Tuple
 
 from ..uarch.uop import Trace
 from .memory_image import MemoryImage
 from .spec import HIGH_INTENSITY, build_trace
 
 #: Table 3: the ten heterogeneous quad-core workloads.
-MIXES: Dict[str, List[str]] = {
-    "H1": ["bwaves", "lbm", "milc", "omnetpp"],
-    "H2": ["soplex", "omnetpp", "bwaves", "libquantum"],
-    "H3": ["sphinx3", "mcf", "omnetpp", "milc"],
-    "H4": ["mcf", "sphinx3", "soplex", "libquantum"],
-    "H5": ["lbm", "mcf", "libquantum", "bwaves"],
-    "H6": ["lbm", "soplex", "mcf", "milc"],
-    "H7": ["bwaves", "libquantum", "sphinx3", "omnetpp"],
-    "H8": ["omnetpp", "soplex", "mcf", "bwaves"],
-    "H9": ["lbm", "mcf", "libquantum", "soplex"],
-    "H10": ["libquantum", "bwaves", "soplex", "omnetpp"],
-}
+MIXES: Final[Mapping[str, Tuple[str, ...]]] = MappingProxyType({
+    "H1": ("bwaves", "lbm", "milc", "omnetpp"),
+    "H2": ("soplex", "omnetpp", "bwaves", "libquantum"),
+    "H3": ("sphinx3", "mcf", "omnetpp", "milc"),
+    "H4": ("mcf", "sphinx3", "soplex", "libquantum"),
+    "H5": ("lbm", "mcf", "libquantum", "bwaves"),
+    "H6": ("lbm", "soplex", "mcf", "milc"),
+    "H7": ("bwaves", "libquantum", "sphinx3", "omnetpp"),
+    "H8": ("omnetpp", "soplex", "mcf", "bwaves"),
+    "H9": ("lbm", "mcf", "libquantum", "soplex"),
+    "H10": ("libquantum", "bwaves", "soplex", "omnetpp"),
+})
 
-MIX_NAMES = list(MIXES)
+MIX_NAMES: Final[Tuple[str, ...]] = tuple(MIXES)
 
 Workload = List[Tuple[Trace, MemoryImage]]
 

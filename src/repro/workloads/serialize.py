@@ -12,15 +12,18 @@ from __future__ import annotations
 import gzip
 import json
 from pathlib import Path
-from typing import Tuple, Union
+from types import MappingProxyType
+from typing import Final, Mapping, Tuple, Union
 
 from ..uarch.uop import MicroOp, Trace, UopType
 from .memory_image import MemoryImage
 
 FORMAT_VERSION = 1
 
-_OP_CODES = {op: op.value for op in UopType}
-_OP_FROM_CODE = {op.value: op for op in UopType}
+_OP_CODES: Final[Mapping[UopType, str]] = MappingProxyType(
+    {op: op.value for op in UopType})
+_OP_FROM_CODE: Final[Mapping[str, UopType]] = MappingProxyType(
+    {op.value: op for op in UopType})
 
 
 def _open(path: Union[str, Path], mode: str):

@@ -10,7 +10,8 @@ Absolute per-benchmark numbers are not the goal — the shapes are.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from types import MappingProxyType
+from typing import Callable, Dict, Final, Mapping, Tuple
 
 from ..uarch.uop import Trace
 from .generators import (ComputeParams, GatherParams, PointerChaseParams,
@@ -114,19 +115,20 @@ def _profiles() -> Dict[str, BenchmarkProfile]:
     return p
 
 
-PROFILES: Dict[str, BenchmarkProfile] = _profiles()
+PROFILES: Final[Mapping[str, BenchmarkProfile]] = MappingProxyType(
+    _profiles())
 
-HIGH_INTENSITY = [name for name, prof in PROFILES.items()
-                  if prof.intensity == "high"]
-LOW_INTENSITY = [name for name, prof in PROFILES.items()
-                 if prof.intensity == "low"]
+HIGH_INTENSITY: Final[Tuple[str, ...]] = tuple(
+    name for name, prof in PROFILES.items() if prof.intensity == "high")
+LOW_INTENSITY: Final[Tuple[str, ...]] = tuple(
+    name for name, prof in PROFILES.items() if prof.intensity == "low")
 
-_KERNELS = {
+_KERNELS: Final[Mapping[str, Callable]] = MappingProxyType({
     "pointer_chase": pointer_chase,
     "stream": stream,
     "gather": gather,
     "compute": compute,
-}
+})
 
 
 def get_profile(name: str) -> BenchmarkProfile:

@@ -6,7 +6,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.sim.system import System
-from repro.uarch.params import (EMCConfig, L1Config, PrefetchConfig,
+from repro.uarch.params import (EMCConfig, PrefetchConfig,
                                 SystemConfig)
 from repro.uarch.uop import MicroOp, Trace, UopType
 from repro.workloads.memory_image import MemoryImage

@@ -1,0 +1,14 @@
+"""Planted SIM006: mutable default argument.
+
+The default list is created once at function-definition time, so every
+call that omits ``uops`` shares (and mutates) the same object.
+"""
+
+
+def collect_uops(trace, uops=[]):
+    uops.extend(trace.uops)
+    return uops
+
+
+def merge_stats(*, totals={}):
+    return totals

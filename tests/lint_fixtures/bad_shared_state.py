@@ -1,0 +1,29 @@
+"""Planted SIM001: shared mutable state (the PR-1 PageTable bug class).
+
+``LeakyPageTable`` reproduces the original bug shape: a frame allocator
+kept at class level, so every System instance in the process shares it.
+"""
+
+from types import MappingProxyType
+from typing import Final, Mapping
+
+from repro.memsys.vm import PageTable
+
+# Module-level mutable dict: survives across Systems in one process.
+FRAME_POOL = {}
+
+
+class LeakyPageTable(PageTable):
+    """Subclass with the exact PR-1 hazard planted back in."""
+
+    # Class-level mutable list: shared by every instance.
+    allocated_frames = []
+
+    def allocate(self, vpn: int) -> int:
+        self.allocated_frames.append(vpn)
+        return len(self.allocated_frames)
+
+
+# Verified-immutable tables are fine: neither of these may be reported.
+PAGE_SIZES: Final[Mapping[str, int]] = MappingProxyType({"small": 4096})
+_LEVELS: Final = (1, 2, 3, 4)

@@ -1,0 +1,20 @@
+"""Planted SIM002: process-global randomness in a workload generator.
+
+The real generators take a per-instance ``random.Random(seed)``; this one
+consults the global module functions, so traces differ run to run.
+"""
+
+import random
+from random import randint
+
+from repro.workloads.generators import TraceBuilder
+
+
+class JitteryTraceBuilder(TraceBuilder):
+    """Builder that perturbs addresses with unseeded global RNG."""
+
+    def jitter(self, addr: int) -> int:
+        return addr ^ random.getrandbits(4)
+
+    def pick_stride(self) -> int:
+        return randint(1, 8)

@@ -1,0 +1,19 @@
+"""Planted SIM004: float-contaminated cycle arithmetic in a hot path.
+
+Cycle counts are integers; true division turns them into floats whose
+rounding then depends on magnitude, skewing event order.
+"""
+
+from repro.memsys.dram import DRAMChannel
+
+
+class HalfRateChannel(DRAMChannel):
+    """Channel that derives timing with true division."""
+
+    def refresh_deadline(self, now: int) -> int:
+        next_cycle = now + self.cfg.t_ras / 2
+        return next_cycle
+
+    def throttle(self, now: int) -> None:
+        self.stall_cycles /= 2
+        self.wheel.schedule(now + self.cfg.t_cas / 4, lambda: None)

@@ -1,0 +1,14 @@
+"""Planted SIM005: a component mutating another component's counters.
+
+The hierarchy must call ``prefetcher.note_useful()``; bumping the counter
+directly hides the mutation from the owner.
+"""
+
+from repro.memsys.hierarchy import MemoryHierarchy
+
+
+class MeddlingHierarchy(MemoryHierarchy):
+    """Hierarchy that reaches into the prefetcher's stats."""
+
+    def _record_prefetch_useful(self, line: int) -> None:
+        self.prefetcher.stats.useful += 1

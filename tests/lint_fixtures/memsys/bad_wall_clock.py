@@ -1,0 +1,18 @@
+"""Planted SIM003: wall-clock reads inside a hot-path component.
+
+Wall-clock time inside the simulated-cycle path couples results to host
+load; simulated time comes from the EventWheel only.
+"""
+
+import time
+
+from repro.memsys.dram import DRAMChannel
+
+
+class TimedChannel(DRAMChannel):
+    """Channel that times its own issue path with the host clock."""
+
+    def _issue(self, req, now):
+        start = time.perf_counter()
+        super()._issue(req, now)
+        self.host_seconds = time.time() - start

@@ -55,7 +55,6 @@ def test_fp_poisoned_slice_yields_no_chain():
         tw.add(UopType.LOAD, dest=4, src1=3, pc=0x12)
         tw.add(UopType.MOV, dest=1, src1=2, pc=0x13)
     _sys, stats = run_trace(tw.trace(), image=image, cfg=tiny_config(emc=True))
-    e = chains_of(stats)
     # The only loads reachable from the source pass through FP: chains may
     # still ship the next-pointer MOV+LOAD, but never the FP-derived load.
     # Functional correctness is the hard requirement:

@@ -165,7 +165,6 @@ def test_fp_uops_execute_at_core():
 
 def test_deadlock_reported_not_hung():
     from repro.sim.system import DeadlockError, SimTimeoutError, System
-    from repro.uarch.uop import Trace
     # An empty wheel with unfinished work must raise, not hang.
     tw = TraceWriter()
     tw.add(UopType.MOV, dest=1, imm=1)

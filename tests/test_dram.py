@@ -1,7 +1,5 @@
 """Unit tests for the DDR3 model and the batch scheduler."""
 
-import pytest
-
 from repro.memsys.dram import DRAMChannel, DRAMRequest, DRAMStats, DRAMSystem
 from repro.sim.events import EventWheel
 from repro.uarch.params import DRAMConfig

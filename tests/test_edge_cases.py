@@ -1,8 +1,6 @@
 """Edge-case tests across modules: tiny configs, degenerate workloads,
 boundary parameters."""
 
-import pytest
-
 from repro.sim.system import System
 from repro.uarch.params import (DRAMConfig, EMCConfig, PrefetchConfig,
                                 SystemConfig)

@@ -1,10 +1,6 @@
 """Integration tests of the EMC: chain generation, remote execution,
 functional equivalence, cancellation, and coherence."""
 
-import pytest
-
-from repro.core.inflight import UopState
-from repro.sim.system import System
 from repro.uarch.uop import UopType
 from repro.workloads.memory_image import MemoryImage
 

@@ -1,8 +1,6 @@
 """Tests for the experiment-driver layer (repro.analysis.experiments) at a
 tiny scale: data shapes, caching behavior, and row semantics."""
 
-import os
-
 import pytest
 
 from repro.analysis import experiments as exp

@@ -7,7 +7,7 @@ from repro.sim.system import System
 from repro.uarch.uop import UopType
 from repro.workloads.memory_image import MemoryImage
 
-from .helpers import TraceWriter, run_trace, tiny_config
+from .helpers import TraceWriter, tiny_config
 
 
 def make_system(num_cores=1, **kw):

@@ -1,0 +1,225 @@
+"""Per-rule true-positive / false-positive tests on small snippets.
+
+Each rule is exercised directly (``rule.check`` on a parsed snippet), so
+a failure points at the rule, not the engine.  The fixture-based
+end-to-end test lives in test_lint_fixtures.py.
+"""
+
+import ast
+import textwrap
+
+from repro.lint import all_rules, get_rule
+from repro.lint.findings import LintContext, Severity, is_hot_path
+
+HOT = "src/repro/memsys/snippet.py"
+COLD = "src/repro/analysis/snippet.py"
+
+
+def run_rule(code, source, path=HOT):
+    source = textwrap.dedent(source)
+    ctx = LintContext(path=path, source=source,
+                      lines=tuple(source.splitlines()),
+                      hot_path=is_hot_path(path))
+    return list(get_rule(code).check(ast.parse(source), ctx))
+
+
+def lines_of(findings):
+    return [f.line for f in findings]
+
+
+# -- registry ---------------------------------------------------------------
+
+def test_builtin_rules_registered():
+    codes = [r.code for r in all_rules()]
+    assert codes == ["SIM001", "SIM002", "SIM003",
+                     "SIM004", "SIM005", "SIM006"]
+    for rule in all_rules():
+        assert rule.name
+        assert rule.description
+        assert rule.default_severity is Severity.ERROR
+
+
+# -- SIM001 shared mutable state --------------------------------------------
+
+def test_sim001_flags_module_level_mutables():
+    findings = run_rule("SIM001", """\
+        CACHE = {}
+        SEEN = set()
+        ROWS = [1, 2]
+    """)
+    assert lines_of(findings) == [1, 2, 3]
+    assert all(f.rule == "SIM001" for f in findings)
+
+
+def test_sim001_flags_class_level_mutables():
+    findings = run_rule("SIM001", """\
+        class PageTable:
+            frames = []
+    """)
+    assert lines_of(findings) == [2]
+
+
+def test_sim001_allows_verified_immutable_tables():
+    findings = run_rule("SIM001", """\
+        from types import MappingProxyType
+        from typing import Final, Mapping
+
+        SIZES: Final[Mapping[str, int]] = MappingProxyType({"a": 1})
+        NAMES = ("x", "y")
+        LIMIT: Final = [1, 2]
+        __all__ = ["foo"]
+    """)
+    assert findings == []
+
+
+def test_sim001_allows_dataclass_fields():
+    findings = run_rule("SIM001", """\
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class Stats:
+            buckets: list = field(default_factory=list)
+    """)
+    assert findings == []
+
+
+# -- SIM002 unseeded randomness ---------------------------------------------
+
+def test_sim002_flags_global_rng():
+    findings = run_rule("SIM002", """\
+        import random
+        from random import randint
+
+        def roll():
+            return random.random() + randint(1, 6)
+    """, path=COLD)
+    # The from-import (line 2) and the module-function call (line 5).
+    assert lines_of(findings) == [2, 5]
+
+
+def test_sim002_flags_numpy_legacy_globals():
+    findings = run_rule("SIM002", """\
+        import numpy as np
+        import numpy.random as npr
+
+        def noise(n):
+            return np.random.rand(n) + npr.standard_normal(n)
+    """)
+    assert len(findings) == 2
+    assert lines_of(findings) == [5, 5]
+
+
+def test_sim002_allows_per_instance_generators():
+    findings = run_rule("SIM002", """\
+        import random
+        from random import Random
+
+        class Builder:
+            def __init__(self, seed):
+                self.rng = random.Random(seed)
+                self.alt = Random(seed + 1)
+
+            def pick(self):
+                return self.rng.random()
+    """)
+    assert findings == []
+
+
+# -- SIM003 wall clock in hot paths -----------------------------------------
+
+WALL_CLOCK_SRC = """\
+    import time
+    import datetime
+
+    def tick(self):
+        start = time.perf_counter()
+        stamp = datetime.datetime.now()
+        return start, stamp
+"""
+
+
+def test_sim003_flags_wall_clock_in_hot_path():
+    findings = run_rule("SIM003", WALL_CLOCK_SRC, path=HOT)
+    assert lines_of(findings) == [5, 6]
+
+
+def test_sim003_silent_outside_hot_path():
+    assert run_rule("SIM003", WALL_CLOCK_SRC, path=COLD) == []
+
+
+# -- SIM004 float cycle arithmetic ------------------------------------------
+
+def test_sim004_flags_true_division_into_cycles():
+    findings = run_rule("SIM004", """\
+        def refresh(self, wheel, now):
+            self.ready_cycle = now + self.t_ras / 2
+            self.stall_cycles /= 2
+            deadline = (now + 3) / 2
+            wheel.schedule(now + self.t_cas / 4, self.fire)
+    """)
+    assert lines_of(findings) == [2, 3, 4, 5]
+
+
+def test_sim004_allows_floor_div_int_and_non_cycle_floats():
+    findings = run_rule("SIM004", """\
+        def report(self, now):
+            self.ready_cycle = now + self.t_ras // 2
+            window_cycles = int(self.span / 2)
+            rate = self.hits / self.accesses
+            return rate
+    """)
+    assert findings == []
+
+
+def test_sim004_silent_outside_hot_path():
+    findings = run_rule("SIM004", """\
+        def f(self, now):
+            self.ready_cycle = now / 2
+    """, path=COLD)
+    assert findings == []
+
+
+# -- SIM005 foreign stats mutation ------------------------------------------
+
+def test_sim005_flags_foreign_stats_writes():
+    findings = run_rule("SIM005", """\
+        def record(self, sl, system):
+            sl.stats.demand_hits += 1
+            system.stats.emc.chains_generated += 1
+            self.prefetcher.stats.useful += 1
+    """)
+    assert lines_of(findings) == [2, 3, 4]
+
+
+def test_sim005_allows_owner_mutation_and_rebind():
+    findings = run_rule("SIM005", """\
+        class Component:
+            def __init__(self, system):
+                self.stats = system.stats.emc
+
+            def note_hit(self):
+                self.stats.hits += 1
+                self.stats.latency.total += 4
+    """)
+    assert findings == []
+
+
+# -- SIM006 mutable default arguments ---------------------------------------
+
+def test_sim006_flags_mutable_defaults():
+    findings = run_rule("SIM006", """\
+        def collect(trace, out=[]):
+            return out
+
+        def tally(*, totals={}):
+            return totals
+    """)
+    assert lines_of(findings) == [1, 4]
+
+
+def test_sim006_allows_none_and_immutable_defaults():
+    findings = run_rule("SIM006", """\
+        def collect(trace, out=None, shape=(4, 4), name=""):
+            return out or []
+    """)
+    assert findings == []

@@ -9,9 +9,8 @@ import time
 import pytest
 
 from repro.analysis import parallel
-from repro.analysis.parallel import (JobTimeoutError, ParallelRunError,
-                                     RunJob, eight_job, execute_job,
-                                     homog_job, job_hash, mix_job,
+from repro.analysis.parallel import (ParallelRunError, eight_job,
+                                     execute_job, job_hash, mix_job,
                                      named_job, run_jobs, solo_job)
 from repro.analysis.sweep import sweep_jobs, sweep_mix
 from repro.sim.runner import run_quad_mix

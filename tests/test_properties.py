@@ -10,7 +10,6 @@ from repro.memsys.dram import DRAMChannel, DRAMRequest, DRAMStats
 from repro.interconnect.ring import Ring
 from repro.sim.events import EventWheel
 from repro.uarch.params import DRAMConfig, RingConfig
-from repro.uarch.uop import UopType
 from repro.workloads.generators import PointerChaseParams, TraceBuilder, \
     pointer_chase
 from repro.workloads.memory_image import MemoryImage

@@ -4,15 +4,14 @@ import pytest
 
 from repro import (MIX_NAMES, MIXES, PREFETCHER_CONFIGS, build_mix,
                    run_quad_mix, run_quad_named, speedup)
-from repro.workloads.mixes import (build_eight_core_mix, build_homogeneous,
-                                   build_named)
+from repro.workloads.mixes import build_eight_core_mix, build_homogeneous
 from repro.workloads.spec import HIGH_INTENSITY
 
 
 def test_table3_mixes_match_paper():
-    assert MIX_NAMES == [f"H{i}" for i in range(1, 11)]
-    assert MIXES["H4"] == ["mcf", "sphinx3", "soplex", "libquantum"]
-    assert MIXES["H1"] == ["bwaves", "lbm", "milc", "omnetpp"]
+    assert MIX_NAMES == tuple(f"H{i}" for i in range(1, 11))
+    assert MIXES["H4"] == ("mcf", "sphinx3", "soplex", "libquantum")
+    assert MIXES["H1"] == ("bwaves", "lbm", "milc", "omnetpp")
     # Every mix uses only high-intensity benchmarks, each at most once.
     for names in MIXES.values():
         assert len(names) == 4
@@ -45,8 +44,8 @@ def test_eight_core_mix_doubles_quad():
     workload = build_eight_core_mix("H2", 200, seed=1)
     assert len(workload) == 8
     names = [trace.name for trace, _ in workload]
-    assert names[:4] == MIXES["H2"]
-    assert names[4:] == MIXES["H2"]
+    assert tuple(names[:4]) == MIXES["H2"]
+    assert tuple(names[4:]) == MIXES["H2"]
 
 
 def test_run_quad_mix_end_to_end():
@@ -68,7 +67,9 @@ def test_speedup_helper():
 
 
 def test_prefetcher_configs_list():
-    assert PREFETCHER_CONFIGS == ["none", "ghb", "stream", "markov+stream"]
+    # An immutable tuple: shared module-level tables must not be mutable
+    # (simlint SIM001).
+    assert PREFETCHER_CONFIGS == ("none", "ghb", "stream", "markov+stream")
 
 
 def test_run_results_carry_energy_and_dram():

@@ -1,0 +1,138 @@
+"""Tests for the dynamic determinism sanitizer (repro.lint.sanitize)."""
+
+import random
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.lint.sanitize import (Divergence, diff_trees, flatten_tree,
+                                 sanitize_quad_mix, sanitize_runs)
+
+
+@dataclass
+class Inner:
+    hits: int = 0
+    buckets: list = field(default_factory=list)
+
+
+@dataclass
+class Outer:
+    name: str = "x"
+    inner: Inner = field(default_factory=Inner)
+    per_core: dict = field(default_factory=dict)
+
+
+# -- flatten_tree -----------------------------------------------------------
+
+def test_flatten_tree_dataclasses_dicts_and_sequences():
+    tree = flatten_tree(Outer(name="run", inner=Inner(3, [1, 2]),
+                              per_core={1: 9, 0: 8}))
+    assert tree == {
+        "name": "run",
+        "inner.hits": 3,
+        "inner.buckets[0]": 1,
+        "inner.buckets[1]": 2,
+        "per_core[0]": 8,
+        "per_core[1]": 9,
+    }
+
+
+def test_flatten_tree_sets_are_order_independent():
+    assert flatten_tree({"s": {3, 1, 2}}) == {"['s']": (1, 2, 3)}
+
+
+# -- diff_trees -------------------------------------------------------------
+
+def test_diff_trees_reports_value_and_type_divergence():
+    divs = diff_trees({"a": 1, "b": 2.0, "c": 3},
+                      {"a": 1, "b": 2, "d": 4})
+    assert [d.field for d in divs] == ["b", "c", "d"]
+    # b: same value, different type (2.0 vs 2) still diverges — the
+    # sanitizer demands bit-identical trees.
+    assert divs[0] == Divergence("b", 2.0, 2)
+    assert divs[1].second == "<absent>"
+    assert divs[2].first == "<absent>"
+
+
+def test_diff_trees_identical_is_empty():
+    assert diff_trees({"a": 1.5}, {"a": 1.5}) == []
+
+
+# -- sanitize_runs ----------------------------------------------------------
+
+def test_sanitize_runs_pass_on_pure_function():
+    report = sanitize_runs(lambda: {"ipc": 1.25, "cycles": 800},
+                           label="toy")
+    assert report.deterministic
+    assert report.fields_compared == 2
+    assert "PASS" in report.format()
+    assert "toy" in report.format()
+
+
+def test_sanitize_runs_catches_cross_run_state():
+    calls = []
+
+    def leaky():
+        calls.append(1)
+        return {"cycles": 100 + len(calls)}
+
+    report = sanitize_runs(leaky)
+    assert not report.deterministic
+    assert report.first_divergence == Divergence("['cycles']", 101, 102)
+    assert "FAIL" in report.format()
+    assert "cycles" in report.format()
+
+
+# -- end-to-end on the real simulator ---------------------------------------
+
+def test_quad_mix_is_deterministic():
+    report = sanitize_quad_mix("H4", 400, emc=True)
+    assert report.deterministic, report.format()
+    # The snapshot covers the full stats tree plus the traced stage sums.
+    assert report.fields_compared > 100
+    assert any(d for d in [report.label] if "H4" in d)
+
+
+def test_trace_adds_attribution_fields():
+    traced = sanitize_quad_mix("H4", 300, trace=True)
+    untraced = sanitize_quad_mix("H4", 300, trace=False)
+    assert traced.deterministic and untraced.deterministic
+    assert traced.fields_compared > untraced.fields_compared
+
+
+def test_sanitizer_detects_injected_unseeded_rng(monkeypatch):
+    """Acceptance check: plant exactly the fault class SIM002 polices —
+    a hot-path decision driven by the process-global RNG — and the
+    sanitizer must flag the run as non-deterministic."""
+    from repro.memsys.dram import DRAMChannel
+
+    random.seed(0xBAD)  # make the *test* reproducible; the fault is that
+    # the two sanitizer runs consume different slices of this stream.
+    orig = DRAMChannel.bank_of
+
+    def leaky_bank_of(self, line):
+        return (orig(self, line) + random.getrandbits(1)) % len(self.banks)
+
+    monkeypatch.setattr(DRAMChannel, "bank_of", leaky_bank_of)
+    report = sanitize_quad_mix("H4", 400, emc=True)
+    assert not report.deterministic
+    first = report.first_divergence
+    assert first is not None
+    assert first.first != first.second
+    assert "FAIL" in report.format()
+
+
+def test_sanitize_cli(capsys):
+    from repro.cli import main as repro_main
+    rc = repro_main(["sanitize", "--mix", "H1", "-n", "300"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "determinism sanitizer PASS" in out
+
+
+def test_run_sanitize_flag(capsys):
+    from repro.cli import main as repro_main
+    rc = repro_main(["run", "--mix", "H1", "-n", "300", "--sanitize"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "PASS" in out

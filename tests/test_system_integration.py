@@ -6,7 +6,6 @@ import pytest
 from repro import (build_mix, build_named, eight_core_config,
                    quad_core_config, run_system, with_dram_geometry)
 from repro.sim.system import System
-from repro.uarch.params import (EMCConfig, PrefetchConfig, SystemConfig)
 from repro.workloads.mixes import build_eight_core_mix, build_homogeneous
 
 N = 1200   # instructions per core: small but exercises everything

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis import experiments as exp
-from repro.sim.system import System
 from repro.uarch.params import PAGE_BYTES
 from repro.uarch.uop import UopType
 from repro.workloads.memory_image import MemoryImage

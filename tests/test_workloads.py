@@ -8,9 +8,8 @@ from hypothesis import strategies as st
 
 from repro.uarch.isa import effective_address, execute_alu
 from repro.uarch.uop import Trace, UopType
-from repro.workloads.generators import (ComputeParams, GatherParams,
-                                        PointerChaseParams, StreamParams,
-                                        TraceBuilder, compute, gather,
+from repro.workloads.generators import (GatherParams, PointerChaseParams,
+                                        StreamParams, TraceBuilder, gather,
                                         pointer_chase, stream)
 from repro.workloads.memory_image import MemoryImage
 from repro.workloads.spec import (HIGH_INTENSITY, LOW_INTENSITY, PROFILES,
