@@ -45,7 +45,7 @@ from ..workloads.mixes import (build_eight_core_mix, build_homogeneous,
 from .figures import format_eta, progress_bar
 
 #: bump to invalidate every on-disk cache entry when result layout changes
-CACHE_SCHEMA = 2
+CACHE_SCHEMA = 3
 
 Overrides = Tuple[Tuple[str, Any], ...]
 ProgressFn = Callable[[int, int, str, float], None]
@@ -87,12 +87,24 @@ class RunJob:
     max_cycles: int = 50_000_000
     trace: bool = False
     label: str = ""
+    warmup_instrs: int = 0
 
     def key(self) -> tuple:
         """Identity of the run — everything except the display label."""
         return (self.workload, self.n_instrs, self.topology, self.prefetcher,
                 self.emc, self.num_mcs, self.seed, self.overrides,
-                self.max_cycles, self.trace)
+                self.max_cycles, self.trace, self.warmup_instrs)
+
+    def warmup_key(self) -> tuple:
+        """Identity of the *warmed machine state* this job starts from.
+
+        Excludes ``max_cycles``, ``trace``, and the label: none of them
+        influence the state at the warmup boundary, so jobs differing only
+        there fork from the same cached checkpoint.
+        """
+        return (self.workload, self.n_instrs, self.topology, self.prefetcher,
+                self.emc, self.num_mcs, self.seed, self.overrides,
+                self.warmup_instrs)
 
 
 def _as_overrides(overrides: Optional[Mapping[str, Any]]) -> Overrides:
@@ -103,24 +115,26 @@ def mix_job(mix: str, n_instrs: int, prefetcher: str = "none",
             emc: bool = False, seed: int = 1,
             overrides: Optional[Mapping[str, Any]] = None,
             max_cycles: int = 50_000_000, trace: bool = False,
-            label: str = "") -> RunJob:
+            label: str = "", warmup_instrs: int = 0) -> RunJob:
     """Quad-core Table 3 mix (the ``run_quad_mix`` shape)."""
     return RunJob(workload=("mix", mix), n_instrs=n_instrs,
                   prefetcher=prefetcher, emc=emc, seed=seed,
                   overrides=_as_overrides(overrides), max_cycles=max_cycles,
-                  trace=trace,
+                  trace=trace, warmup_instrs=warmup_instrs,
                   label=label or f"{mix}/{prefetcher}{'+emc' if emc else ''}")
 
 
 def homog_job(name: str, num_cores: int, n_instrs: int,
               prefetcher: str = "none", emc: bool = False, seed: int = 1,
               overrides: Optional[Mapping[str, Any]] = None,
-              trace: bool = False, label: str = "") -> RunJob:
+              trace: bool = False, label: str = "",
+              warmup_instrs: int = 0) -> RunJob:
     """N copies of one benchmark (the ``run_homogeneous`` shape)."""
     return RunJob(workload=("homog", name, num_cores), n_instrs=n_instrs,
                   topology="quad" if num_cores == 4 else "eight",
                   prefetcher=prefetcher, emc=emc, seed=seed,
                   overrides=_as_overrides(overrides), trace=trace,
+                  warmup_instrs=warmup_instrs,
                   label=label or f"{num_cores}x{name}/{prefetcher}"
                   f"{'+emc' if emc else ''}")
 
@@ -128,12 +142,14 @@ def homog_job(name: str, num_cores: int, n_instrs: int,
 def eight_job(mix: str, n_instrs: int, prefetcher: str = "none",
               emc: bool = False, num_mcs: int = 1, seed: int = 1,
               overrides: Optional[Mapping[str, Any]] = None,
-              trace: bool = False, label: str = "") -> RunJob:
+              trace: bool = False, label: str = "",
+              warmup_instrs: int = 0) -> RunJob:
     """Eight-core mix, 1 or 2 memory controllers (Figure 14 shape)."""
     return RunJob(workload=("eight", mix), n_instrs=n_instrs,
                   topology="eight", prefetcher=prefetcher, emc=emc,
                   num_mcs=num_mcs, seed=seed,
                   overrides=_as_overrides(overrides), trace=trace,
+                  warmup_instrs=warmup_instrs,
                   label=label or f"8c-{num_mcs}mc/{mix}/{prefetcher}"
                   f"{'+emc' if emc else ''}")
 
@@ -141,7 +157,8 @@ def eight_job(mix: str, n_instrs: int, prefetcher: str = "none",
 def named_job(names: Sequence[str], n_instrs: int, prefetcher: str = "none",
               emc: bool = False, seed: int = 1,
               overrides: Optional[Mapping[str, Any]] = None,
-              trace: bool = False, label: str = "") -> RunJob:
+              trace: bool = False, label: str = "",
+              warmup_instrs: int = 0) -> RunJob:
     """Explicit benchmark list, one per core of a quad/eight topology."""
     topology = {4: "quad", 8: "eight"}.get(len(names))
     if topology is None:
@@ -150,7 +167,8 @@ def named_job(names: Sequence[str], n_instrs: int, prefetcher: str = "none",
     return RunJob(workload=("named",) + tuple(names), n_instrs=n_instrs,
                   topology=topology, prefetcher=prefetcher, emc=emc,
                   seed=seed, overrides=_as_overrides(overrides),
-                  trace=trace, label=label or "+".join(names))
+                  trace=trace, warmup_instrs=warmup_instrs,
+                  label=label or "+".join(names))
 
 
 def solo_job(name: str, n_instrs: int, seed: int = 1,
@@ -197,21 +215,47 @@ def build_job_workload(job: RunJob):
     raise ValueError(f"unknown workload kind {kind!r}")
 
 
-def execute_job(job: RunJob) -> RunResult:
-    """Build the config + workload a job describes and run it."""
+def warmup_checkpoint_path(cache_dir: Optional[str],
+                           job: RunJob) -> Optional[str]:
+    """Checkpoint file for the warmed machine state a job starts from.
+
+    Keyed by :meth:`RunJob.warmup_key`, so sweep points differing only in
+    ``max_cycles``/``trace``/label all resolve to the same file: the
+    first to run pays for the warmup, the rest fork from its checkpoint.
+    A job that times out *after* the boundary also finds the file on
+    retry and resumes instead of re-warming.
+    """
+    if not cache_dir or not job.warmup_instrs:
+        return None
+    text = repr((CACHE_SCHEMA, "warmup", job.warmup_key()))
+    digest = hashlib.sha256(text.encode()).hexdigest()[:32]
+    return os.path.join(cache_dir, "warmup-ckpt", f"wck-{digest}.pkl")
+
+
+def execute_job(job: RunJob, cache_dir: Optional[str] = None) -> RunResult:
+    """Build the config + workload a job describes and run it.
+
+    ``cache_dir`` (when set, alongside ``job.warmup_instrs``) enables the
+    shared warmup-checkpoint cache; see :func:`warmup_checkpoint_path`.
+    """
     cfg = build_job_config(job)
     workload = build_job_workload(job)
     tracer = Tracer() if job.trace else None
+    checkpoint = warmup_checkpoint_path(cache_dir, job)
+    if checkpoint:
+        os.makedirs(os.path.dirname(checkpoint), exist_ok=True)
     return run_system(cfg, workload, label=job.label,
-                      max_cycles=job.max_cycles, tracer=tracer)
+                      max_cycles=job.max_cycles, tracer=tracer,
+                      warmup_instrs=job.warmup_instrs,
+                      warmup_checkpoint=checkpoint)
 
 
 def _on_alarm(_signum, _frame):
     raise JobTimeoutError("job exceeded its wall-clock timeout")
 
 
-def _execute_with_timeout(job: RunJob,
-                          timeout: Optional[float]) -> RunResult:
+def _execute_with_timeout(job: RunJob, timeout: Optional[float],
+                          cache_dir: Optional[str] = None) -> RunResult:
     """Worker entry point: run one job under an optional SIGALRM budget.
 
     ``signal`` only works in a main thread; where it is unavailable the
@@ -219,14 +263,14 @@ def _execute_with_timeout(job: RunJob,
     bounds the simulation itself).
     """
     if not timeout or not hasattr(signal, "setitimer"):
-        return execute_job(job)
+        return execute_job(job, cache_dir)
     try:
         previous = signal.signal(signal.SIGALRM, _on_alarm)
     except ValueError:          # not in the main thread
-        return execute_job(job)
+        return execute_job(job, cache_dir)
     signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        return execute_job(job)
+        return execute_job(job, cache_dir)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0)
         signal.signal(signal.SIGALRM, previous)
@@ -305,13 +349,14 @@ def _stderr_progress(done: int, total: int, label: str,
     sys.stderr.flush()
 
 
-def _run_one(job: RunJob, timeout: Optional[float]) -> RunResult:
+def _run_one(job: RunJob, timeout: Optional[float],
+             cache_dir: Optional[str] = None) -> RunResult:
     """Serial path: execute with the same retry-once policy as the pool."""
     try:
-        return _execute_with_timeout(job, timeout)
+        return _execute_with_timeout(job, timeout, cache_dir)
     except Exception as first:                          # retry once
         try:
-            return _execute_with_timeout(job, timeout)
+            return _execute_with_timeout(job, timeout, cache_dir)
         except Exception as second:
             raise ParallelRunError(
                 f"job {job.label or job.workload!r} failed twice: "
@@ -330,6 +375,10 @@ def run_jobs(jobs_list: Sequence[RunJob], jobs: int = 1,
     - ``cache_dir``: directory of pickled results keyed by
       :func:`job_hash`; hits skip execution entirely, misses are stored
       after the run.  Unreadable entries are recomputed, not fatal.
+      Jobs with ``warmup_instrs`` additionally share warmed-machine
+      checkpoints under ``cache_dir/warmup-ckpt/`` (see
+      :func:`warmup_checkpoint_path`), so only the first job of each
+      (config, workload, warmup) group pays for its warmup.
     - ``timeout``: per-job wall-clock seconds; a timed-out job counts as a
       failure and is retried once like any other failure.
     - ``progress``: ``True`` for a stderr progress/ETA line, or a callable
@@ -368,7 +417,7 @@ def run_jobs(jobs_list: Sequence[RunJob], jobs: int = 1,
 
     if jobs <= 1 or len(pending) <= 1:
         for i in pending:
-            finish(i, _run_one(jobs_list[i], timeout))
+            finish(i, _run_one(jobs_list[i], timeout, cache_dir))
         return results          # type: ignore[return-value]
 
     workers = min(jobs, len(pending))
@@ -378,7 +427,7 @@ def run_jobs(jobs_list: Sequence[RunJob], jobs: int = 1,
 
         def submit(i: int, tries: int) -> None:
             future = pool.submit(_execute_with_timeout, jobs_list[i],
-                                 timeout)
+                                 timeout, cache_dir)
             attempts[future] = (i, tries)
 
         for i in pending:

@@ -123,9 +123,16 @@ def sweep_jobs(grid: Mapping[str, Sequence[Any]], base_job: RunJob,
 def sweep_mix(grid: Mapping[str, Sequence[Any]], mix: str, n_instrs: int,
               seed: int = 1, emc: bool = True, prefetcher: str = "none",
               jobs: int = 1, cache_dir: Optional[str] = None,
-              timeout: Optional[float] = None, progress=None) -> SweepResult:
+              timeout: Optional[float] = None, progress=None,
+              warmup_instrs: int = 0) -> SweepResult:
     """Convenience wrapper: sweep over one Table 3 mix, optionally in
-    parallel (``jobs`` worker processes, on-disk ``cache_dir``)."""
-    base = mix_job(mix, n_instrs, prefetcher=prefetcher, emc=emc, seed=seed)
+    parallel (``jobs`` worker processes, on-disk ``cache_dir``).
+
+    ``warmup_instrs`` gives every point a warmup window; note that grid
+    points differ in config overrides, so each point warms (and, with a
+    ``cache_dir``, checkpoints) its own machine state.
+    """
+    base = mix_job(mix, n_instrs, prefetcher=prefetcher, emc=emc, seed=seed,
+                   warmup_instrs=warmup_instrs)
     return sweep_jobs(grid, base, jobs=jobs, cache_dir=cache_dir,
                       timeout=timeout, progress=progress)

@@ -102,9 +102,12 @@ def cmd_run(args) -> int:
             if workload is None:
                 raise ValueError("give --mix or --benchmarks")
             tracer = Tracer() if args.trace else None
-            return snapshot_run(run_system(cfg, workload, tracer=tracer))
+            return snapshot_run(run_system(cfg, workload, tracer=tracer,
+                                           warmup_instrs=args.warmup))
 
-        report = sanitize_runs(run_once, label=args.mix or "run")
+        label = (args.mix or "run") + (
+            f" warmup={args.warmup}" if args.warmup else "")
+        report = sanitize_runs(run_once, label=label)
         print(report.format())
         return 0 if report.deterministic else 1
     cfg = _build_config(args)
@@ -113,9 +116,11 @@ def cmd_run(args) -> int:
         return 2
     print(f"running {label} / prefetcher={args.prefetcher} "
           f"emc={'on' if args.emc else 'off'} "
-          f"({args.n_instrs} instrs/core)")
+          f"({args.n_instrs} instrs/core"
+          + (f", warmup {args.warmup}" if args.warmup else "") + ")")
     tracer = Tracer() if args.trace else None
-    result = run_system(cfg, workload, tracer=tracer)
+    result = run_system(cfg, workload, tracer=tracer,
+                        warmup_instrs=args.warmup)
     _print_result(result, verbose=args.verbose)
     return 0
 
@@ -127,7 +132,8 @@ def cmd_homog(args) -> int:
     print(f"running {cfg.num_cores}x {args.benchmark} / "
           f"prefetcher={args.prefetcher} emc={'on' if args.emc else 'off'}")
     tracer = Tracer() if args.trace else None
-    result = run_system(cfg, workload, tracer=tracer)
+    result = run_system(cfg, workload, tracer=tracer,
+                        warmup_instrs=args.warmup)
     _print_result(result, verbose=args.verbose)
     return 0
 
@@ -142,7 +148,8 @@ def cmd_trace(args) -> int:
     print(f"tracing {label} / prefetcher={args.prefetcher} "
           f"emc={'on' if args.emc else 'off'} "
           f"({args.n_instrs} instrs/core)")
-    result = run_system(cfg, workload, tracer=tracer)
+    result = run_system(cfg, workload, tracer=tracer,
+                        warmup_instrs=args.warmup)
     att = result.latency_attribution
     print(f"traced {len(tracer.finished())} requests over "
           f"{result.stats.total_cycles} cycles")
@@ -161,7 +168,8 @@ def cmd_compare(args) -> int:
               for emc in (False, True)]
     results = run_jobs(
         [mix_job(args.mix, args.n_instrs, prefetcher=prefetcher, emc=emc,
-                 seed=args.seed) for prefetcher, emc in combos],
+                 seed=args.seed, warmup_instrs=args.warmup)
+         for prefetcher, emc in combos],
         jobs=args.jobs, cache_dir=args.cache_dir,
         progress=True if args.jobs > 1 else None)
     rows = []
@@ -212,7 +220,8 @@ def cmd_sweep(args) -> int:
                        seed=args.seed, emc=args.emc,
                        prefetcher=args.prefetcher,
                        jobs=args.jobs, cache_dir=args.cache_dir,
-                       progress=True if args.jobs > 1 else None)
+                       progress=True if args.jobs > 1 else None,
+                       warmup_instrs=args.warmup)
     headers = list(grid) + ["perf", "emc_frac"]
     rows = [tuple(p.overrides[k] for k in grid)
             + (p.performance, p.result.stats.emc_miss_fraction())
@@ -314,6 +323,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", action="store_true",
                         help="record request lifecycles and print the "
                              "latency attribution (also: REPRO_TRACE=1)")
+    parser.add_argument("--warmup", type=int, default=0, metavar="N",
+                        help="warm up N instructions/core first; stats "
+                             "cover only the measured window after the "
+                             "boundary (default 0: no warmup)")
     parser.add_argument("-v", "--verbose", action="store_true")
 
 
@@ -417,7 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
                            cmd_lint, cmd_sanitize)
     p_lint = sub.add_parser(
         "lint", help="simlint: check simulator invariants "
-                     "(SIM001-SIM006) with the AST-based static analyzer")
+                     "(SIM001-SIM007) with the AST-based static analyzer")
     add_lint_arguments(p_lint)
     p_lint.add_argument("-v", "--verbose", action="store_true",
                         help="also print suppressed/baselined findings")

@@ -22,6 +22,8 @@ from ..emc.chain import ChainUop, DependenceChain
 from ..memsys.cache import SetAssocCache, line_addr
 from ..memsys.request import MemRequest
 from ..memsys.vm import PageTable
+from ..sim.component import (SimComponent, SnapshotError, rebase_clock,
+                             require_empty)
 from ..sim.stats import CoreStats
 from ..uarch.isa import effective_address, execute_alu
 from ..uarch.uop import UOP_LATENCY, MicroOp, Trace, UopType
@@ -50,7 +52,7 @@ class CoreProgress:
     rob_head: Optional[object]   # oldest in-flight uop, or None
 
 
-class OutOfOrderCore:
+class OutOfOrderCore(SimComponent):
     """One core: front-end, window, L1, and the chain-generation unit."""
 
     def __init__(self, core_id: int, trace: Trace, system) -> None:
@@ -98,6 +100,9 @@ class OutOfOrderCore:
         self.finished = False
         self.stats_frozen = False
         self.wrap_count = 0
+        # Warmup window: while set, fetch stops at this retired-instruction
+        # count and a core exhausting its trace wraps *without* finishing.
+        self._warmup_limit: Optional[int] = None
 
     # ------------------------------------------------------------------
     # scheduling / doze
@@ -143,6 +148,140 @@ class OutOfOrderCore:
             rob_head=self.rob[0] if self.rob else None,
         )
 
+    # ------------------------------------------------------------------
+    # phase lifecycle (warmup / measure boundary)
+    # ------------------------------------------------------------------
+    def begin_warmup(self, limit: int) -> None:
+        """Arm the warmup gate: fetch stops once ``limit`` instructions
+        have retired, and trace exhaustion wraps instead of finishing."""
+        self._warmup_limit = limit
+
+    @property
+    def warmup_done(self) -> bool:
+        """True once this core has retired its warmup quota (vacuously
+        true outside a warmup window)."""
+        return (self._warmup_limit is None
+                or self.stats.instructions >= self._warmup_limit)
+
+    def _require_quiesced(self) -> None:
+        require_empty(self, rob=self.rob, ready=self.ready,
+                      by_seq=self._by_seq, l1_pending=self.l1_pending)
+        if self.rs_occupancy != 0:
+            raise SnapshotError(
+                f"core {self.core_id}: rs_occupancy={self.rs_occupancy} "
+                "with an empty window")
+
+    def end_warmup(self, origin: int) -> None:
+        """Cross the warmup/measure boundary on a quiesced core.
+
+        Drops the warmup gate, rebases clock-valued state against the
+        rewound wheel, and prunes the retired-uop dependence DAG to the
+        classification horizon so it (and any checkpoint built from it)
+        stays bounded.  ``origin`` is the wheel time the boundary was
+        taken at (the new cycle zero).
+        """
+        self._require_quiesced()
+        self._warmup_limit = None
+        self.wrap_count = 0
+        self._tick_scheduled = False
+        self._doze_started = None
+        self._chain_gen_busy_until = rebase_clock(
+            self._chain_gen_busy_until, origin)
+        if self._fetch_index >= len(self._trace):
+            # Warmup consumed an exact number of whole passes; measure
+            # from the top of the trace rather than finishing instantly.
+            self._fetch_index = 0
+        self._rebase_and_prune(origin)
+
+    def _rebase_and_prune(self, origin: int) -> None:
+        """Retired uops reachable from the rename table feed
+        ``find_miss_root`` during the measure window.  Rebase their cycle
+        timestamps — *unclamped*, because ``done_cycle`` ordering against
+        future ``dispatch_cycle`` values must survive the rewind — and cut
+        producer links past the walk horizon so the DAG cannot grow
+        without bound across the boundary."""
+        depth_of: Dict[int, int] = {}
+        order: List[InflightUop] = []
+        level: List[InflightUop] = list(self.rename.values())
+        depth = 0
+        while level and depth <= MISS_WALK_LIMIT:
+            nxt: List[InflightUop] = []
+            for iu in level:
+                if id(iu) in depth_of:
+                    continue
+                depth_of[id(iu)] = depth
+                order.append(iu)
+                nxt.extend(iu.producers())
+            level = nxt
+            depth += 1
+        for iu in order:
+            # Every node here is retired: wake-up lists, memory-ordering
+            # links, and chain membership are dead weight.
+            iu.consumers.clear()
+            iu.chain = None
+            iu.source_of_chain = None
+            iu.mem_dep_p = None
+            for field in ("dispatch_cycle", "issue_cycle", "done_cycle"):
+                value = getattr(iu, field)
+                if value is not None:
+                    setattr(iu, field, value - origin)
+            if depth_of[id(iu)] >= MISS_WALK_LIMIT:
+                iu.p1 = iu.p2 = None
+
+    # ------------------------------------------------------------------
+    # SimComponent protocol
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        # CoreStats is owned (and reset) by SimStats; only the L1's own
+        # counters live below this component.
+        self.l1.reset_stats()
+
+    def snapshot(self) -> dict:
+        self._require_quiesced()
+        state = self._header()
+        state.update(
+            fetch_index=self._fetch_index,
+            rename=dict(self.rename),
+            regfile=dict(self.regfile),
+            l1=self.l1.snapshot(),
+            page_table=self.page_table.snapshot(),
+            fetch_blocked=self._fetch_blocked,
+            dep_miss_counter=self.dep_miss_counter,
+            chain_gen_busy_until=self._chain_gen_busy_until,
+            chain_cache=OrderedDict(self._chain_cache),
+            finished=self.finished,
+            stats_frozen=self.stats_frozen,
+            wrap_count=self.wrap_count,
+            warmup_limit=self._warmup_limit,
+        )
+        return state
+
+    def restore(self, state: dict) -> None:
+        state = self._check(state)
+        self._fetch_index = state["fetch_index"]
+        self.rob.clear()
+        self.ready.clear()
+        self._by_seq.clear()
+        self.l1_pending.clear()
+        self.rs_occupancy = 0
+        self.rename.clear()
+        self.rename.update(state["rename"])
+        self.regfile.clear()
+        self.regfile.update(state["regfile"])
+        self.l1.restore(state["l1"])
+        self.page_table.restore(state["page_table"])
+        self._fetch_blocked = state["fetch_blocked"]
+        self.dep_miss_counter = state["dep_miss_counter"]
+        self._chain_gen_busy_until = state["chain_gen_busy_until"]
+        self._chain_cache.clear()
+        self._chain_cache.update(state["chain_cache"])
+        self._tick_scheduled = False
+        self._doze_started = None
+        self.finished = state["finished"]
+        self.stats_frozen = state["stats_frozen"]
+        self.wrap_count = state["wrap_count"]
+        self._warmup_limit = state["warmup_limit"]
+
     def _has_work(self) -> bool:
         if self.ready:
             return True
@@ -155,6 +294,9 @@ class OutOfOrderCore:
     def _can_fetch(self) -> bool:
         if self.stats_frozen and self.system.all_finished:
             return False    # draining: wrapped interference is over
+        if (self._warmup_limit is not None
+                and self.stats.instructions >= self._warmup_limit):
+            return False    # warmup target reached: quiesce for the boundary
         return (self._fetch_index < len(self._trace)
                 and len(self.rob) < self.cfg.rob_entries
                 and self.rs_occupancy < self.cfg.rs_entries
@@ -188,6 +330,13 @@ class OutOfOrderCore:
                 self.stats.instructions += 1
             retired += 1
         if not self.rob and self._fetch_index >= len(self._trace):
+            if self._warmup_limit is not None:
+                # Warming up: wrap without finishing so the measured window
+                # always starts from a running (not completed) machine.
+                if self.stats.instructions < self._warmup_limit:
+                    self._fetch_index = 0
+                    self.wrap_count += 1
+                return
             if not self.finished:
                 self.finished = True
                 self.stats_frozen = True

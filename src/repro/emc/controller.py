@@ -17,6 +17,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional
 
 from ..memsys.cache import SetAssocCache, line_addr
+from ..sim.component import SimComponent, SnapshotError, require_empty
 from ..trace import Stage
 from ..uarch.isa import effective_address, execute_alu
 from ..uarch.params import EMCConfig
@@ -66,7 +67,7 @@ class EMCContext:
         self.ready.clear()
 
 
-class EMC:
+class EMC(SimComponent):
     """The compute side of one enhanced memory controller."""
 
     def __init__(self, mc_id: int, system, cfg: EMCConfig,
@@ -90,6 +91,49 @@ class EMC:
         self._pending_lines: Dict[int, List[tuple]] = {}
         # Accepted chains waiting for their source data (no context held).
         self._pending_chains: List[DependenceChain] = []
+
+    # ------------------------------------------------------------------
+    # SimComponent protocol
+    # ------------------------------------------------------------------
+    # Architectural (kept warm across the warmup/measure boundary): the
+    # data cache, per-core TLBs, miss-predictor counters, and the
+    # round-robin pointer.  In-flight state (running contexts, pending
+    # chains, pending line fetches) holds chain/callback references and
+    # requires a quiesced machine.  EMCStats is owned by SimStats.
+    def reset_stats(self) -> None:
+        self.dcache.reset_stats()
+        self.tlbs.reset_stats()
+        self.miss_predictor.reset_stats()
+
+    def snapshot(self) -> dict:
+        require_empty(self, pending_lines=self._pending_lines,
+                      pending_chains=self._pending_chains)
+        busy = [c.context_id for c in self.contexts
+                if c.state is not ContextState.IDLE]
+        if busy or self._inflight:
+            raise SnapshotError(
+                f"EMC {self.mc_id}: cannot snapshot with busy contexts "
+                f"{busy} / {self._inflight} in-flight uops "
+                f"(quiesce the machine first)")
+        state = self._header()
+        state["dcache"] = self.dcache.snapshot()
+        state["tlbs"] = self.tlbs.snapshot()
+        state["miss_predictor"] = self.miss_predictor.snapshot()
+        state["rr"] = self._rr
+        return state
+
+    def restore(self, state: dict) -> None:
+        state = self._check(state)
+        for ctx in self.contexts:
+            ctx.release()
+        self._inflight = 0
+        self._tick_scheduled = False
+        self._pending_lines.clear()
+        self._pending_chains.clear()
+        self.dcache.restore(state["dcache"])
+        self.tlbs.restore(state["tlbs"])
+        self.miss_predictor.restore(state["miss_predictor"])
+        self._rr = state["rr"]
 
     # ------------------------------------------------------------------
     # context management

@@ -10,9 +10,17 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from ..sim.component import SimComponent
 
-class MissPredictor:
-    """Per-core arrays of 3-bit counters indexed by a PC hash."""
+
+class MissPredictor(SimComponent):
+    """Per-core arrays of 3-bit counters indexed by a PC hash.
+
+    The counter tables are learned (architectural) state — they stay warm
+    across the warmup/measure boundary; the predictor owns no statistical
+    counters (accuracy accounting lives in
+    :class:`~repro.sim.stats.EMCStats`).
+    """
 
     COUNTER_MAX = 7
 
@@ -46,3 +54,19 @@ class MissPredictor:
             table[index] = min(self.COUNTER_MAX, table[index] + 1)
         else:
             table[index] = max(0, table[index] - 1)
+
+    # -- SimComponent protocol -----------------------------------------------
+    def reset_stats(self) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        state = self._header()
+        state["tables"] = {core: list(table)
+                           for core, table in self._tables.items()}
+        return state
+
+    def restore(self, state: dict) -> None:
+        state = self._check(state)
+        self._tables.clear()
+        for core, table in state["tables"].items():
+            self._tables[core] = list(table)

@@ -13,11 +13,16 @@ from collections import OrderedDict
 from typing import Dict, Optional
 
 from ..memsys.vm import PageTable, PageTableEntry
+from ..sim.component import SimComponent
 from ..uarch.params import PAGE_BYTES
 
 
-class EMCTlb:
-    """Per-core circular-buffer TLB (FIFO replacement, as in the paper)."""
+class EMCTlb(SimComponent):
+    """Per-core circular-buffer TLB (FIFO replacement, as in the paper).
+
+    State split: the translation buffer is architectural;
+    hits/misses/shootdowns are statistical.
+    """
 
     def __init__(self, entries: int) -> None:
         self.capacity = entries
@@ -61,13 +66,47 @@ class EMCTlb:
     def __len__(self) -> int:
         return len(self._entries)
 
+    # -- SimComponent protocol -----------------------------------------------
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.shootdowns = 0
 
-class EMCTlbFile:
+    def snapshot(self) -> dict:
+        state = self._header()
+        state["entries"] = OrderedDict(self._entries)
+        state["stats"] = (self.hits, self.misses, self.shootdowns)
+        return state
+
+    def restore(self, state: dict) -> None:
+        state = self._check(state)
+        self._entries.clear()
+        self._entries.update(state["entries"])
+        self.hits, self.misses, self.shootdowns = state["stats"]
+
+
+class EMCTlbFile(SimComponent):
     """The set of per-core EMC TLBs living at one memory controller."""
 
     def __init__(self, num_cores: int, entries_per_core: int) -> None:
         self.tlbs: Dict[int, EMCTlb] = {
             core: EMCTlb(entries_per_core) for core in range(num_cores)}
+
+    # -- SimComponent protocol -----------------------------------------------
+    def reset_stats(self) -> None:
+        for tlb in self.tlbs.values():
+            tlb.reset_stats()
+
+    def snapshot(self) -> dict:
+        state = self._header()
+        state["tlbs"] = {core: tlb.snapshot()
+                         for core, tlb in self.tlbs.items()}
+        return state
+
+    def restore(self, state: dict) -> None:
+        state = self._check(state)
+        for core, tlb in self.tlbs.items():
+            tlb.restore(state["tlbs"][core])
 
     def for_core(self, core_id: int) -> EMCTlb:
         return self.tlbs[core_id]

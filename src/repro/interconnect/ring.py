@@ -12,6 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
+from ..sim.component import (SimComponent, dataclass_state,
+                             rebase_clock_map, reset_dataclass_stats,
+                             restore_dataclass)
 from ..sim.events import EventWheel
 from ..uarch.params import RingConfig
 
@@ -52,7 +55,7 @@ class RingStats:
         return self.emc_latency / n if n else 0.0
 
 
-class Ring:
+class Ring(SimComponent):
     """A pair of bi-directional rings connecting ``num_stops`` stops.
 
     ``send`` computes hop count along the shorter direction, reserves each
@@ -72,6 +75,27 @@ class Ring:
         # Link occupancy: (ring, direction, link_index) -> next free time.
         # ring: "ctrl" | "data"; direction: +1 (clockwise) | -1.
         self._link_free: Dict[tuple, int] = {}
+
+    # -- SimComponent protocol -----------------------------------------------
+    # Architectural: per-link next-free clocks; statistical: RingStats.
+    def reset_stats(self) -> None:
+        reset_dataclass_stats(self.stats)
+
+    def snapshot(self) -> dict:
+        state = self._header()
+        state["link_free"] = dict(self._link_free)
+        state["stats"] = dataclass_state(self.stats)
+        return state
+
+    def restore(self, state: dict) -> None:
+        state = self._check(state)
+        self._link_free.clear()
+        self._link_free.update(state["link_free"])
+        restore_dataclass(self.stats, state["stats"])
+
+    def rebase(self, origin: int) -> None:
+        """Rebase link clocks when the wheel rewinds to zero."""
+        rebase_clock_map(self._link_free, origin)
 
     def _route(self, src: int, dst: int) -> tuple:
         """Return (direction, hop_count) along the shorter way."""

@@ -84,15 +84,41 @@ def add_sanitize_arguments(parser) -> None:
     parser.add_argument("--emc", action="store_true")
     parser.add_argument("--no-trace", action="store_true",
                         help="skip comparing traced stage sums")
+    parser.add_argument("--warmup", type=int, default=0, metavar="N",
+                        help="run each check as a warmup(N)+measure pair, "
+                             "putting the phase boundary under the gate")
+    parser.add_argument("--jobs", type=int, default=0, metavar="J",
+                        help="also diff a serial run_jobs pass against a "
+                             "J-worker pass (bit-identity gate on the "
+                             "parallel runner)")
+    parser.add_argument("--checkpoint-roundtrip", action="store_true",
+                        help="also diff a straight warmup+measure run "
+                             "against a checkpoint-at-boundary resume "
+                             "(implies a warmup window; --warmup sets its "
+                             "length, default n_instrs/4)")
 
 
 def cmd_sanitize(args) -> int:
-    from .sanitize import sanitize_quad_mix
-    report = sanitize_quad_mix(
+    from .sanitize import (sanitize_checkpoint_roundtrip,
+                           sanitize_parallel_runner, sanitize_quad_mix)
+    reports = [sanitize_quad_mix(
         args.mix, args.n_instrs, prefetcher=args.prefetcher,
-        emc=args.emc, seed=args.seed, trace=not args.no_trace)
-    print(report.format())
-    return 0 if report.deterministic else 1
+        emc=args.emc, seed=args.seed, trace=not args.no_trace,
+        warmup_instrs=args.warmup)]
+    if args.jobs and args.jobs > 1:
+        reports.append(sanitize_parallel_runner(
+            args.mix, args.n_instrs, prefetcher=args.prefetcher,
+            emc=args.emc, seed=args.seed, jobs=args.jobs,
+            warmup_instrs=args.warmup))
+    if args.checkpoint_roundtrip:
+        warmup = args.warmup or max(1, args.n_instrs // 4)
+        reports.append(sanitize_checkpoint_roundtrip(
+            args.mix, args.n_instrs, warmup,
+            prefetcher=args.prefetcher, emc=args.emc, seed=args.seed,
+            trace=not args.no_trace))
+    for report in reports:
+        print(report.format())
+    return 0 if all(r.deterministic for r in reports) else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -1,8 +1,9 @@
-"""Built-in simlint rules; importing this package registers SIM001–SIM006."""
+"""Built-in simlint rules; importing this package registers SIM001–SIM007."""
 
 from . import (sim001_shared_state, sim002_unseeded_random,
                sim003_wall_clock, sim004_float_cycles,
-               sim005_foreign_stats, sim006_mutable_defaults)
+               sim005_foreign_stats, sim006_mutable_defaults,
+               sim007_past_event)
 
 __all__ = [
     "sim001_shared_state",
@@ -11,4 +12,5 @@ __all__ = [
     "sim004_float_cycles",
     "sim005_foreign_stats",
     "sim006_mutable_defaults",
+    "sim007_past_event",
 ]

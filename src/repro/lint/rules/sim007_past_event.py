@@ -1,0 +1,147 @@
+"""SIM007: event scheduled at an absolute time not provably >= now.
+
+``EventWheel.schedule_at`` takes an *absolute* cycle and raises
+``ValueError`` at runtime if the time is already in the past.  That
+runtime guard only fires on inputs that actually reach it; this rule is
+the static companion.  A ``schedule_at(t, ...)`` call is flagged unless
+``t`` is *provably current-or-future* under a small dataflow heuristic:
+
+- an attribute read ending in ``.now`` (``self.wheel.now``),
+- a name literally called ``now``,
+- ``max(...)`` with at least one safe argument (the idiomatic clamp:
+  ``when = max(when, self.wheel.now)``),
+- an addition with at least one safe operand (``now + latency``),
+- a local name *all* of whose in-function assignments are safe
+  (propagated to a fixpoint, so ``cas_done = now + access`` →
+  ``data_start = max(cas_done, bus_free)`` → ``data_start + n`` chains
+  stay clean).
+
+Anything else — a bare parameter, a stored field that is not ``.now``,
+arithmetic that can go backwards (subtraction, multiplication) — is not
+provably monotonic and gets flagged.  Delay-based ``schedule(delay,
+...)`` is always safe and is the usual fix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..findings import Finding, LintContext
+from ..registry import Rule, register_rule
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _time_argument(call: ast.Call) -> Optional[ast.expr]:
+    """The absolute-time argument of a ``schedule_at`` call, if present."""
+    if call.args:
+        first = call.args[0]
+        return None if isinstance(first, ast.Starred) else first
+    for kw in call.keywords:
+        if kw.arg == "time":
+            return kw.value
+    return None
+
+
+def _collect_assignments(scope: ast.AST) -> Dict[str, List[ast.expr]]:
+    """Name -> every expression assigned to it within ``scope``.
+
+    ``x += y`` is modelled as ``x = x + y`` so augmented chains take part
+    in the fixpoint.  Tuple unpacking, loop targets, and ``with ... as``
+    bindings are deliberately not recorded: a name bound only that way
+    has no assignments and therefore stays unsafe (conservative).
+    """
+    assigns: Dict[str, List[ast.expr]] = {}
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    assigns.setdefault(target.id, []).append(node.value)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.value is not None:
+                assigns.setdefault(node.target.id, []).append(node.value)
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name):
+                synthetic = ast.BinOp(
+                    left=ast.Name(id=node.target.id, ctx=ast.Load()),
+                    op=node.op, right=node.value)
+                assigns.setdefault(node.target.id, []).append(synthetic)
+    return assigns
+
+
+def _is_safe(expr: ast.expr, safe_names: Set[str]) -> bool:
+    if isinstance(expr, ast.Attribute):
+        return expr.attr == "now"
+    if isinstance(expr, ast.Name):
+        return expr.id == "now" or expr.id in safe_names
+    if (isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name)
+            and expr.func.id == "max"):
+        return any(_is_safe(arg, safe_names) for arg in expr.args
+                   if not isinstance(arg, ast.Starred))
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+        return (_is_safe(expr.left, safe_names)
+                or _is_safe(expr.right, safe_names))
+    return False
+
+
+def _safe_names(assigns: Dict[str, List[ast.expr]]) -> Set[str]:
+    """Fixpoint: a name is safe iff every assignment to it is safe."""
+    safe: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, values in assigns.items():
+            if name in safe:
+                continue
+            if all(_is_safe(v, safe) for v in values):
+                safe.add(name)
+                changed = True
+    return safe
+
+
+@register_rule
+class PastEventSchedule(Rule):
+    code = "SIM007"
+    name = "event-scheduled-in-the-past"
+    description = (
+        "schedule_at() called with an absolute time that is not provably "
+        ">= the wheel's now (a .now read, 'now + delay', or a "
+        "'max(..., now)' clamp).  A past time raises ValueError at "
+        "runtime; use delay-based schedule() or clamp with "
+        "max(t, wheel.now).")
+
+    def check(self, tree: ast.Module,
+              ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.hot_path:
+            return
+        seen: Set[int] = set()
+        for scope in ast.walk(tree):
+            if not isinstance(scope, _FUNC_NODES):
+                continue
+            yield from self._check_scope(scope, ctx, seen)
+        # module-level calls (outside any function) against module-level
+        # assignments
+        yield from self._check_scope(tree, ctx, seen)
+
+    def _check_scope(self, scope: ast.AST, ctx: LintContext,
+                     seen: Set[int]) -> Iterator[Finding]:
+        calls = [node for node in ast.walk(scope)
+                 if isinstance(node, ast.Call)
+                 and isinstance(node.func, ast.Attribute)
+                 and node.func.attr == "schedule_at"
+                 and id(node) not in seen]
+        if not calls:
+            return
+        safe = _safe_names(_collect_assignments(scope))
+        for call in calls:
+            seen.add(id(call))
+            when = _time_argument(call)
+            if when is None or _is_safe(when, safe):
+                continue
+            yield self.finding(
+                ctx, call,
+                "absolute event time is not provably >= wheel.now; "
+                "derive it from a .now read ('now + delay') or clamp "
+                "with max(t, wheel.now) — or use delay-based "
+                "schedule()")

@@ -1,6 +1,6 @@
 """Dynamic determinism sanitizer: run twice, diff everything.
 
-The static rules (SIM001–SIM006) catch the *patterns* that break
+The static rules (SIM001–SIM007) catch the *patterns* that break
 determinism; this is the cheap end-to-end check that nothing slipped
 through: run the same configuration twice with the same seed in one
 process and require the full stats tree — every counter, every latency
@@ -16,8 +16,10 @@ Exposed as ``repro sanitize`` and as ``repro run --sanitize``.
 from __future__ import annotations
 
 import dataclasses
+import enum
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
 
 
 def flatten_tree(obj: Any, prefix: str = "",
@@ -141,13 +143,15 @@ def snapshot_run(result, attribution=None) -> Dict[str, Any]:
 
 def sanitize_quad_mix(mix: str, n_instrs: int, prefetcher: str = "none",
                       emc: bool = False, seed: int = 1,
-                      trace: bool = True,
+                      trace: bool = True, warmup_instrs: int = 0,
                       **cfg_overrides) -> SanitizeReport:
     """Two-run determinism check of one quad-core Table 3 mix.
 
     Each run rebuilds config, workload, and System from scratch; with
     ``trace=True`` (the default) the traced stage sums are compared too,
     so the check also covers the tracing subsystem's own determinism.
+    ``warmup_instrs`` runs each repetition as a warmup+measure pair, so
+    the boundary machinery itself is under the determinism gate.
     """
     from ..sim.runner import (apply_config_overrides, run_system)
     from ..trace import Tracer
@@ -160,9 +164,193 @@ def sanitize_quad_mix(mix: str, n_instrs: int, prefetcher: str = "none",
         cfg.validate()
         workload = build_mix(mix, n_instrs, seed=seed)
         tracer = Tracer() if trace else None
-        result = run_system(cfg, workload, tracer=tracer)
+        result = run_system(cfg, workload, tracer=tracer,
+                            warmup_instrs=warmup_instrs)
         return snapshot_run(result)
 
     label = f"{mix}/{prefetcher}{'+emc' if emc else ''} n={n_instrs} " \
             f"seed={seed}"
+    if warmup_instrs:
+        label += f" warmup={warmup_instrs}"
     return sanitize_runs(run_once, label=label)
+
+
+# ---------------------------------------------------------------------------
+# component-state flattening (snapshot-level divergence localization)
+# ---------------------------------------------------------------------------
+
+#: recursion ceiling for :func:`flatten_state`; deeper nesting flattens to
+#: a marker rather than chasing arbitrarily linked object graphs
+STATE_MAX_DEPTH = 16
+
+_SCALARS = (bool, int, float, str, bytes, type(None))
+
+
+def flatten_state(obj: Any, prefix: str = "",
+                  out: Optional[Dict[str, Any]] = None,
+                  _depth: int = 0,
+                  _seen: Optional[Set[int]] = None) -> Dict[str, Any]:
+    """Flatten an arbitrary state tree (e.g. ``System.snapshot()``) into
+    ``{"component.path[key]": scalar}`` for divergence localization.
+
+    Tolerant where :func:`flatten_tree` is strict: any object exposing
+    ``__dict__`` or ``__slots__`` recurses by (sorted) attribute, cycles
+    flatten to a ``<cycle>`` marker, nesting beyond
+    :data:`STATE_MAX_DEPTH` flattens to ``<max-depth>``, and leaves that
+    are neither scalars nor containers flatten to ``repr()`` — so no
+    ``id()``-dependent value ever reaches the output.
+    """
+    if out is None:
+        out = {}
+    if _seen is None:
+        _seen = set()
+    key = prefix or "<root>"
+    if isinstance(obj, enum.Enum):
+        out[key] = f"{type(obj).__name__}.{obj.name}"
+        return out
+    if isinstance(obj, _SCALARS):
+        out[key] = obj
+        return out
+    if _depth >= STATE_MAX_DEPTH:
+        out[key] = "<max-depth>"
+        return out
+    oid = id(obj)
+    if oid in _seen:
+        out[key] = "<cycle>"
+        return out
+    _seen.add(oid)
+    try:
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            for f in dataclasses.fields(obj):
+                flatten_state(getattr(obj, f.name),
+                              f"{key}.{f.name}" if prefix else f.name,
+                              out, _depth + 1, _seen)
+        elif isinstance(obj, dict):
+            for k in sorted(obj, key=repr):
+                flatten_state(obj[k], f"{key}[{k!r}]", out,
+                              _depth + 1, _seen)
+        elif isinstance(obj, (list, tuple, deque)):
+            for index, item in enumerate(obj):
+                flatten_state(item, f"{key}[{index}]", out,
+                              _depth + 1, _seen)
+        elif isinstance(obj, (set, frozenset)):
+            out[key] = tuple(sorted(map(repr, obj)))
+        elif hasattr(obj, "__dict__") or hasattr(obj, "__slots__"):
+            names = (sorted(vars(obj)) if hasattr(obj, "__dict__")
+                     else sorted(s for s in type(obj).__slots__
+                                 if hasattr(obj, s)))
+            label = f"{key}<{type(obj).__name__}>" if prefix else key
+            for name in names:
+                flatten_state(getattr(obj, name), f"{label}.{name}",
+                              out, _depth + 1, _seen)
+        else:
+            out[key] = repr(obj)
+    finally:
+        _seen.discard(oid)
+    return out
+
+
+def diff_system_states(first: Any, second: Any,
+                       label: str = "") -> SanitizeReport:
+    """Diff two state trees (``System.snapshot()`` dicts or any two
+    component snapshots), localizing each divergence to a component +
+    field path — e.g. ``cores[2].l1.sets[14][...]`` — so a checkpoint or
+    determinism failure names the offending structure directly."""
+    a = flatten_state(first)
+    b = flatten_state(second)
+    divergences = diff_trees(a, b)
+    return SanitizeReport(
+        deterministic=not divergences,
+        fields_compared=len(set(a) | set(b)),
+        divergences=divergences,
+        label=label)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end gates: parallel runner & checkpoint round trip
+# ---------------------------------------------------------------------------
+
+def sanitize_parallel_runner(mix: str, n_instrs: int,
+                             prefetcher: str = "none", emc: bool = False,
+                             seed: int = 1, jobs: int = 2,
+                             warmup_instrs: int = 0) -> SanitizeReport:
+    """Serial vs parallel-runner equivalence gate (``--jobs`` mode).
+
+    Builds the same two-job list (the mix with the EMC off and on) twice
+    and executes it through :func:`~repro.analysis.parallel.run_jobs`
+    once with ``jobs=1`` (in-process) and once with ``jobs=N`` (worker
+    processes), then requires every result bit-identical.  Divergence
+    means the worker path leaks state the serial path does not (or vice
+    versa).
+    """
+    from ..analysis.parallel import mix_job, run_jobs
+
+    def build_jobs():
+        return [mix_job(mix, n_instrs, prefetcher=prefetcher, emc=emc,
+                        seed=seed, warmup_instrs=warmup_instrs),
+                mix_job(mix, n_instrs, prefetcher=prefetcher, emc=not emc,
+                        seed=seed, warmup_instrs=warmup_instrs)]
+
+    serial = run_jobs(build_jobs(), jobs=1)
+    parallel = run_jobs(build_jobs(), jobs=jobs)
+    first: Dict[str, Any] = {}
+    second: Dict[str, Any] = {}
+    for index, (a, b) in enumerate(zip(serial, parallel)):
+        for tree, result in ((first, a), (second, b)):
+            for field, value in snapshot_run(result).items():
+                tree[f"job{index}.{field}"] = value
+    divergences = diff_trees(first, second)
+    return SanitizeReport(
+        deterministic=not divergences,
+        fields_compared=len(set(first) | set(second)),
+        divergences=divergences,
+        label=f"serial-vs-jobs={jobs} {mix} n={n_instrs} seed={seed}")
+
+
+def sanitize_checkpoint_roundtrip(mix: str, n_instrs: int,
+                                  warmup_instrs: int,
+                                  prefetcher: str = "none",
+                                  emc: bool = False, seed: int = 1,
+                                  trace: bool = False) -> SanitizeReport:
+    """Checkpoint/resume bit-identity gate.
+
+    Run 1 warms up inline, writes the boundary checkpoint, and measures;
+    run 2 resumes from that checkpoint file and measures.  The full
+    result tree (every stats counter, and the traced attribution when
+    ``trace``) must match bit for bit — the warmed machine state must be
+    indistinguishable from its pickled round trip.
+    """
+    import os
+    import tempfile
+
+    from ..sim.runner import run_system
+    from ..trace import Tracer
+    from ..uarch.params import quad_core_config
+    from ..workloads.mixes import build_mix
+
+    def run_once(checkpoint: str) -> Dict[str, Any]:
+        cfg = quad_core_config(prefetcher=prefetcher, emc=emc, seed=seed)
+        cfg.validate()
+        workload = build_mix(mix, n_instrs, seed=seed)
+        tracer = Tracer() if trace else None
+        result = run_system(cfg, workload, tracer=tracer,
+                            warmup_instrs=warmup_instrs,
+                            warmup_checkpoint=checkpoint)
+        return snapshot_run(result)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = os.path.join(tmp, "warmup-boundary.ckpt")
+        first = run_once(checkpoint)        # warms up, writes checkpoint
+        if not os.path.exists(checkpoint):
+            raise RuntimeError(
+                "checkpoint round trip: first run did not write "
+                f"{checkpoint}")
+        second = run_once(checkpoint)       # resumes from checkpoint
+    divergences = diff_trees(first, second)
+    return SanitizeReport(
+        deterministic=not divergences,
+        fields_compared=len(set(first) | set(second)),
+        divergences=divergences,
+        label=f"checkpoint-roundtrip {mix}"
+              f"{'+emc' if emc else ''} n={n_instrs} "
+              f"warmup={warmup_instrs} seed={seed}")

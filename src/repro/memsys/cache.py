@@ -11,6 +11,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..sim.component import (SimComponent, SnapshotError, dataclass_state,
+                             reset_dataclass_stats, restore_dataclass)
 from ..uarch.params import CACHE_LINE_BYTES
 
 
@@ -48,12 +50,15 @@ class CacheStats:
         return self.hits / self.accesses if self.accesses else 0.0
 
 
-class SetAssocCache:
+class SetAssocCache(SimComponent):
     """Tags + LRU for one cache array.
 
     Each set is an ``OrderedDict`` keyed by tag; iteration order is LRU →
     MRU.  ``probe`` is side-effect-free; ``access`` updates recency and
     stats; ``fill`` inserts (returning the victim, if any).
+
+    State split: tags/LRU order/line flags are architectural;
+    :class:`CacheStats` is statistical.
     """
 
     def __init__(self, size_bytes: int, ways: int,
@@ -128,6 +133,28 @@ class SetAssocCache:
         if index is None:
             raise ValueError("addr_of only valid for lines returned by fill()")
         return (state.tag * self.num_sets + index) * self.line_bytes
+
+    # -- SimComponent protocol -----------------------------------------------
+    def reset_stats(self) -> None:
+        reset_dataclass_stats(self.stats)
+
+    def snapshot(self) -> dict:
+        state = self._header()
+        state["geometry"] = (self.num_sets, self.ways, self.line_bytes)
+        state["sets"] = [OrderedDict(cset) for cset in self._sets]
+        state["stats"] = dataclass_state(self.stats)
+        return state
+
+    def restore(self, state: dict) -> None:
+        state = self._check(state)
+        if state["geometry"] != (self.num_sets, self.ways, self.line_bytes):
+            raise SnapshotError(
+                f"cache geometry mismatch: snapshot {state['geometry']} != "
+                f"live {(self.num_sets, self.ways, self.line_bytes)}")
+        for cset, saved in zip(self._sets, state["sets"]):
+            cset.clear()
+            cset.update(saved)
+        restore_dataclass(self.stats, state["stats"])
 
     def occupancy(self) -> int:
         return sum(len(s) for s in self._sets)

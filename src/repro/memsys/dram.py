@@ -12,6 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from ..sim.component import (SimComponent, dataclass_state, rebase_clock,
+                             require_empty, reset_dataclass_stats,
+                             restore_dataclass)
 from ..sim.events import EventWheel
 from ..uarch.params import CACHE_LINE_BYTES, DRAMConfig
 
@@ -71,7 +74,7 @@ class DRAMStats:
         return self.row_hits / self.accesses if self.accesses else 0.0
 
 
-class DRAMChannel:
+class DRAMChannel(SimComponent):
     """One channel: ranks × banks behind a shared data bus, with PAR-BS.
 
     Batch scheduling (Mutlu & Moscibroda, ISCA'08): when no *marked*
@@ -92,6 +95,42 @@ class DRAMChannel:
         self.bus_free_at = 0
         self._pick_scheduled_for: Optional[int] = None
         self.marked_remaining = 0
+
+    # -- SimComponent protocol ---------------------------------------------
+    # Architectural: open rows, bank/bus clocks.  Statistical: the per-bank
+    # hit/conflict/closed counters (the shared DRAMStats block is owned by
+    # DRAMSystem).  The request queue holds completion callbacks, so
+    # snapshots require it drained.
+    def reset_stats(self) -> None:
+        for bank in self.banks:
+            bank.row_hits = 0
+            bank.row_conflicts = 0
+            bank.row_closed = 0
+
+    def snapshot(self) -> dict:
+        require_empty(self, queue=self.queue)
+        state = self._header()
+        state["banks"] = [dataclass_state(bank) for bank in self.banks]
+        state["bus_free_at"] = self.bus_free_at
+        state["marked_remaining"] = self.marked_remaining
+        return state
+
+    def restore(self, state: dict) -> None:
+        state = self._check(state)
+        for bank, saved in zip(self.banks, state["banks"]):
+            restore_dataclass(bank, saved)
+        self.queue.clear()
+        self.bus_free_at = state["bus_free_at"]
+        self._pick_scheduled_for = None
+        self.marked_remaining = state["marked_remaining"]
+
+    def rebase(self, origin: int) -> None:
+        """Rebase bank/bus clocks when the wheel rewinds to zero.  Only
+        valid on a quiesced channel (no queued requests, no pending pick)."""
+        self.bus_free_at = rebase_clock(self.bus_free_at, origin)
+        self._pick_scheduled_for = None
+        for bank in self.banks:
+            bank.busy_until = rebase_clock(bank.busy_until, origin)
 
     # -- geometry ----------------------------------------------------------
     # Address mapping: column (within-row) → channel → bank → row, so the
@@ -230,7 +269,7 @@ class DRAMChannel:
         self.wheel.schedule_at(data_done, lambda r=req: r.callback(r))
 
 
-class DRAMSystem:
+class DRAMSystem(SimComponent):
     """All channels of one memory controller, sharing one stats block."""
 
     def __init__(self, cfg: DRAMConfig, wheel: EventWheel,
@@ -242,6 +281,29 @@ class DRAMSystem:
         self.channel_ids = ids
         self.channels = {cid: DRAMChannel(cid, cfg, wheel, self.stats)
                          for cid in ids}
+
+    # -- SimComponent protocol ---------------------------------------------
+    def reset_stats(self) -> None:
+        reset_dataclass_stats(self.stats)
+        for channel in self.channels.values():
+            channel.reset_stats()
+
+    def snapshot(self) -> dict:
+        state = self._header()
+        state["stats"] = dataclass_state(self.stats)
+        state["channels"] = {cid: ch.snapshot()
+                             for cid, ch in self.channels.items()}
+        return state
+
+    def restore(self, state: dict) -> None:
+        state = self._check(state)
+        restore_dataclass(self.stats, state["stats"])
+        for cid, channel in self.channels.items():
+            channel.restore(state["channels"][cid])
+
+    def rebase(self, origin: int) -> None:
+        for channel in self.channels.values():
+            channel.rebase(origin)
 
     @staticmethod
     def channel_of(line: int, total_channels: int) -> int:

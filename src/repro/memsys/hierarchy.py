@@ -16,6 +16,7 @@ from typing import Callable, List
 from ..interconnect.ring import Ring
 from ..prefetch import build_prefetcher
 from ..prefetch.base import FDPThrottle, NullPrefetcher
+from ..sim.component import SimComponent, rebase_clock
 from ..trace import Stage
 from .cache import line_addr
 from .dram import DRAMRequest, DRAMSystem
@@ -26,7 +27,7 @@ from .request import MemRequest
 RETRY_CYCLES = 12
 
 
-class MemoryHierarchy:
+class MemoryHierarchy(SimComponent):
     """Everything below the cores' L1s for one simulated system."""
 
     def __init__(self, system) -> None:
@@ -66,6 +67,46 @@ class MemoryHierarchy:
         start = max(now, self._slice_free[index])
         self._slice_free[index] = start + self.cfg.llc.cycles_per_access
         return start - now
+
+    # ------------------------------------------------------------------
+    # SimComponent protocol
+    # ------------------------------------------------------------------
+    # Architectural: LLC contents, DRAM bank state, prefetcher tables,
+    # FDP degree, per-slice port clocks.  The shared SimStats tree is
+    # owned (reset/restored) by the System, not here.
+    def reset_stats(self) -> None:
+        self.llc.reset_stats()
+        for dram in self.dram:
+            dram.reset_stats()
+        self.prefetcher.reset_stats()
+        if self.fdp is not None:
+            self.fdp.reset_stats()
+
+    def snapshot(self) -> dict:
+        state = self._header()
+        state["llc"] = self.llc.snapshot()
+        state["dram"] = [dram.snapshot() for dram in self.dram]
+        state["prefetcher"] = self.prefetcher.snapshot()
+        state["fdp"] = self.fdp.snapshot() if self.fdp is not None else None
+        state["slice_free"] = list(self._slice_free)
+        return state
+
+    def restore(self, state: dict) -> None:
+        state = self._check(state)
+        self.llc.restore(state["llc"])
+        for dram, saved in zip(self.dram, state["dram"]):
+            dram.restore(saved)
+        self.prefetcher.restore(state["prefetcher"])
+        if self.fdp is not None:
+            self.fdp.restore(state["fdp"])
+        self._slice_free[:] = state["slice_free"]
+
+    def rebase(self, origin: int) -> None:
+        """Rebase slice-port and DRAM clocks when the wheel rewinds."""
+        self._slice_free[:] = [rebase_clock(t, origin)
+                               for t in self._slice_free]
+        for dram in self.dram:
+            dram.rebase(origin)
 
     # ------------------------------------------------------------------
     # topology helpers

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from ..sim.component import (SimComponent, dataclass_state,
+                             reset_dataclass_stats, restore_dataclass)
 from ..uarch.params import CACHE_LINE_BYTES, LLCConfig
 from .cache import CacheLineState, SetAssocCache, line_addr
 from .mshr import MSHRFile
@@ -27,7 +29,7 @@ class LLCSliceStats:
     back_invalidations: int = 0
 
 
-class LLCSlice:
+class LLCSlice(SimComponent):
     """One 1 MB slice: tags + MSHRs + stats."""
 
     def __init__(self, slice_id: int, cfg: LLCConfig) -> None:
@@ -36,6 +38,25 @@ class LLCSlice:
         self.cache = SetAssocCache(cfg.slice_bytes, cfg.ways)
         self.mshr = MSHRFile(cfg.mshr_entries)
         self.stats = LLCSliceStats()
+
+    # -- SimComponent protocol -----------------------------------------------
+    def reset_stats(self) -> None:
+        self.cache.reset_stats()
+        self.mshr.reset_stats()
+        reset_dataclass_stats(self.stats)
+
+    def snapshot(self) -> dict:
+        state = self._header()
+        state["cache"] = self.cache.snapshot()
+        state["mshr"] = self.mshr.snapshot()
+        state["stats"] = dataclass_state(self.stats)
+        return state
+
+    def restore(self, state: dict) -> None:
+        state = self._check(state)
+        self.cache.restore(state["cache"])
+        self.mshr.restore(state["mshr"])
+        restore_dataclass(self.stats, state["stats"])
 
     # -- stats mutation API (SIM005: counters change only via the owner) -----
     def note_access(self, hit: bool, emc: bool = False,
@@ -61,8 +82,12 @@ class LLCSlice:
         self.stats.back_invalidations += 1
 
 
-class LLC:
-    """The full distributed LLC: slice selection + coherence bookkeeping."""
+class LLC(SimComponent):
+    """The full distributed LLC: slice selection + coherence bookkeeping.
+
+    ``emc_invalidate_hook`` is wiring, not state — it is re-established by
+    the owning system on construction and never snapshotted.
+    """
 
     def __init__(self, num_slices: int, cfg: LLCConfig) -> None:
         self.cfg = cfg
@@ -130,6 +155,21 @@ class LLC:
         self.slice_of(line).note_back_invalidation()
         if self.emc_invalidate_hook is not None:
             self.emc_invalidate_hook(line)
+
+    # -- SimComponent protocol -----------------------------------------------
+    def reset_stats(self) -> None:
+        for sl in self.slices:
+            sl.reset_stats()
+
+    def snapshot(self) -> dict:
+        state = self._header()
+        state["slices"] = [sl.snapshot() for sl in self.slices]
+        return state
+
+    def restore(self, state: dict) -> None:
+        state = self._check(state)
+        for sl, saved in zip(self.slices, state["slices"]):
+            sl.restore(saved)
 
     # -- aggregate stats ------------------------------------------------------
     def total_demand_hits(self) -> int:

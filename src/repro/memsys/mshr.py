@@ -9,6 +9,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..sim.component import SimComponent, require_empty
+
 
 @dataclass
 class MSHREntry:
@@ -22,8 +24,14 @@ class MSHREntry:
     dram_req: object = None
 
 
-class MSHRFile:
-    """A fixed-capacity table of outstanding line fills."""
+class MSHRFile(SimComponent):
+    """A fixed-capacity table of outstanding line fills.
+
+    State split: the entry table is architectural but holds waiter
+    *callbacks*, so snapshots require it to be drained (quiesced
+    machine); ``peak_occupancy``/``coalesced``/``rejections`` are
+    statistical.
+    """
 
     def __init__(self, entries: int) -> None:
         self.capacity = entries
@@ -34,6 +42,26 @@ class MSHRFile:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    # -- SimComponent protocol -----------------------------------------------
+    def reset_stats(self) -> None:
+        self.peak_occupancy = len(self._entries)
+        self.coalesced = 0
+        self.rejections = 0
+
+    def snapshot(self) -> dict:
+        require_empty(self, entries=self._entries)
+        state = self._header()
+        state["capacity"] = self.capacity
+        state["stats"] = (self.peak_occupancy, self.coalesced,
+                          self.rejections)
+        return state
+
+    def restore(self, state: dict) -> None:
+        state = self._check(state)
+        self._entries.clear()
+        (self.peak_occupancy, self.coalesced,
+         self.rejections) = state["stats"]
 
     def lookup(self, line: int) -> Optional[MSHREntry]:
         return self._entries.get(line)

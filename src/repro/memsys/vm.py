@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..sim.component import SimComponent
 from ..uarch.params import PAGE_BYTES
 
 
@@ -21,7 +22,7 @@ class PageTableEntry:
     asid: int
 
 
-class FrameAllocator:
+class FrameAllocator(SimComponent):
     """Hands out physical frame numbers on first touch.
 
     One allocator exists per simulated machine (owned by the
@@ -47,8 +48,21 @@ class FrameAllocator:
     def frames_allocated(self) -> int:
         return self._next_frame - 1
 
+    # -- SimComponent protocol (all state is architectural) ------------------
+    def reset_stats(self) -> None:
+        pass
 
-class PageTable:
+    def snapshot(self) -> dict:
+        state = self._header()
+        state["next_frame"] = self._next_frame
+        return state
+
+    def restore(self, state: dict) -> None:
+        self._check(state)
+        self._next_frame = state["next_frame"]
+
+
+class PageTable(SimComponent):
     """Per-address-space page table with on-demand frame allocation.
 
     ``allocator`` is normally the owning system's shared
@@ -86,3 +100,21 @@ class PageTable:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    # -- SimComponent protocol (all state is architectural) ------------------
+    # The shared FrameAllocator is snapshotted once at System level, not
+    # per page table; restore keeps this table's allocator reference.
+    def reset_stats(self) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        state = self._header()
+        state["asid"] = self.asid
+        state["entries"] = dict(self._entries)
+        return state
+
+    def restore(self, state: dict) -> None:
+        state = self._check(state)
+        self.asid = state["asid"]
+        self._entries.clear()
+        self._entries.update(state["entries"])

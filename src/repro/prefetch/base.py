@@ -10,6 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from ..sim.component import (SimComponent, dataclass_state,
+                             reset_dataclass_stats, restore_dataclass)
+
 
 @dataclass
 class PrefetchStats:
@@ -23,8 +26,14 @@ class PrefetchStats:
         return self.useful / self.issued if self.issued else 0.0
 
 
-class Prefetcher:
-    """Base class: observe accesses, propose prefetch line addresses."""
+class Prefetcher(SimComponent):
+    """Base class: observe accesses, propose prefetch line addresses.
+
+    State split: pattern tables declared by subclasses via
+    ``_arch_snapshot``/``_arch_restore`` are architectural (kept warm
+    across the warmup/measure boundary); :class:`PrefetchStats` is
+    statistical.
+    """
 
     name = "none"
 
@@ -35,6 +44,28 @@ class Prefetcher:
                 hit: bool) -> List[int]:
         """Called on each LLC demand access; returns candidate lines."""
         return []
+
+    # -- SimComponent protocol -----------------------------------------------
+    def _arch_snapshot(self) -> dict:
+        """Subclass hook: capture pattern-table state."""
+        return {}
+
+    def _arch_restore(self, arch: dict) -> None:
+        """Subclass hook: adopt pattern-table state in place."""
+
+    def reset_stats(self) -> None:
+        reset_dataclass_stats(self.stats)
+
+    def snapshot(self) -> dict:
+        state = self._header()
+        state["arch"] = self._arch_snapshot()
+        state["stats"] = dataclass_state(self.stats)
+        return state
+
+    def restore(self, state: dict) -> None:
+        state = self._check(state)
+        self._arch_restore(state["arch"])
+        restore_dataclass(self.stats, state["stats"])
 
     # -- stats mutation API (SIM005: counters change only via the owner) -----
     def note_issued(self) -> None:
@@ -75,8 +106,20 @@ class CompositePrefetcher(Prefetcher):
             out.extend(part.observe(line, pc, core, hit))
         return out
 
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        for part in self.parts:
+            part.reset_stats()
 
-class FDPThrottle:
+    def _arch_snapshot(self) -> dict:
+        return {"parts": [part.snapshot() for part in self.parts]}
+
+    def _arch_restore(self, arch: dict) -> None:
+        for part, saved in zip(self.parts, arch["parts"]):
+            part.restore(saved)
+
+
+class FDPThrottle(SimComponent):
     """Feedback-Directed Prefetching: dynamic degree between 1 and 32.
 
     Accuracy is sampled over fixed-size windows of issued prefetches; high
@@ -116,3 +159,21 @@ class FDPThrottle:
 
     def clamp(self, candidates: List[int]) -> List[int]:
         return candidates[: self.degree]
+
+    # -- SimComponent protocol -----------------------------------------------
+    # The adapted degree and in-progress accuracy window are control
+    # (architectural) state: they carry across the warmup/measure boundary
+    # like any other learned predictor state.
+    def reset_stats(self) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        state = self._header()
+        state["degree"] = self.degree
+        state["window"] = (self._window_issued, self._window_useful)
+        return state
+
+    def restore(self, state: dict) -> None:
+        state = self._check(state)
+        self.degree = state["degree"]
+        self._window_issued, self._window_useful = state["window"]

@@ -34,6 +34,20 @@ class GHBPrefetcher(Prefetcher):
             self._index[core] = {}
         return self._history[core], self._index[core]
 
+    def _arch_snapshot(self) -> dict:
+        return {"history": {core: list(h)
+                            for core, h in self._history.items()},
+                "index": {core: dict(i)
+                          for core, i in self._index.items()}}
+
+    def _arch_restore(self, arch: dict) -> None:
+        self._history.clear()
+        for core, hist in arch["history"].items():
+            self._history[core] = deque(hist, maxlen=self.entries)
+        self._index.clear()
+        for core, index in arch["index"].items():
+            self._index[core] = dict(index)
+
     def observe(self, line: int, pc: int, core: int,
                 hit: bool) -> List[int]:
         if hit:

@@ -31,6 +31,18 @@ class MarkovPrefetcher(Prefetcher):
         self._table: "OrderedDict[int, List[int]]" = OrderedDict()
         self._last_miss: Dict[int, Optional[int]] = {}
 
+    def _arch_snapshot(self) -> dict:
+        return {"table": OrderedDict((line, list(succ))
+                                     for line, succ in self._table.items()),
+                "last_miss": dict(self._last_miss)}
+
+    def _arch_restore(self, arch: dict) -> None:
+        self._table.clear()
+        for line, successors in arch["table"].items():
+            self._table[line] = list(successors)
+        self._last_miss.clear()
+        self._last_miss.update(arch["last_miss"])
+
     def observe(self, line: int, pc: int, core: int,
                 hit: bool) -> List[int]:
         if hit:

@@ -4,6 +4,7 @@ within a tracking window)."""
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -42,6 +43,14 @@ class StreamPrefetcher(Prefetcher):
         self.degree = degree
         self.entries: List[StreamEntry] = []
         self._clock = 0
+
+    def _arch_snapshot(self) -> dict:
+        return {"entries": [dataclasses.replace(e) for e in self.entries],
+                "clock": self._clock}
+
+    def _arch_restore(self, arch: dict) -> None:
+        self.entries[:] = arch["entries"]
+        self._clock = arch["clock"]
 
     def _find(self, core: int, line_no: int) -> Optional[StreamEntry]:
         best = None

@@ -1,0 +1,238 @@
+"""Uniform component-state protocol for the phased run lifecycle.
+
+Every stateful simulator class implements :class:`SimComponent`, which
+makes the architectural-vs-statistical split explicit instead of implied:
+
+``reset_stats()``
+    Zero every statistical counter the component owns without touching
+    architectural state (cache contents, predictor tables, clocks).
+    Used at the warmup/measure boundary so figures report only the
+    region of interest.
+
+``snapshot() -> dict``
+    Capture *all* mutable state — architectural and statistical — as a
+    versioned, picklable dict.  Components whose in-flight state holds
+    callbacks (MSHR waiters, DRAM request callbacks, EMC pending lines)
+    require a *quiesced* machine (empty event wheel) and raise
+    :class:`SnapshotError` otherwise; the system-level checkpoint flow
+    guarantees this by draining the wheel first.
+
+``restore(state)``
+    The inverse: adopt a snapshot in place.  Shared-identity objects
+    (stats dataclasses aliased between components and
+    :class:`~repro.sim.stats.SimStats`) are refilled in place so the
+    aliases survive.
+
+Snapshots are *shallow* captures: outer containers are copied, interior
+objects are shared with the live component.  Serialize (pickle) or diff
+a snapshot immediately; do not hold one across further simulation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import MISSING, fields, is_dataclass
+from typing import Any, Dict, Iterable, Tuple
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot or restore was attempted in an invalid state (pending
+    callbacks, component/version mismatch, malformed payload)."""
+
+
+class SimComponent:
+    """Base class for the uniform component-state protocol.
+
+    Subclasses implement :meth:`reset_stats`, :meth:`snapshot`, and
+    :meth:`restore`; ``snapshot`` dicts carry a ``component``/``version``
+    header written by :meth:`_header` and verified by :meth:`_check`.
+    Bump ``SNAPSHOT_VERSION`` whenever the state layout changes.
+    """
+
+    SNAPSHOT_VERSION: int = 1
+
+    def reset_stats(self) -> None:
+        raise NotImplementedError
+
+    def snapshot(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    # -- header helpers ------------------------------------------------------
+    def _header(self) -> Dict[str, Any]:
+        return {"component": type(self).__name__,
+                "version": self.SNAPSHOT_VERSION}
+
+    def _check(self, state: Dict[str, Any]) -> Dict[str, Any]:
+        """Verify a snapshot's header against this component; return it."""
+        if not isinstance(state, dict):
+            raise SnapshotError(
+                f"{type(self).__name__}: snapshot is not a dict: "
+                f"{type(state).__name__}")
+        name = state.get("component")
+        if name != type(self).__name__:
+            raise SnapshotError(
+                f"snapshot for component {name!r} offered to "
+                f"{type(self).__name__}")
+        version = state.get("version")
+        if version != self.SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"{type(self).__name__}: snapshot version {version} != "
+                f"supported {self.SNAPSHOT_VERSION}")
+        return state
+
+
+# -- generic helpers over stats dataclasses ----------------------------------
+
+def dataclass_state(obj: Any) -> Dict[str, Any]:
+    """Capture a (possibly nested) stats dataclass as a plain dict."""
+    out: Dict[str, Any] = {}
+    for f in fields(obj):
+        value = getattr(obj, f.name)
+        if is_dataclass(value) and not isinstance(value, type):
+            out[f.name] = dataclass_state(value)
+        elif isinstance(value, dict):
+            out[f.name] = dict(value)
+        elif isinstance(value, list):
+            out[f.name] = [dataclass_state(v)
+                           if is_dataclass(v) and not isinstance(v, type)
+                           else v for v in value]
+        else:
+            out[f.name] = value
+    return out
+
+
+def restore_dataclass(obj: Any, state: Dict[str, Any]) -> None:
+    """In-place inverse of :func:`dataclass_state`.
+
+    Nested dataclasses (and lists of dataclasses, element-wise) are
+    refilled rather than replaced so shared references — e.g.
+    ``core.stats is system.stats.cores[i]`` — stay intact.
+    """
+    for f in fields(obj):
+        if f.name not in state:
+            raise SnapshotError(
+                f"{type(obj).__name__}: snapshot missing field {f.name!r}")
+        value = getattr(obj, f.name)
+        saved = state[f.name]
+        if is_dataclass(value) and not isinstance(value, type):
+            restore_dataclass(value, saved)
+        elif isinstance(value, dict):
+            value.clear()
+            value.update(saved)
+        elif isinstance(value, list):
+            if value and is_dataclass(value[0]):
+                if len(value) != len(saved):
+                    raise SnapshotError(
+                        f"{type(obj).__name__}.{f.name}: length "
+                        f"{len(saved)} != live {len(value)}")
+                for live, item in zip(value, saved):
+                    restore_dataclass(live, item)
+            else:
+                value[:] = saved
+        else:
+            setattr(obj, f.name, saved)
+
+
+def reset_dataclass_stats(obj: Any,
+                          preserve: Iterable[str] = ()) -> None:
+    """Reset a stats dataclass to its construction defaults, in place.
+
+    ``preserve`` names identity fields kept verbatim at every nesting
+    level (e.g. ``core_id``/``benchmark`` on ``CoreStats``).  Nested
+    dataclasses and lists of dataclasses recurse; plain containers are
+    cleared; scalars take their declared field default.
+    """
+    keep = frozenset(preserve)
+    for f in fields(obj):
+        if f.name in keep:
+            continue
+        value = getattr(obj, f.name)
+        if is_dataclass(value) and not isinstance(value, type):
+            reset_dataclass_stats(value, keep)
+        elif isinstance(value, dict):
+            value.clear()
+        elif isinstance(value, list):
+            if value and is_dataclass(value[0]):
+                for item in value:
+                    reset_dataclass_stats(item, keep)
+            else:
+                value.clear()
+        elif f.default is not MISSING:
+            setattr(obj, f.name, f.default)
+        elif isinstance(value, bool):
+            setattr(obj, f.name, False)
+        elif isinstance(value, int):
+            setattr(obj, f.name, 0)
+        elif isinstance(value, float):
+            setattr(obj, f.name, 0.0)
+        else:
+            raise SnapshotError(
+                f"cannot reset {type(obj).__name__}.{f.name}: no default "
+                f"and unknown type {type(value).__name__}")
+
+
+# -- shallow container capture ------------------------------------------------
+
+def capture(value: Any) -> Any:
+    """Shallow-copy the outermost container of a snapshot field so the
+    snapshot survives subsequent mutation of that container (interior
+    objects stay shared — serialize or diff immediately)."""
+    if isinstance(value, OrderedDict):
+        return OrderedDict(value)
+    if isinstance(value, dict):
+        return dict(value)
+    if isinstance(value, deque):
+        return deque(value, maxlen=value.maxlen)
+    if isinstance(value, (list, set)):
+        return type(value)(value)
+    return value
+
+
+def require_empty(component: SimComponent, **named: Any) -> None:
+    """Raise :class:`SnapshotError` unless every named container is empty.
+
+    Used by components whose in-flight state carries callbacks and can
+    therefore only be snapshotted on a quiesced machine.
+    """
+    for name, container in named.items():
+        if container:
+            raise SnapshotError(
+                f"{type(component).__name__}: cannot snapshot with "
+                f"{len(container)} pending entries in {name} "
+                f"(quiesce the machine first)")
+
+
+def rebase_clock(value: int, origin: int) -> int:
+    """Rebase an absolute-cycle field when the wheel rewinds to zero.
+
+    Clamped at zero: these fields are only ever consumed through
+    ``max(now, x)`` or ``x > now`` comparisons, so any value at or
+    before the boundary is equivalent to \"free now\".
+    """
+    return max(0, value - origin)
+
+
+def rebase_clock_map(mapping: Dict[Any, int], origin: int) -> None:
+    """In-place :func:`rebase_clock` over a dict's values, dropping
+    entries that rebase to zero (equivalent to absent)."""
+    stale = [key for key, value in mapping.items() if value <= origin]
+    for key in stale:
+        del mapping[key]
+    for key in mapping:
+        mapping[key] = mapping[key] - origin
+
+
+__all__ = [
+    "SimComponent",
+    "SnapshotError",
+    "dataclass_state",
+    "restore_dataclass",
+    "reset_dataclass_stats",
+    "capture",
+    "require_empty",
+    "rebase_clock",
+    "rebase_clock_map",
+]

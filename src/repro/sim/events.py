@@ -46,6 +46,21 @@ class EventWheel:
         """Number of events still queued."""
         return len(self._queue)
 
+    def rewind(self, now: int = 0) -> None:
+        """Reset the clock and tie-break sequence on an *empty* wheel.
+
+        The warmup/measure boundary rewinds simulated time to zero so the
+        measurement window is self-contained (and a checkpoint resumed in
+        a fresh process replays identically).  Queued events hold absolute
+        times, so rewinding with work in flight would corrupt ordering —
+        callers must quiesce first.
+        """
+        if self._queue:
+            raise RuntimeError(
+                f"cannot rewind with {len(self._queue)} events pending")
+        self.now = now
+        self._seq = 0
+
     def step(self) -> bool:
         """Pop and run the next event.  Returns False if the wheel is empty."""
         if not self._queue:

@@ -3,6 +3,7 @@ and package the results benches and examples consume."""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Final, List, Optional, Sequence, Tuple
 
@@ -58,24 +59,42 @@ class RunResult:
 
 def run_system(cfg: SystemConfig, workload: Workload,
                label: str = "", max_cycles: int = 50_000_000,
-               tracer: Optional[Tracer] = None) -> RunResult:
+               tracer: Optional[Tracer] = None,
+               warmup_instrs: int = 0,
+               warmup_checkpoint: Optional[str] = None) -> RunResult:
     """Run one workload on one configuration to completion.
 
     Pass a :class:`repro.trace.Tracer` (or set ``REPRO_TRACE=1``) to record
     per-request lifecycle timelines; the result then carries a
     :class:`~repro.trace.LatencyAttribution`.  Without one the run uses the
     no-op :data:`~repro.trace.NULL_TRACER` and pays no tracing cost.
+
+    ``warmup_instrs`` > 0 runs a warmup window first and measures only
+    the region after it.  ``warmup_checkpoint`` names a checkpoint file
+    for the warmed machine state: when it exists the warmup is skipped
+    entirely (the machine resumes from the file, and ``cfg``/``workload``
+    must describe the same run that produced it); when it does not, it is
+    written right after the warmup boundary so later runs can skip.
     """
     if tracer is None and trace_enabled_from_env():
         tracer = Tracer()
-    system = System(cfg, workload, tracer=tracer)
+    system = None
+    if (warmup_instrs and warmup_checkpoint
+            and os.path.exists(warmup_checkpoint)):
+        system = System.from_checkpoint(warmup_checkpoint, tracer=tracer)
+    if system is None:
+        system = System(cfg, workload, tracer=tracer)
+        if warmup_instrs:
+            system.warmup(warmup_instrs, max_cycles=max_cycles)
+            if warmup_checkpoint:
+                system.checkpoint(warmup_checkpoint)
     stats = system.run(max_cycles=max_cycles)
     dram_stats = system.dram_stats
     accesses = sum(d.accesses for d in dram_stats)
     reads = sum(d.reads for d in dram_stats)
     conflicts = sum(d.row_conflicts for d in dram_stats)
     return RunResult(
-        config=cfg,
+        config=system.cfg,
         stats=stats,
         energy=compute_energy(cfg, stats),
         dram_row_conflict_rate=conflicts / accesses if accesses else 0.0,
@@ -115,6 +134,7 @@ def apply_config_overrides(cfg: SystemConfig, overrides) -> SystemConfig:
 
 def run_quad_mix(mix: str, n_instrs: int, prefetcher: str = "none",
                  emc: bool = False, seed: int = 1,
+                 warmup_instrs: int = 0,
                  **cfg_overrides) -> RunResult:
     """One quad-core Table 3 mix under one configuration.
 
@@ -127,38 +147,52 @@ def run_quad_mix(mix: str, n_instrs: int, prefetcher: str = "none",
     cfg.validate()
     workload = build_mix(mix, n_instrs, seed=seed)
     return run_system(cfg, workload,
-                      label=f"{mix}/{prefetcher}{'+emc' if emc else ''}")
+                      label=f"{mix}/{prefetcher}{'+emc' if emc else ''}",
+                      warmup_instrs=warmup_instrs)
 
 
 def run_quad_named(names: Sequence[str], n_instrs: int,
                    prefetcher: str = "none", emc: bool = False,
-                   seed: int = 1) -> RunResult:
+                   seed: int = 1, warmup_instrs: int = 0,
+                   **cfg_overrides) -> RunResult:
+    """One quad-core run over an explicit benchmark list (ad-hoc mixes).
+
+    Accepts the same ``cfg_overrides`` as :func:`run_quad_mix` and labels
+    the result after the benchmark list.
+    """
     cfg = quad_core_config(prefetcher=prefetcher, emc=emc, seed=seed)
+    apply_config_overrides(cfg, cfg_overrides)
+    cfg.validate()
     workload = build_named(names, n_instrs, seed=seed)
-    return run_system(cfg, workload)
+    return run_system(
+        cfg, workload,
+        label=f"{'+'.join(names)}/{prefetcher}{'+emc' if emc else ''}",
+        warmup_instrs=warmup_instrs)
 
 
 def run_homogeneous(name: str, n_instrs: int, prefetcher: str = "none",
                     emc: bool = False, num_cores: int = 4,
-                    seed: int = 1) -> RunResult:
+                    seed: int = 1, warmup_instrs: int = 0) -> RunResult:
     """Figure 13-style homogeneous workload (N copies of one benchmark)."""
     if num_cores == 4:
         cfg = quad_core_config(prefetcher=prefetcher, emc=emc, seed=seed)
     else:
         cfg = eight_core_config(prefetcher=prefetcher, emc=emc, seed=seed)
     workload = build_homogeneous(name, num_cores, n_instrs, seed=seed)
-    return run_system(cfg, workload, label=f"4x{name}")
+    return run_system(cfg, workload, label=f"{num_cores}x{name}",
+                      warmup_instrs=warmup_instrs)
 
 
 def run_eight_mix(mix: str, n_instrs: int, prefetcher: str = "none",
                   emc: bool = False, num_mcs: int = 1,
-                  seed: int = 1) -> RunResult:
+                  seed: int = 1, warmup_instrs: int = 0) -> RunResult:
     """Figure 14-style eight-core run (1 or 2 memory controllers)."""
     cfg = eight_core_config(prefetcher=prefetcher, emc=emc,
                             num_mcs=num_mcs, seed=seed)
     workload = build_eight_core_mix(mix, n_instrs, seed=seed)
     return run_system(cfg, workload,
-                      label=f"8c-{num_mcs}mc/{mix}/{prefetcher}")
+                      label=f"8c-{num_mcs}mc/{mix}/{prefetcher}",
+                      warmup_instrs=warmup_instrs)
 
 
 def speedup(result: RunResult, baseline: RunResult) -> float:

@@ -11,6 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .component import (SimComponent, dataclass_state, reset_dataclass_stats,
+                        restore_dataclass)
+
+#: Identity fields preserved by :meth:`SimStats.reset_stats` — they name
+#: *which* run this is, not what happened during it.
+_IDENTITY_FIELDS = frozenset({"core_id", "benchmark"})
+
 
 @dataclass
 class LatencyAccumulator:
@@ -199,8 +206,17 @@ class EnergyCounters:
 
 
 @dataclass
-class SimStats:
-    """Top-level statistics for one simulation run."""
+class SimStats(SimComponent):
+    """Top-level statistics for one simulation run.
+
+    The whole tree (per-core counters, EMC counters, energy counters,
+    latency accumulators) is *statistical* state: :meth:`reset_stats`
+    zeroes everything in place except the identity fields
+    ``core_id``/``benchmark``.  In-place matters — components alias into
+    this tree (``core.stats is stats.cores[i]``, ``emc.stats is
+    stats.emc``, ``System.energy_counters is stats.energy``) and those
+    aliases must survive a reset or restore.
+    """
 
     cores: List[CoreStats] = field(default_factory=list)
     emc: EMCStats = field(default_factory=EMCStats)
@@ -221,6 +237,19 @@ class SimStats:
 
     def core(self, core_id: int) -> CoreStats:
         return self.cores[core_id]
+
+    # -- SimComponent protocol -----------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero every counter in place, preserving identity fields."""
+        reset_dataclass_stats(self, preserve=_IDENTITY_FIELDS)
+
+    def snapshot(self) -> dict:
+        state = self._header()
+        state["tree"] = dataclass_state(self)
+        return state
+
+    def restore(self, state: dict) -> None:
+        restore_dataclass(self, self._check(state)["tree"])
 
     # -- derived, figure-facing metrics --------------------------------------
     def total_instructions(self) -> int:

@@ -8,6 +8,8 @@ flows).
 
 from __future__ import annotations
 
+import os
+import pickle
 import warnings
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -22,6 +24,7 @@ from ..trace import NULL_TRACER
 from ..uarch.params import SystemConfig
 from ..uarch.uop import Trace, UopType
 from ..workloads.memory_image import MemoryImage
+from .component import SimComponent, SnapshotError
 from .events import EventWheel
 from .stats import SimStats
 
@@ -43,9 +46,22 @@ class SimTimeoutError(DeadlockError):
 #: Event budget for the post-finish drain of in-flight memory traffic.
 DRAIN_MAX_EVENTS = 2_000_000
 
+#: on-disk checkpoint container format marker / layout version
+CHECKPOINT_FORMAT = "repro-checkpoint"
+CHECKPOINT_VERSION = 1
 
-class System:
-    """One simulated machine running one multiprogrammed workload."""
+
+class System(SimComponent):
+    """One simulated machine running one multiprogrammed workload.
+
+    Lifecycle: an optional *warmup* window (:meth:`warmup`, or
+    ``run(warmup_instrs=N)``) executes N instructions per core, quiesces
+    the machine, atomically resets every statistic plus the tracer, and
+    rewinds the clock to zero; the *measure* window (:meth:`run`) then
+    reports only the region of interest.  A quiesced machine can be
+    serialized with :meth:`checkpoint` and revived bit-identically with
+    :meth:`from_checkpoint`.
+    """
 
     def __init__(self, cfg: SystemConfig,
                  workload: Sequence[Tuple[Trace, MemoryImage]],
@@ -62,6 +78,10 @@ class System:
         self.energy_counters = self.stats.energy
 
         self.frame_allocator = FrameAllocator()
+        # Kept for checkpointing: images mutate during execution, and the
+        # rename tables hold references into the trace uop lists, so the
+        # checkpoint payload must carry the *live* workload objects.
+        self._workload: List[Tuple[Trace, MemoryImage]] = list(workload)
         self.images: List[MemoryImage] = [image for _t, image in workload]
         num_stops = cfg.num_cores + cfg.num_mcs
         self.ring = Ring(num_stops, cfg.ring, self.wheel)
@@ -81,6 +101,7 @@ class System:
             self.stats.cores.append(core.stats)
 
         self._finished = 0
+        self._warmed = False
 
     # ------------------------------------------------------------------
     # component lookups
@@ -230,9 +251,68 @@ class System:
     def all_finished(self) -> bool:
         return self._finished >= self.cfg.num_cores
 
+    def warmup(self, warmup_instrs: int,
+               max_cycles: int = 50_000_000) -> None:
+        """Execute ``warmup_instrs`` instructions per core, then cross the
+        warmup/measure boundary.
+
+        Each core fetches until its retired-instruction count reaches the
+        target (wrapping its trace as needed, without "finishing"); the
+        event wheel then drains naturally, quiescing the machine.  At the
+        boundary every statistic and the tracer reset atomically and the
+        clock rewinds to zero, so a subsequent :meth:`run` measures only
+        the region of interest on warmed caches and predictors.
+        """
+        if warmup_instrs <= 0:
+            return
+        if self._warmed or self.wheel.now or self._finished:
+            raise SnapshotError("warmup requires a fresh machine")
+        for core in self.cores:
+            core.begin_warmup(warmup_instrs)
+        for core in self.cores:
+            core.start()
+        while self.wheel.step():
+            if self.wheel.now > max_cycles:
+                raise SimTimeoutError(
+                    f"warmup exceeded {max_cycles} cycles; "
+                    + self._deadlock_report())
+        laggards = [c.core_id for c in self.cores if not c.warmup_done]
+        if laggards:
+            raise DeadlockError(
+                f"warmup drained with cores {laggards} short of "
+                f"{warmup_instrs} instructions; " + self._deadlock_report())
+        self._begin_measurement()
+
+    def _begin_measurement(self) -> None:
+        """Atomically cross the warmup/measure boundary on a quiesced
+        machine: rebase clock-valued component state, prune warmup-only
+        bookkeeping, zero every statistic and the tracer, and rewind the
+        wheel to cycle zero."""
+        if self.wheel.pending:
+            raise SnapshotError(
+                f"cannot cross the measurement boundary with "
+                f"{self.wheel.pending} events pending")
+        origin = self.wheel.now
+        for core in self.cores:
+            core.end_warmup(origin)
+        self.hierarchy.rebase(origin)
+        self.ring.rebase(origin)
+        self.reset_stats()
+        self.tracer.reset()
+        self.wheel.rewind()
+        self._warmed = True
+
     def run(self, max_cycles: int = 50_000_000,
-            drain_max_events: int = DRAIN_MAX_EVENTS) -> SimStats:
-        """Run every core's trace to completion and return the stats."""
+            drain_max_events: int = DRAIN_MAX_EVENTS,
+            warmup_instrs: int = 0) -> SimStats:
+        """Run every core's trace to completion and return the stats.
+
+        ``warmup_instrs`` > 0 first runs a warmup window (see
+        :meth:`warmup`); the returned statistics then cover only the
+        measured region.
+        """
+        if warmup_instrs:
+            self.warmup(warmup_instrs, max_cycles=max_cycles)
         for core in self.cores:
             core.start()
         while not self.all_finished:
@@ -273,6 +353,123 @@ class System:
                 f" ready={p.ready} finished={p.finished}"
                 f" head={p.rob_head}")
         return "".join(parts)
+
+    # ------------------------------------------------------------------
+    # SimComponent protocol (aggregates every component)
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero every statistic in the machine, architectural state
+        untouched.  ``SimStats`` resets the shared dataclass tree in
+        place (core/EMC/energy aliases survive); components reset the
+        counters they privately own."""
+        self.stats.reset_stats()
+        for core in self.cores:
+            core.reset_stats()
+        self.hierarchy.reset_stats()
+        self.ring.reset_stats()
+        for emc in self.emcs:
+            if emc is not None:
+                emc.reset_stats()
+
+    def snapshot(self) -> dict:
+        """Capture the full machine state.  Requires a quiesced machine:
+        in-flight state holds callbacks and cannot be serialized."""
+        if self.wheel.pending:
+            raise SnapshotError(
+                f"cannot snapshot with {self.wheel.pending} events pending "
+                "(quiesce the machine first)")
+        state = self._header()
+        state.update(
+            now=self.wheel.now,
+            seq=self.wheel._seq,
+            finished=self._finished,
+            warmed=self._warmed,
+            frame_allocator=self.frame_allocator.snapshot(),
+            stats=self.stats.snapshot(),
+            ring=self.ring.snapshot(),
+            hierarchy=self.hierarchy.snapshot(),
+            emcs=[emc.snapshot() if emc is not None else None
+                  for emc in self.emcs],
+            cores=[core.snapshot() for core in self.cores],
+        )
+        return state
+
+    def restore(self, state: dict) -> None:
+        state = self._check(state)
+        if self.wheel.pending:
+            raise SnapshotError("cannot restore into a running machine")
+        if len(state["cores"]) != len(self.cores):
+            raise SnapshotError(
+                f"snapshot has {len(state['cores'])} cores, "
+                f"machine has {len(self.cores)}")
+        if len(state["emcs"]) != len(self.emcs):
+            raise SnapshotError(
+                f"snapshot has {len(state['emcs'])} EMCs, "
+                f"machine has {len(self.emcs)}")
+        self.wheel.rewind(state["now"])
+        self.wheel._seq = state["seq"]
+        self._finished = state["finished"]
+        self._warmed = state["warmed"]
+        self.frame_allocator.restore(state["frame_allocator"])
+        self.stats.restore(state["stats"])
+        self.ring.restore(state["ring"])
+        self.hierarchy.restore(state["hierarchy"])
+        for emc, sub in zip(self.emcs, state["emcs"]):
+            if (emc is None) != (sub is None):
+                raise SnapshotError("EMC presence mismatch with snapshot")
+            if emc is not None:
+                emc.restore(sub)
+        for core, sub in zip(self.cores, state["cores"]):
+            core.restore(sub)
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: str) -> None:
+        """Serialize the full machine to ``path`` (atomically).
+
+        Requires a quiesced machine — in practice the warmup/measure
+        boundary, where the event wheel is empty by construction.  The
+        payload carries the config, the *live* workload (trace uop lists
+        and memory images, which mutate during execution), and the
+        component state tree in one pickle, so shared object identity —
+        rename-table entries referencing trace uops, cores referencing
+        their images — survives the round trip.
+        """
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "cfg": self.cfg,
+            "workload": self._workload,
+            "state": self.snapshot(),
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    @classmethod
+    def from_checkpoint(cls, path: str, tracer=None) -> "System":
+        """Revive a machine serialized by :meth:`checkpoint`.
+
+        The revived system is bit-identical to the one that was
+        checkpointed: running it produces the same statistics as running
+        the original straight through.  A fresh ``tracer`` may be
+        attached (the boundary resets tracers, so a resumed traced run
+        matches a straight-through traced run).
+        """
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        if (not isinstance(payload, dict)
+                or payload.get("format") != CHECKPOINT_FORMAT):
+            raise SnapshotError(f"{path}: not a simulator checkpoint")
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise SnapshotError(
+                f"{path}: checkpoint version {payload.get('version')} != "
+                f"supported {CHECKPOINT_VERSION}")
+        system = cls(payload["cfg"], payload["workload"], tracer=tracer)
+        system.restore(payload["state"])
+        return system
 
     # -- convenience ----------------------------------------------------
     @property

@@ -305,6 +305,9 @@ class NullTracer:
     def bind(self, wheel) -> None:
         return None
 
+    def reset(self) -> None:
+        return None
+
     def begin(self, req, stage) -> None:
         return None
 
@@ -351,6 +354,14 @@ class Tracer(NullTracer):
     def bind(self, wheel) -> None:
         """Attach the event wheel whose clock timestamps every mark."""
         self._wheel = wheel
+
+    def reset(self) -> None:
+        """Forget everything recorded so far (used at the warmup/measure
+        boundary): a tracer that warmed up is indistinguishable from one
+        freshly attached at the boundary."""
+        self.requests.clear()
+        self.track_events.clear()
+        self._next_id = 0
 
     # -- request lifecycle ---------------------------------------------------
     def begin(self, req, stage) -> None:

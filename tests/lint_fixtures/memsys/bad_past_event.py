@@ -1,0 +1,26 @@
+"""Planted SIM007: events scheduled at absolute times not provably >= now.
+
+``schedule_at`` takes an *absolute* cycle; anything not derived from a
+``.now`` read (or clamped with ``max``) can land in the past and raise
+ValueError at runtime.  The ``ok_paths`` method shows the clean idioms
+the rule must not flag.
+"""
+
+from repro.memsys.dram import DRAMChannel
+
+
+class SloppyChannel(DRAMChannel):
+    """Channel that replays stored timestamps without clamping."""
+
+    def replay(self, req) -> None:
+        self.wheel.schedule_at(req.queued_at, lambda: None)
+
+    def retreat(self, now: int, penalty: int) -> None:
+        when = now - penalty
+        self.wheel.schedule_at(when, lambda: None)
+
+    def ok_paths(self, now: int, delay: int, stamp: int) -> None:
+        done = now + delay
+        start = max(done, self.bus_free_at)
+        self.wheel.schedule_at(start + 1, lambda: None)
+        self.wheel.schedule_at(max(stamp, self.wheel.now), lambda: None)

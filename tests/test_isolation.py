@@ -74,6 +74,11 @@ def test_truncated_drain_warns_and_flags():
         stats = system.run(max_cycles=2_000_000, drain_max_events=0)
     assert stats.drain_truncated
     assert system.wheel.pending > 0
+    # Even a truncated drain must leave finalized (if incomplete) ring and
+    # energy counters behind: _finalize_stats still runs.
+    assert stats.energy.ring_control_hops == system.ring.stats.control_hops
+    assert stats.energy.ring_data_hops == system.ring.stats.data_hops
+    assert stats.total_cycles > 0
 
     clean = System(quad_core_config(), build_mix("H3", 300, seed=1))
     assert not clean.run(max_cycles=2_000_000).drain_truncated

@@ -28,6 +28,8 @@ PLANTED = [
     ("SIM005", "memsys/bad_foreign_stats.py", 14),  # foreign stats += 1
     ("SIM006", "bad_mutable_default.py", 8),        # uops=[]
     ("SIM006", "bad_mutable_default.py", 13),       # totals={}
+    ("SIM007", "memsys/bad_past_event.py", 16),     # stored timestamp
+    ("SIM007", "memsys/bad_past_event.py", 20),     # now - penalty
 ]
 
 

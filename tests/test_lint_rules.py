@@ -32,7 +32,7 @@ def lines_of(findings):
 def test_builtin_rules_registered():
     codes = [r.code for r in all_rules()]
     assert codes == ["SIM001", "SIM002", "SIM003",
-                     "SIM004", "SIM005", "SIM006"]
+                     "SIM004", "SIM005", "SIM006", "SIM007"]
     for rule in all_rules():
         assert rule.name
         assert rule.description
@@ -223,3 +223,66 @@ def test_sim006_allows_none_and_immutable_defaults():
             return out or []
     """)
     assert findings == []
+
+
+# -- SIM007 event scheduled in the past -------------------------------------
+
+def test_sim007_flags_unclamped_absolute_times():
+    findings = run_rule("SIM007", """\
+        class Channel:
+            def replay(self, req):
+                self.wheel.schedule_at(req.queued_at, req.callback)
+
+            def retreat(self, now, penalty):
+                when = now - penalty
+                self.wheel.schedule_at(when, self._pick)
+
+            def from_parameter(self, when):
+                self.wheel.schedule_at(when, self._pick)
+    """)
+    assert lines_of(findings) == [3, 7, 10]
+
+
+def test_sim007_accepts_now_derived_and_clamped_times():
+    findings = run_rule("SIM007", """\
+        class Channel:
+            def service(self, req, access):
+                now = self.wheel.now
+                cas_done = now + access
+                data_start = max(cas_done, self.bus_free_at)
+                data_done = data_start + self.cfg.data_bus_cycles
+                self.wheel.schedule_at(data_done, req.callback)
+
+            def pick(self, when):
+                when = max(when, self.wheel.now)
+                self.wheel.schedule_at(when, self._pick)
+
+            def direct(self):
+                self.wheel.schedule_at(self.wheel.now + 4, self._pick)
+    """)
+    assert findings == []
+
+
+def test_sim007_mixed_assignments_stay_unsafe():
+    # A name is only safe if *every* assignment to it is safe.
+    findings = run_rule("SIM007", """\
+        class Channel:
+            def mixed(self, req):
+                when = self.wheel.now + 1
+                if req.urgent:
+                    when = req.deadline
+                self.wheel.schedule_at(when, req.callback)
+    """)
+    assert lines_of(findings) == [6]
+
+
+def test_sim007_ignores_cold_paths_and_delay_schedule():
+    assert run_rule("SIM007", """\
+        def replot(viz):
+            viz.wheel.schedule_at(viz.stamp, viz.redraw)
+    """, path=COLD) == []
+    assert run_rule("SIM007", """\
+        class Core:
+            def start(self):
+                self.wheel.schedule(1 + 53 * self.core_id, self._tick)
+    """) == []

@@ -133,11 +133,11 @@ def test_flaky_job_is_retried_once(monkeypatch):
     calls = {"n": 0}
     real = execute_job
 
-    def flaky(job):
+    def flaky(job, cache_dir=None):
         calls["n"] += 1
         if calls["n"] == 1:
             raise RuntimeError("transient")
-        return real(job)
+        return real(job, cache_dir)
 
     monkeypatch.setattr(parallel, "execute_job", flaky)
     result = run_jobs([mix_job("H4", N)])[0]
@@ -145,7 +145,7 @@ def test_flaky_job_is_retried_once(monkeypatch):
 
 
 def test_twice_failing_job_raises(monkeypatch):
-    def broken(_job):
+    def broken(_job, _cache_dir=None):
         raise RuntimeError("boom")
 
     monkeypatch.setattr(parallel, "execute_job", broken)
@@ -154,7 +154,7 @@ def test_twice_failing_job_raises(monkeypatch):
 
 
 def test_per_job_timeout(monkeypatch):
-    def stuck(_job):
+    def stuck(_job, _cache_dir=None):
         time.sleep(5)
 
     monkeypatch.setattr(parallel, "execute_job", stuck)

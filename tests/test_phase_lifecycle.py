@@ -1,0 +1,184 @@
+"""Phased lifecycle tests: warmup/measure windows, the uniform
+SimComponent snapshot/restore protocol, and checkpoint/resume.
+
+The bit-identity oracle is the sanitizer's state flattening
+(:func:`repro.lint.sanitize.flatten_state` / the sanitize_* drivers), so
+a regression here reports the exact diverging component and field.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.analysis.parallel import mix_job, run_jobs, warmup_checkpoint_path
+from repro.lint.sanitize import (flatten_state, sanitize_checkpoint_roundtrip,
+                                 sanitize_parallel_runner)
+from repro.sim.component import SnapshotError
+from repro.sim.runner import run_quad_mix, run_quad_named, run_system
+from repro.sim.system import DeadlockError, SimTimeoutError, System
+from repro.uarch.params import quad_core_config
+from repro.workloads.mixes import build_mix
+
+N = 400   # per-core instructions: tiny but structurally complete
+
+
+# ---------------------------------------------------------------------------
+# warmup window
+# ---------------------------------------------------------------------------
+
+def test_warmup_measures_only_the_remaining_region():
+    warm = System(quad_core_config(), build_mix("H4", N, seed=1))
+    warm.warmup(100)
+    # The boundary is atomic: stats zeroed, clock rewound, wheel empty.
+    assert warm.wheel.now == 0 and warm.wheel.pending == 0
+    assert all(c.stats.instructions == 0 for c in warm.cores)
+    # Quiescing is natural (in-flight work retires), so each core reaches
+    # at least the target and may overshoot by what was in flight.
+    consumed = [c._fetch_index for c in warm.cores]
+    assert all(k >= 100 for k in consumed)
+    stats = warm.run()
+    # The measured region is exactly the rest of each trace.
+    assert [c.instructions for c in stats.cores] == \
+           [len(c._trace) - k for c, k in zip(warm.cores, consumed)]
+
+
+def test_warmup_changes_measured_timing_but_not_work():
+    cold = run_quad_mix("H4", N, seed=1)
+    warm = run_quad_mix("H4", N, seed=1, warmup_instrs=100)
+    assert warm.stats.total_cycles != cold.stats.total_cycles
+    for warm_core, cold_core in zip(warm.stats.cores, cold.stats.cores):
+        assert 0 < warm_core.instructions <= cold_core.instructions - 100
+
+
+def test_warmup_wraps_the_trace_without_finishing():
+    system = System(quad_core_config(), build_mix("H4", 200, seed=1))
+    system.warmup(300)          # > trace length: each core wraps once
+    assert all(not c.finished for c in system.cores)
+    stats = system.run()
+    assert all(c.finished for c in system.cores)
+    assert all(c.instructions > 0 for c in stats.cores)
+
+
+def test_warmup_requires_a_fresh_machine():
+    system = System(quad_core_config(), build_mix("H4", 200, seed=1))
+    system.warmup(50)
+    with pytest.raises(SnapshotError):
+        system.warmup(50)
+    ran = System(quad_core_config(), build_mix("H4", 200, seed=1))
+    ran.run()
+    with pytest.raises(SnapshotError):
+        ran.warmup(50)
+
+
+def test_warmup_budget_overrun_raises_sim_timeout():
+    system = System(quad_core_config(), build_mix("H4", N, seed=1))
+    with pytest.raises(SimTimeoutError):
+        system.warmup(N, max_cycles=50)
+
+
+def test_warmup_reports_laggard_cores_on_deadlock():
+    system = System(quad_core_config(), build_mix("H4", N, seed=1))
+    system.cores[0]._can_fetch = lambda: False      # wedge one core
+    with pytest.raises(DeadlockError, match=r"cores \[0\]"):
+        system.warmup(100)
+
+
+# ---------------------------------------------------------------------------
+# snapshot/restore protocol
+# ---------------------------------------------------------------------------
+
+def test_fresh_system_snapshot_restore_roundtrip():
+    a = System(quad_core_config(emc=True), build_mix("H4", N, seed=1))
+    snap = pickle.loads(pickle.dumps(a.snapshot()))
+    b = System(quad_core_config(emc=True), build_mix("H4", N, seed=1))
+    b.restore(snap)
+    assert flatten_state(b.snapshot()) == flatten_state(a.snapshot())
+
+
+def test_snapshot_refuses_a_machine_in_flight():
+    system = System(quad_core_config(), build_mix("H4", 200, seed=1))
+    system.wheel.schedule(10, lambda: None)
+    with pytest.raises(SnapshotError):
+        system.snapshot()
+
+
+def test_restore_rejects_foreign_state():
+    a = System(quad_core_config(emc=True), build_mix("H4", 200, seed=1))
+    b = System(quad_core_config(emc=False), build_mix("H4", 200, seed=1))
+    with pytest.raises(SnapshotError):
+        b.restore(a.snapshot())         # EMC presence mismatch
+    with pytest.raises(SnapshotError):
+        b.restore({"component": "System", "version": 99})
+
+
+# ---------------------------------------------------------------------------
+# checkpoint/resume
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("emc", [False, True])
+def test_checkpoint_roundtrip_is_bit_identical(emc):
+    report = sanitize_checkpoint_roundtrip("H4", N, 100, emc=emc, seed=1)
+    assert report.deterministic, report.format()
+
+
+def test_from_checkpoint_rejects_garbage(tmp_path):
+    bogus = tmp_path / "bogus.pkl"
+    bogus.write_bytes(pickle.dumps({"format": "something-else"}))
+    with pytest.raises(SnapshotError):
+        System.from_checkpoint(str(bogus))
+
+
+def test_checkpoint_file_written_once_and_resumed(tmp_path):
+    path = str(tmp_path / "wck.pkl")
+    first = run_quad_mix("H4", N, seed=1, warmup_instrs=100)
+    via_ckpt = run_system(quad_core_config(), build_mix("H4", N, seed=1),
+                          warmup_instrs=100, warmup_checkpoint=path)
+    resumed = run_system(quad_core_config(), build_mix("H4", N, seed=1),
+                         warmup_instrs=100, warmup_checkpoint=path)
+    assert first.stats == via_ckpt.stats == resumed.stats
+
+
+# ---------------------------------------------------------------------------
+# warmup-checkpoint sharing in the experiment runner
+# ---------------------------------------------------------------------------
+
+def test_sweep_points_share_one_warmup_checkpoint(tmp_path, monkeypatch):
+    base = mix_job("H4", N, warmup_instrs=100)
+    # Same warmup identity, different measurement budget: the second job
+    # must resume from the checkpoint the first one wrote.
+    jobs = [base, dataclasses.replace(base, max_cycles=40_000_000,
+                                      label="budget-variant")]
+    assert warmup_checkpoint_path(str(tmp_path), jobs[0]) == \
+           warmup_checkpoint_path(str(tmp_path), jobs[1])
+
+    resumes = []
+    orig = System.from_checkpoint
+    monkeypatch.setattr(
+        System, "from_checkpoint",
+        classmethod(lambda cls, path, tracer=None:
+                    resumes.append(path) or orig(path, tracer=tracer)))
+    results = run_jobs(jobs, jobs=1, cache_dir=str(tmp_path))
+    ckpts = list(tmp_path.glob("warmup-ckpt/wck-*.pkl"))
+    assert len(ckpts) == 1                  # first job wrote it...
+    assert resumes == [str(ckpts[0])]       # ...second job skipped warmup
+    assert results[0].stats == results[1].stats
+
+
+def test_parallel_runner_matches_serial_with_warmup():
+    report = sanitize_parallel_runner("H4", N, jobs=2, warmup_instrs=50)
+    assert report.deterministic, report.format()
+
+
+# ---------------------------------------------------------------------------
+# run_quad_named (label + config overrides)
+# ---------------------------------------------------------------------------
+
+def test_run_quad_named_labels_and_applies_overrides():
+    names = ("mcf", "mcf", "soplex", "milc")
+    result = run_quad_named(names, 200, emc=True,
+                            **{"emc.num_contexts": 1})
+    assert result.label == "mcf+mcf+soplex+milc/none+emc"
+    assert result.config.emc.num_contexts == 1
+    with pytest.raises(Exception):
+        run_quad_named(names, 200, **{"no.such.field": 1})
