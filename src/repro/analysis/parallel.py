@@ -45,7 +45,7 @@ from ..workloads.mixes import (build_eight_core_mix, build_homogeneous,
 from .figures import format_eta, progress_bar
 
 #: bump to invalidate every on-disk cache entry when result layout changes
-CACHE_SCHEMA = 3
+CACHE_SCHEMA = 4
 
 Overrides = Tuple[Tuple[str, Any], ...]
 ProgressFn = Callable[[int, int, str, float], None]
@@ -98,13 +98,17 @@ class RunJob:
     def warmup_key(self) -> tuple:
         """Identity of the *warmed machine state* this job starts from.
 
-        Excludes ``max_cycles``, ``trace``, and the label: none of them
-        influence the state at the warmup boundary, so jobs differing only
-        there fork from the same cached checkpoint.
+        Workload + warmup identity only: since schema v4 the shared
+        warmup executes under a canonical base config
+        (:func:`warmup_base_config`) and each sweep point
+        :meth:`~repro.sim.system.System.fork`-s from it, so
+        ``prefetcher``/``emc``/``overrides`` — and ``max_cycles``,
+        ``trace``, the label — are all excluded.  An entire config sweep
+        over one workload resolves to one checkpoint: the first point
+        pays for the warmup, everyone else forks.
         """
-        return (self.workload, self.n_instrs, self.topology, self.prefetcher,
-                self.emc, self.num_mcs, self.seed, self.overrides,
-                self.warmup_instrs)
+        return (self.workload, self.n_instrs, self.topology,
+                self.num_mcs, self.seed, self.warmup_instrs)
 
 
 def _as_overrides(overrides: Optional[Mapping[str, Any]]) -> Overrides:
@@ -215,15 +219,31 @@ def build_job_workload(job: RunJob):
     raise ValueError(f"unknown workload kind {kind!r}")
 
 
+def warmup_base_config(job: RunJob) -> SystemConfig:
+    """Canonical config under which a job's *shared* warmup executes.
+
+    One base per warmup identity: the job's topology with the EMC off and
+    no prefetcher, ignoring the per-point knobs (``prefetcher``, ``emc``,
+    dotted overrides).  Every sweep point sharing a
+    :meth:`RunJob.warmup_key` warms this exact machine — or loads its
+    cached checkpoint — and then forks into its own config.
+    """
+    base = RunJob(workload=job.workload, n_instrs=job.n_instrs,
+                  topology=job.topology, prefetcher="none", emc=False,
+                  num_mcs=job.num_mcs, seed=job.seed)
+    return build_job_config(base)
+
+
 def warmup_checkpoint_path(cache_dir: Optional[str],
                            job: RunJob) -> Optional[str]:
     """Checkpoint file for the warmed machine state a job starts from.
 
-    Keyed by :meth:`RunJob.warmup_key`, so sweep points differing only in
-    ``max_cycles``/``trace``/label all resolve to the same file: the
-    first to run pays for the warmup, the rest fork from its checkpoint.
-    A job that times out *after* the boundary also finds the file on
-    retry and resumes instead of re-warming.
+    Keyed by :meth:`RunJob.warmup_key` — workload + warmup identity only —
+    so every point of a config sweep (EMC on/off, any prefetcher, any
+    dotted override) resolves to the same file: the first to run pays for
+    the warmup under :func:`warmup_base_config`, the rest fork from its
+    checkpoint.  A job that times out *after* the boundary also finds the
+    file on retry and resumes instead of re-warming.
     """
     if not cache_dir or not job.warmup_instrs:
         return None
@@ -235,8 +255,11 @@ def warmup_checkpoint_path(cache_dir: Optional[str],
 def execute_job(job: RunJob, cache_dir: Optional[str] = None) -> RunResult:
     """Build the config + workload a job describes and run it.
 
-    ``cache_dir`` (when set, alongside ``job.warmup_instrs``) enables the
-    shared warmup-checkpoint cache; see :func:`warmup_checkpoint_path`.
+    A job with ``warmup_instrs`` warms the canonical base machine
+    (:func:`warmup_base_config`) and forks to its own config — with or
+    without a cache, so cached and uncached runs are bit-identical.
+    ``cache_dir`` additionally persists the warmed base state; see
+    :func:`warmup_checkpoint_path`.
     """
     cfg = build_job_config(job)
     workload = build_job_workload(job)
@@ -244,10 +267,12 @@ def execute_job(job: RunJob, cache_dir: Optional[str] = None) -> RunResult:
     checkpoint = warmup_checkpoint_path(cache_dir, job)
     if checkpoint:
         os.makedirs(os.path.dirname(checkpoint), exist_ok=True)
+    base_cfg = warmup_base_config(job) if job.warmup_instrs else None
     return run_system(cfg, workload, label=job.label,
                       max_cycles=job.max_cycles, tracer=tracer,
                       warmup_instrs=job.warmup_instrs,
-                      warmup_checkpoint=checkpoint)
+                      warmup_checkpoint=checkpoint,
+                      warmup_base_cfg=base_cfg)
 
 
 def _on_alarm(_signum, _frame):
@@ -378,7 +403,8 @@ def run_jobs(jobs_list: Sequence[RunJob], jobs: int = 1,
       Jobs with ``warmup_instrs`` additionally share warmed-machine
       checkpoints under ``cache_dir/warmup-ckpt/`` (see
       :func:`warmup_checkpoint_path`), so only the first job of each
-      (config, workload, warmup) group pays for its warmup.
+      (workload, warmup) group pays for its warmup — every config point
+      of a sweep forks from that one checkpoint.
     - ``timeout``: per-job wall-clock seconds; a timed-out job counts as a
       failure and is retried once like any other failure.
     - ``progress``: ``True`` for a stderr progress/ETA line, or a callable

@@ -8,9 +8,14 @@ dotted paths (``emc.num_contexts``, ``dram.channels``, ``llc.latency``).
 Grid points are independent simulations, so spec-based sweeps
 (:func:`sweep_jobs`, :func:`sweep_mix`) route through the parallel
 experiment executor (:mod:`repro.analysis.parallel`) and accept ``jobs``,
-``cache_dir``, and ``progress`` arguments.  :func:`run_sweep` keeps the
-callable-factory API for workloads that exist only in-process and
-therefore runs serially.
+``cache_dir``, and ``progress`` arguments.  With ``warmup_instrs`` set,
+the whole grid shares one warmup: every point forks the same warmed base
+machine (prefetcher off, EMC off, no overrides) under its own config —
+see ``System.fork`` — so an N-point sweep with a ``cache_dir`` warms up
+exactly once, and each point's :attr:`RunResult.fork_carryover` records
+how much warmed state survived its config change.  :func:`run_sweep`
+keeps the callable-factory API for workloads that exist only in-process
+and therefore runs serially.
 """
 
 from __future__ import annotations

@@ -298,6 +298,16 @@ def cmd_figure(args) -> int:
     return subprocess.call(cmd, env=env)
 
 
+def cmd_bench(args) -> int:
+    """Time the pinned simulator-throughput microbench (best-of-N)."""
+    from .analysis.bench import run_bench
+    result, path = run_bench(repeats=args.repeats, out_dir=args.out_dir)
+    print(result.format())
+    if path:
+        print(f"wrote {path}")
+    return 0
+
+
 def _add_parallel(parser: argparse.ArgumentParser,
                   jobs_default=None) -> None:
     from .analysis.parallel import default_cache_dir, default_jobs
@@ -430,11 +440,23 @@ def build_parser() -> argparse.ArgumentParser:
                            cmd_lint, cmd_sanitize)
     p_lint = sub.add_parser(
         "lint", help="simlint: check simulator invariants "
-                     "(SIM001-SIM007) with the AST-based static analyzer")
+                     "(SIM001-SIM009) with the AST-based static analyzer")
     add_lint_arguments(p_lint)
     p_lint.add_argument("-v", "--verbose", action="store_true",
                         help="also print suppressed/baselined findings")
     p_lint.set_defaults(func=cmd_lint)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the fixed simulator-throughput microbench "
+                      "and write BENCH_<rev>.json (host speed, not "
+                      "simulated performance)")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="repetitions; the fastest wall time wins "
+                              "(default 3)")
+    p_bench.add_argument("--out-dir", default=None, metavar="DIR",
+                         help="write BENCH_<rev>.json here (default: "
+                              "print only)")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_san = sub.add_parser(
         "sanitize", help="determinism sanitizer: run one config twice "

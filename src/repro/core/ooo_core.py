@@ -22,7 +22,8 @@ from ..emc.chain import ChainUop, DependenceChain
 from ..memsys.cache import SetAssocCache, line_addr
 from ..memsys.request import MemRequest
 from ..memsys.vm import PageTable
-from ..sim.component import (SimComponent, SnapshotError, rebase_clock,
+from ..sim.component import (KIND_FULL, CarryoverReport, SimComponent,
+                             SnapshotError, rebase_clock,
                              require_empty)
 from ..sim.stats import CoreStats
 from ..uarch.isa import effective_address, execute_alu
@@ -236,15 +237,18 @@ class OutOfOrderCore(SimComponent):
         # counters live below this component.
         self.l1.reset_stats()
 
-    def snapshot(self) -> dict:
+    def config_state(self) -> dict:
+        return {"core_id": self.core_id}
+
+    def snapshot(self, kind: str = KIND_FULL) -> dict:
         self._require_quiesced()
-        state = self._header()
+        state = self._header(kind)
         state.update(
             fetch_index=self._fetch_index,
             rename=dict(self.rename),
             regfile=dict(self.regfile),
-            l1=self.l1.snapshot(),
-            page_table=self.page_table.snapshot(),
+            l1=self.l1.snapshot(kind),
+            page_table=self.page_table.snapshot(kind),
             fetch_blocked=self._fetch_blocked,
             dep_miss_counter=self.dep_miss_counter,
             chain_gen_busy_until=self._chain_gen_busy_until,
@@ -258,6 +262,30 @@ class OutOfOrderCore(SimComponent):
 
     def restore(self, state: dict) -> None:
         state = self._check(state)
+        self._adopt(state)
+        self.l1.restore(state["l1"])
+        self._chain_cache.clear()
+        self._chain_cache.update(state["chain_cache"])
+
+    def reseat(self, state: dict, report: CarryoverReport,
+               path: str = "") -> None:
+        """Adopt a snapshot across a config change.  Everything but the
+        L1 (re-hashed into its new geometry) and the chain cache
+        (trimmed to the live ``emc.chain_cache_entries`` capacity,
+        newest-first) is config-independent."""
+        state = self._check(state)
+        self._adopt(state)
+        self.l1.reseat(state["l1"], report, f"{path}/l1")
+        saved_cc = state["chain_cache"]
+        cap = self.system.cfg.emc.chain_cache_entries
+        keep = list(saved_cc.items())[max(0, len(saved_cc) - cap):] \
+            if cap else []
+        self._chain_cache.clear()
+        self._chain_cache.update(keep)
+        report.record(f"{path}/chain_cache", len(keep), len(saved_cc))
+
+    def _adopt(self, state: dict) -> None:
+        """Shared restore/reseat body for the config-independent fields."""
         self._fetch_index = state["fetch_index"]
         self.rob.clear()
         self.ready.clear()
@@ -268,13 +296,10 @@ class OutOfOrderCore(SimComponent):
         self.rename.update(state["rename"])
         self.regfile.clear()
         self.regfile.update(state["regfile"])
-        self.l1.restore(state["l1"])
         self.page_table.restore(state["page_table"])
         self._fetch_blocked = state["fetch_blocked"]
         self.dep_miss_counter = state["dep_miss_counter"]
         self._chain_gen_busy_until = state["chain_gen_busy_until"]
-        self._chain_cache.clear()
-        self._chain_cache.update(state["chain_cache"])
         self._tick_scheduled = False
         self._doze_started = None
         self.finished = state["finished"]
@@ -389,7 +414,7 @@ class OutOfOrderCore(SimComponent):
         self._by_seq[iu.seq] = iu
         self.rs_occupancy += 1
         if not self.stats_frozen:
-            self.system.energy_counters.core_uops += 1
+            self.system.energy_counters.note_core_uop()
         if uop.op is UopType.BRANCH and uop.mispredicted:
             self._fetch_blocked = True
             if not self.stats_frozen:
@@ -479,7 +504,7 @@ class OutOfOrderCore(SimComponent):
         # (and other store-then-load patterns) hit locally.
         self.l1.fill(line_addr(iu.paddr))
         self.l1.access(line_addr(iu.paddr), write=True)
-        self.system.energy_counters.l1_accesses += 1
+        self.system.energy_counters.note_l1_access()
         self.system.store_writethrough(self.core_id, iu.paddr, iu.uop.pc)
         self.wheel.schedule(1, lambda: self._complete(iu, value))
 
@@ -490,7 +515,7 @@ class OutOfOrderCore(SimComponent):
             iu.paddr = self.page_table.translate(iu.vaddr)
         line = line_addr(iu.paddr)
         if not self.stats_frozen:
-            self.system.energy_counters.l1_accesses += 1
+            self.system.energy_counters.note_l1_access()
         if self.l1.access(line) is not None:
             if not self.stats_frozen:
                 self.stats.l1_hits += 1

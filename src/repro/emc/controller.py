@@ -17,7 +17,8 @@ from collections import deque
 from typing import Deque, Dict, List, Optional
 
 from ..memsys.cache import SetAssocCache, line_addr
-from ..sim.component import SimComponent, SnapshotError, require_empty
+from ..sim.component import (KIND_FULL, CarryoverReport, SimComponent,
+                             SnapshotError, require_empty)
 from ..trace import Stage
 from ..uarch.isa import effective_address, execute_alu
 from ..uarch.params import EMCConfig
@@ -105,7 +106,11 @@ class EMC(SimComponent):
         self.tlbs.reset_stats()
         self.miss_predictor.reset_stats()
 
-    def snapshot(self) -> dict:
+    def config_state(self) -> dict:
+        return {"mc_id": self.mc_id,
+                "num_contexts": len(self.contexts)}
+
+    def snapshot(self, kind: str = KIND_FULL) -> dict:
         require_empty(self, pending_lines=self._pending_lines,
                       pending_chains=self._pending_chains)
         busy = [c.context_id for c in self.contexts
@@ -115,25 +120,39 @@ class EMC(SimComponent):
                 f"EMC {self.mc_id}: cannot snapshot with busy contexts "
                 f"{busy} / {self._inflight} in-flight uops "
                 f"(quiesce the machine first)")
-        state = self._header()
-        state["dcache"] = self.dcache.snapshot()
-        state["tlbs"] = self.tlbs.snapshot()
-        state["miss_predictor"] = self.miss_predictor.snapshot()
+        state = self._header(kind)
+        state["dcache"] = self.dcache.snapshot(kind)
+        state["tlbs"] = self.tlbs.snapshot(kind)
+        state["miss_predictor"] = self.miss_predictor.snapshot(kind)
         state["rr"] = self._rr
         return state
 
     def restore(self, state: dict) -> None:
         state = self._check(state)
+        self._clear_inflight()
+        self.dcache.restore(state["dcache"])
+        self.tlbs.restore(state["tlbs"])
+        self.miss_predictor.restore(state["miss_predictor"])
+        self._rr = state["rr"]
+
+    def reseat(self, state: dict, report: CarryoverReport,
+               path: str = "") -> None:
+        state = self._check(state, match_config=False)
+        self._clear_inflight()
+        self.dcache.reseat(state["dcache"], report, f"{path}/dcache")
+        self.tlbs.reseat(state["tlbs"], report, f"{path}/tlb")
+        self.miss_predictor.reseat(state["miss_predictor"], report,
+                                   f"{path}/miss_predictor")
+        # The round-robin pointer survives modulo the live context count.
+        self._rr = state["rr"] % len(self.contexts)
+
+    def _clear_inflight(self) -> None:
         for ctx in self.contexts:
             ctx.release()
         self._inflight = 0
         self._tick_scheduled = False
         self._pending_lines.clear()
         self._pending_chains.clear()
-        self.dcache.restore(state["dcache"])
-        self.tlbs.restore(state["tlbs"])
-        self.miss_predictor.restore(state["miss_predictor"])
-        self._rr = state["rr"]
 
     # ------------------------------------------------------------------
     # context management
@@ -279,7 +298,7 @@ class EMC(SimComponent):
     def _execute(self, ctx: EMCContext, cu: ChainUop) -> None:
         uop = cu.uop
         self.stats.uops_executed += 1
-        self.system.energy_counters.emc_uops += 1
+        self.system.energy_counters.note_emc_uop()
         if uop.op is UopType.LOAD:
             self._execute_load(ctx, cu)
             return
@@ -348,7 +367,7 @@ class EMC(SimComponent):
         chain = ctx.chain
         line = line_addr(paddr)
         self.stats.loads_executed += 1
-        self.system.energy_counters.emc_cache_accesses += 1
+        self.system.energy_counters.note_emc_cache_access()
         if self.dcache.access(line) is not None:
             self.stats.dcache_hits += 1
             image = self.system.images[chain.core_id]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from ..sim.component import SimComponent
+from ..sim.component import KIND_FULL, CarryoverReport, SimComponent
 
 
 class MissPredictor(SimComponent):
@@ -59,8 +59,11 @@ class MissPredictor(SimComponent):
     def reset_stats(self) -> None:
         pass
 
-    def snapshot(self) -> dict:
-        state = self._header()
+    def config_state(self) -> dict:
+        return {"entries": self.entries, "threshold": self.threshold}
+
+    def snapshot(self, kind: str = KIND_FULL) -> dict:
+        state = self._header(kind)
         state["tables"] = {core: list(table)
                            for core, table in self._tables.items()}
         return state
@@ -70,3 +73,19 @@ class MissPredictor(SimComponent):
         self._tables.clear()
         for core, table in state["tables"].items():
             self._tables[core] = list(table)
+
+    def reseat(self, state: dict, report: CarryoverReport,
+               path: str = "") -> None:
+        """Counter tables carry across a threshold change (the counters
+        are outcome history, the threshold only interprets them) but not
+        across a table resize — the PC hash changes, so old counters
+        would train the wrong slots."""
+        state = self._check(state, match_config=False)
+        total = sum(len(t) for t in state["tables"].values())
+        self._tables.clear()
+        if state["config"]["entries"] != self.entries:
+            report.record(path, 0, total)
+            return
+        for core, table in state["tables"].items():
+            self._tables[core] = list(table)
+        report.record(path, total, total)

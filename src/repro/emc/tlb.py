@@ -13,7 +13,7 @@ from collections import OrderedDict
 from typing import Dict, Optional
 
 from ..memsys.vm import PageTable, PageTableEntry
-from ..sim.component import SimComponent
+from ..sim.component import (KIND_FULL, CarryoverReport, SimComponent)
 from ..uarch.params import PAGE_BYTES
 
 
@@ -72,8 +72,11 @@ class EMCTlb(SimComponent):
         self.misses = 0
         self.shootdowns = 0
 
-    def snapshot(self) -> dict:
-        state = self._header()
+    def config_state(self) -> dict:
+        return {"capacity": self.capacity}
+
+    def snapshot(self, kind: str = KIND_FULL) -> dict:
+        state = self._header(kind)
         state["entries"] = OrderedDict(self._entries)
         state["stats"] = (self.hits, self.misses, self.shootdowns)
         return state
@@ -82,6 +85,19 @@ class EMCTlb(SimComponent):
         state = self._check(state)
         self._entries.clear()
         self._entries.update(state["entries"])
+        self.hits, self.misses, self.shootdowns = state["stats"]
+
+    def reseat(self, state: dict, report: CarryoverReport,
+               path: str = "") -> None:
+        """Adopt a snapshot across a capacity change: a circular buffer
+        keeps its newest entries, so shrinking drops from the FIFO
+        head."""
+        state = self._check(state, match_config=False)
+        saved = state["entries"]
+        self._entries.clear()
+        keep = list(saved.items())[max(0, len(saved) - self.capacity):]
+        self._entries.update(keep)
+        report.record(path, len(keep), len(saved))
         self.hits, self.misses, self.shootdowns = state["stats"]
 
 
@@ -97,9 +113,12 @@ class EMCTlbFile(SimComponent):
         for tlb in self.tlbs.values():
             tlb.reset_stats()
 
-    def snapshot(self) -> dict:
-        state = self._header()
-        state["tlbs"] = {core: tlb.snapshot()
+    def config_state(self) -> dict:
+        return {"num_cores": len(self.tlbs)}
+
+    def snapshot(self, kind: str = KIND_FULL) -> dict:
+        state = self._header(kind)
+        state["tlbs"] = {core: tlb.snapshot(kind)
                          for core, tlb in self.tlbs.items()}
         return state
 
@@ -107,6 +126,12 @@ class EMCTlbFile(SimComponent):
         state = self._check(state)
         for core, tlb in self.tlbs.items():
             tlb.restore(state["tlbs"][core])
+
+    def reseat(self, state: dict, report: CarryoverReport,
+               path: str = "") -> None:
+        state = self._check(state)
+        for core, tlb in self.tlbs.items():
+            tlb.reseat(state["tlbs"][core], report, f"{path}[{core}]")
 
     def for_core(self, core_id: int) -> EMCTlb:
         return self.tlbs[core_id]

@@ -12,9 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
-from ..sim.component import (SimComponent, dataclass_state,
-                             rebase_clock_map, reset_dataclass_stats,
-                             restore_dataclass)
+from ..sim.component import (KIND_FULL, CarryoverReport, SimComponent,
+                             dataclass_state, rebase_clock_map,
+                             reset_dataclass_stats, restore_dataclass)
 from ..sim.events import EventWheel
 from ..uarch.params import RingConfig
 
@@ -81,8 +81,11 @@ class Ring(SimComponent):
     def reset_stats(self) -> None:
         reset_dataclass_stats(self.stats)
 
-    def snapshot(self) -> dict:
-        state = self._header()
+    def config_state(self) -> dict:
+        return {"num_stops": self.num_stops}
+
+    def snapshot(self, kind: str = KIND_FULL) -> dict:
+        state = self._header(kind)
         state["link_free"] = dict(self._link_free)
         state["stats"] = dataclass_state(self.stats)
         return state
@@ -91,6 +94,21 @@ class Ring(SimComponent):
         state = self._check(state)
         self._link_free.clear()
         self._link_free.update(state["link_free"])
+        restore_dataclass(self.stats, state["stats"])
+
+    def reseat(self, state: dict, report: CarryoverReport,
+               path: str = "") -> None:
+        """Adopt a snapshot; across a stop-count change the per-link
+        busy clocks name links that no longer exist, so they drop (the
+        links are simply free) while stats carry."""
+        state = self._check(state, match_config=False)
+        saved = state["link_free"]
+        self._link_free.clear()
+        if state["config"] == self.config_state():
+            self._link_free.update(saved)
+            report.record(path, len(saved), len(saved))
+        else:
+            report.record(path, 0, len(saved))
         restore_dataclass(self.stats, state["stats"])
 
     def rebase(self, origin: int) -> None:

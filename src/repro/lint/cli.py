@@ -96,10 +96,18 @@ def add_sanitize_arguments(parser) -> None:
                              "against a checkpoint-at-boundary resume "
                              "(implies a warmup window; --warmup sets its "
                              "length, default n_instrs/4)")
+    parser.add_argument("--fork-identity", action="store_true",
+                        help="also gate the System.fork contract: a "
+                             "no-override fork must be bit-identical to "
+                             "its parent, warmup-inert overrides must "
+                             "match a from-scratch warmup, and aggressive "
+                             "forks must be deterministic (reports the "
+                             "per-component carryover ratios)")
 
 
 def cmd_sanitize(args) -> int:
     from .sanitize import (sanitize_checkpoint_roundtrip,
+                           sanitize_fork_identity,
                            sanitize_parallel_runner, sanitize_quad_mix)
     reports = [sanitize_quad_mix(
         args.mix, args.n_instrs, prefetcher=args.prefetcher,
@@ -116,6 +124,11 @@ def cmd_sanitize(args) -> int:
             args.mix, args.n_instrs, warmup,
             prefetcher=args.prefetcher, emc=args.emc, seed=args.seed,
             trace=not args.no_trace))
+    if args.fork_identity:
+        warmup = args.warmup or max(1, args.n_instrs // 2)
+        reports.append(sanitize_fork_identity(
+            args.mix, args.n_instrs, warmup_instrs=warmup,
+            seed=args.seed))
     for report in reports:
         print(report.format())
     return 0 if all(r.deterministic for r in reports) else 1

@@ -1,9 +1,10 @@
-"""Built-in simlint rules; importing this package registers SIM001–SIM007."""
+"""Built-in simlint rules; importing this package registers SIM001–SIM009."""
 
 from . import (sim001_shared_state, sim002_unseeded_random,
                sim003_wall_clock, sim004_float_cycles,
                sim005_foreign_stats, sim006_mutable_defaults,
-               sim007_past_event)
+               sim007_past_event, sim008_reach_through,
+               sim009_unordered_iteration)
 
 __all__ = [
     "sim001_shared_state",
@@ -13,4 +14,6 @@ __all__ = [
     "sim005_foreign_stats",
     "sim006_mutable_defaults",
     "sim007_past_event",
+    "sim008_reach_through",
+    "sim009_unordered_iteration",
 ]

@@ -85,6 +85,28 @@ def attribute_chain(node: ast.expr) -> Tuple[Optional[ast.expr], List[str]]:
     return node, attrs
 
 
+def deep_attribute_chain(node: ast.expr
+                         ) -> Tuple[Optional[ast.expr], List[str]]:
+    """Like :func:`attribute_chain`, but transparent through subscripts:
+    ``a.b[i].c.d`` -> ``(base_of_a, ["b", "c", "d"])``.
+
+    Indexing selects an element *within* the same object graph, so for
+    ownership purposes ``self.banks[i].queue`` reaches exactly as far as
+    ``self.bank.queue`` — each ``[...]`` contributes nothing to the chain.
+    """
+    attrs: List[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            attrs.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        else:
+            break
+    attrs.reverse()
+    return node, attrs
+
+
 def contains_true_div(node: ast.AST) -> bool:
     """True when ``node`` contains a ``/`` whose float result escapes.
 

@@ -1,0 +1,92 @@
+"""SIM008: state mutated through a cross-component reach-through.
+
+A component that writes state two or more attribute hops away from itself
+(``self.system.dram.channels[0].queue.append(req)``,
+``self.hierarchy.llc.slices[i].pending = ...``) is mutating a structure
+some *other* component owns.  That coupling is exactly what breaks the
+workload/config state split: the owner's ``snapshot``/``reseat`` contract
+no longer covers every writer of its state, so a fork can silently
+resurrect or lose the foreign mutation.
+
+The sanctioned shape is a method on the owner (``dram.seed_open_row(a)``,
+``llc.mark_emc(line)``): one hop to reach a peer, then a call — the owner
+stays the only writer of its own structures.  One-hop writes
+(``self.wheel._seq = n``, ``self.banks[i].open_row = row``) are the owner
+updating what it directly holds and are fine.  Writes through
+``self.stats...`` are SIM005's jurisdiction and writes through
+``self.cfg...`` are config plumbing; both are exempt here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..findings import Finding, LintContext
+from ..registry import Rule, register_rule
+from .common import deep_attribute_chain, target_names
+
+#: container/mapping methods that mutate their receiver in place
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "add", "update", "insert", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear",
+    "appendleft", "extendleft", "move_to_end",
+})
+
+#: first hops with their own rules/conventions, exempt from this one
+EXEMPT_FIRST_HOPS = frozenset({"stats", "cfg"})
+
+
+def _self_chain(node: ast.expr) -> Optional[list]:
+    """Attribute names of a ``self``-rooted chain, else None."""
+    base, attrs = deep_attribute_chain(node)
+    if isinstance(base, ast.Name) and base.id == "self" and attrs:
+        return attrs
+    return None
+
+
+@register_rule
+class CrossComponentReachThrough(Rule):
+    code = "SIM008"
+    name = "cross-component-reach-through"
+    description = (
+        "State mutated >= 2 attribute hops from self (e.g. "
+        "self.system.dram.queue.append(...)): the structure belongs to "
+        "another component, and writes that bypass its owner escape the "
+        "snapshot/reseat contract.  Add a method on the owning component "
+        "and call that instead.")
+
+    def check(self, tree: ast.Module,
+              ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                for target in target_names(node):
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        yield from self._check_chain(
+                            ctx, node, _self_chain(target), "assignment")
+            elif (isinstance(node, ast.Call)
+                  and isinstance(node.func, ast.Attribute)
+                  and node.func.attr in MUTATOR_METHODS):
+                yield from self._check_chain(
+                    ctx, node, _self_chain(node.func.value),
+                    f".{node.func.attr}() call")
+
+    def _check_chain(self, ctx: LintContext, node: ast.AST,
+                     attrs: Optional[list],
+                     how: str) -> Iterator[Finding]:
+        # attrs[-1] is the attribute/container being mutated; everything
+        # before it is the reach.  One foreign hop is the owner touching
+        # a direct member; two or more crosses a component boundary.
+        if attrs is None or len(attrs) < 3:
+            return
+        if attrs[0] in EXEMPT_FIRST_HOPS:
+            return
+        if "stats" in attrs[:-1]:
+            return      # stats pokes through any path are SIM005's call
+        chain = "self." + ".".join(attrs)
+        yield self.finding(
+            ctx, node,
+            f"{how} mutates '{chain}', {len(attrs) - 1} hops from self: "
+            f"'{attrs[-1]}' belongs to a component reached through "
+            f"'{'.'.join(attrs[:-1])}'; route the write through a method "
+            f"on its owner")

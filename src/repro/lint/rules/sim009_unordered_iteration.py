@@ -1,0 +1,134 @@
+"""SIM009: iteration over an unordered container feeding event timing.
+
+A ``for`` loop over a set whose body schedules events or sends ring
+messages makes the *event order* — and therefore tie-breaking, and
+therefore simulated timing — depend on set iteration order.  Python set
+order is hash-order: stable within a process for ints, but an accident of
+insertion history and hash seeding in general, so two logically identical
+runs can legally diverge.  This is the static companion to the dynamic
+determinism sanitizer, which only catches divergence that actually
+happens.
+
+The fix is to impose an explicit order before the timing-relevant loop:
+``for x in sorted(pending)`` or keep the collection in a list/deque/
+OrderedDict whose order is part of the model.  Dict iteration is
+deliberately *not* flagged: insertion order is defined, and the simulator
+leans on it (FIFO TLBs, LRU stacks, per-bank queues).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from ..findings import Finding, LintContext
+from ..registry import Rule, register_rule
+from .common import call_name
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: calls inside the loop body that put the iteration order into timing
+TIMING_SINKS = frozenset({"schedule", "schedule_at", "send"})
+
+#: set operators that yield a set when an operand is one
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+
+
+def _collect_assignments(scope: ast.AST) -> Dict[str, List[ast.expr]]:
+    """Name -> every expression assigned to it within ``scope``."""
+    assigns: Dict[str, List[ast.expr]] = {}
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    assigns.setdefault(target.id, []).append(node.value)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.value is not None:
+                assigns.setdefault(node.target.id, []).append(node.value)
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name):
+                assigns.setdefault(node.target.id, []).append(node.value)
+    return assigns
+
+
+def _is_setlike(expr: ast.expr, setlike: Set[str]) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        return call_name(expr) in ("set", "frozenset")
+    if isinstance(expr, ast.Name):
+        return expr.id in setlike
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, _SET_OPS):
+        return (_is_setlike(expr.left, setlike)
+                or _is_setlike(expr.right, setlike))
+    return False
+
+
+def _setlike_names(assigns: Dict[str, List[ast.expr]]) -> Set[str]:
+    """Greatest fixpoint: a name is set-like iff every assignment to it is.
+
+    Requiring *every* assignment keeps the rule conservative: a name that
+    is sometimes a sorted list is ordered on those paths, and flagging it
+    would punish the fix.  Starting from "every assigned name" and
+    removing violators (instead of growing from nothing) lets
+    self-referential chains like ``pending = pending - busy`` stay
+    set-like.
+    """
+    setlike: Set[str] = set(assigns)
+    changed = True
+    while changed:
+        changed = False
+        for name in list(setlike):
+            if not all(_is_setlike(v, setlike) for v in assigns[name]):
+                setlike.discard(name)
+                changed = True
+    return setlike
+
+
+def _has_timing_sink(loop: ast.For) -> bool:
+    for node in ast.walk(loop):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in TIMING_SINKS):
+            return True
+    return False
+
+
+@register_rule
+class UnorderedIterationIntoTiming(Rule):
+    code = "SIM009"
+    name = "unordered-iteration-into-timing"
+    description = (
+        "for-loop over a set whose body schedules events or sends ring "
+        "messages: set iteration order is hash order, so event order — "
+        "and simulated timing — silently depends on it.  Iterate "
+        "sorted(...) or keep the collection in an ordered container.")
+
+    def check(self, tree: ast.Module,
+              ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.hot_path:
+            return
+        seen: Set[int] = set()
+        for scope in ast.walk(tree):
+            if isinstance(scope, _FUNC_NODES):
+                yield from self._check_scope(scope, ctx, seen)
+        yield from self._check_scope(tree, ctx, seen)
+
+    def _check_scope(self, scope: ast.AST, ctx: LintContext,
+                     seen: Set[int]) -> Iterator[Finding]:
+        loops = [node for node in ast.walk(scope)
+                 if isinstance(node, ast.For) and id(node) not in seen]
+        if not loops:
+            return
+        setlike = _setlike_names(_collect_assignments(scope))
+        for loop in loops:
+            seen.add(id(loop))
+            if not _is_setlike(loop.iter, setlike):
+                continue
+            if not _has_timing_sink(loop):
+                continue
+            yield self.finding(
+                ctx, loop,
+                "loop over an unordered set schedules events / sends "
+                "messages: event order inherits hash order; iterate "
+                "sorted(...) or use an ordered container")

@@ -1,6 +1,6 @@
 """Dynamic determinism sanitizer: run twice, diff everything.
 
-The static rules (SIM001–SIM007) catch the *patterns* that break
+The static rules (SIM001–SIM009) catch the *patterns* that break
 determinism; this is the cheap end-to-end check that nothing slipped
 through: run the same configuration twice with the same seed in one
 process and require the full stats tree — every counter, every latency
@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set
 
@@ -68,6 +68,9 @@ class SanitizeReport:
     fields_compared: int
     divergences: List[Divergence]
     label: str = ""
+    #: free-form evidence appended to :meth:`format` (e.g. the
+    #: per-component carryover table of a fork-identity check)
+    notes: str = ""
 
     @property
     def first_divergence(self) -> Optional[Divergence]:
@@ -75,10 +78,11 @@ class SanitizeReport:
 
     def format(self, max_divergences: int = 10) -> str:
         if self.deterministic:
-            return (f"determinism sanitizer PASS"
+            text = (f"determinism sanitizer PASS"
                     f"{f' [{self.label}]' if self.label else ''}: "
                     f"{self.fields_compared} stats fields bit-identical "
                     f"across 2 runs")
+            return f"{text}\n{self.notes}" if self.notes else text
         lines = [f"determinism sanitizer FAIL"
                  f"{f' [{self.label}]' if self.label else ''}: "
                  f"{len(self.divergences)} of {self.fields_compared} "
@@ -89,6 +93,8 @@ class SanitizeReport:
         if len(self.divergences) > max_divergences:
             lines.append(f"  ... and "
                          f"{len(self.divergences) - max_divergences} more")
+        if self.notes:
+            lines.append(self.notes)
         return "\n".join(lines)
 
 
@@ -226,6 +232,11 @@ def flatten_state(obj: Any, prefix: str = "",
                               f"{key}.{f.name}" if prefix else f.name,
                               out, _depth + 1, _seen)
         elif isinstance(obj, dict):
+            if isinstance(obj, OrderedDict):
+                # Insertion order IS state for OrderedDicts (LRU stacks,
+                # FIFO TLBs): two snapshots with the same key/value pairs
+                # in different recency order must diverge here.
+                out[f"{key}<order>"] = tuple(repr(k) for k in obj)
             for k in sorted(obj, key=repr):
                 flatten_state(obj[k], f"{key}[{k!r}]", out,
                               _depth + 1, _seen)
@@ -354,3 +365,114 @@ def sanitize_checkpoint_roundtrip(mix: str, n_instrs: int,
         label=f"checkpoint-roundtrip {mix}"
               f"{'+emc' if emc else ''} n={n_instrs} "
               f"warmup={warmup_instrs} seed={seed}")
+
+
+def sanitize_fork_identity(mix: str = "H1", n_instrs: int = 4000,
+                           warmup_instrs: int = 2000,
+                           seed: int = 1) -> SanitizeReport:
+    """Fork/reseat contract gate (``repro sanitize --fork-identity``).
+
+    Three parts, each contributing prefixed divergences:
+
+    - ``identity.*`` — forking with **no** overrides must reproduce the
+      parent machine bit for bit (full state-tree diff, including
+      OrderedDict recency order) with every carryover ratio at 1.0; the
+      fork's pickle round trip doubles as a serialization-identity check.
+    - ``inert.*`` — forking under *warmup-inert* overrides (``emc.*``
+      sizing while the EMC stays disabled) must produce the same measured
+      statistics as warming a fresh machine under the overridden config:
+      configuration that cannot influence the warmup trajectory must not
+      influence the forked machine either.
+    - ``fork-determinism.*`` — forking twice under *aggressive* overrides
+      (EMC on, a prefetcher, an L1 resize, DRAM timing) must yield
+      bit-identical machines, and the forked machine must run to
+      completion.  Timing-affecting overrides legitimately change what a
+      fresh warmup would have produced, so this part checks determinism
+      and viability, not equality with a from-scratch warmup; the
+      per-component carryover table lands in the report's ``notes``.
+    """
+    from ..sim.runner import run_system
+    from ..sim.system import System
+    from ..uarch.params import quad_core_config, set_config_field
+    from ..workloads.mixes import build_mix
+
+    def warmed_parent() -> System:
+        cfg = quad_core_config(prefetcher="none", emc=False, seed=seed)
+        workload = build_mix(mix, n_instrs, seed=seed)
+        system = System(cfg, workload)
+        system.warmup(warmup_instrs)
+        return system
+
+    divergences: List[Divergence] = []
+    compared = 0
+
+    # -- part 1: no-override fork is the identity -----------------------
+    parent = warmed_parent()
+    parent_state = flatten_state(parent.snapshot())
+    fork, report = parent.fork()
+    fork_state = flatten_state(fork.snapshot())
+    for div in diff_trees(parent_state, fork_state):
+        divergences.append(Divergence(f"identity.{div.field}",
+                                      div.first, div.second))
+    compared += len(set(parent_state) | set(fork_state))
+    for path, (kept, total) in report.entries.items():
+        compared += 1
+        if kept != total:
+            divergences.append(Divergence(
+                f"identity.carryover[{path}]", f"{kept}/{total}", "1.0"))
+
+    # -- part 2: warmup-inert overrides match a from-scratch warmup -----
+    inert = {"emc.num_contexts": 4, "emc.data_cache_ways": 8}
+    forked, _ = warmed_parent().fork(inert)
+    forked.run()
+    first = snapshot_run_stats(forked)
+    cfg = quad_core_config(prefetcher="none", emc=False, seed=seed)
+    for key, value in inert.items():
+        set_config_field(cfg, key, value)
+    scratch = run_system(cfg, build_mix(mix, n_instrs, seed=seed),
+                         warmup_instrs=warmup_instrs)
+    second = snapshot_run(scratch)
+    for div in diff_trees(first, second):
+        divergences.append(Divergence(f"inert.{div.field}",
+                                      div.first, div.second))
+    compared += len(set(first) | set(second))
+
+    # -- part 3: aggressive forks are deterministic and viable ----------
+    aggressive = {"emc.enabled": True, "prefetch.kind": "stream",
+                  "l1.ways": 4, "dram.t_cas": 20}
+    parent = warmed_parent()
+    fork_a, report_a = parent.fork(aggressive)
+    fork_b, _ = parent.fork(aggressive)
+    state_a = flatten_state(fork_a.snapshot())
+    state_b = flatten_state(fork_b.snapshot())
+    for div in diff_trees(state_a, state_b):
+        divergences.append(Divergence(f"fork-determinism.{div.field}",
+                                      div.first, div.second))
+    compared += len(set(state_a) | set(state_b))
+    fork_a.run()                        # raises on deadlock/timeout
+
+    return SanitizeReport(
+        deterministic=not divergences,
+        fields_compared=compared,
+        divergences=divergences,
+        label=f"fork-identity {mix} n={n_instrs} "
+              f"warmup={warmup_instrs} seed={seed}",
+        notes="aggressive-fork " + report_a.format())
+
+
+def snapshot_run_stats(system) -> Dict[str, Any]:
+    """Flatten a finished :class:`~repro.sim.system.System`'s results into
+    the same tree shape :func:`snapshot_run` builds from a RunResult."""
+    tree: Dict[str, Any] = {}
+    flatten_tree(system.stats, "stats", tree)
+    dram_stats = system.dram_stats
+    accesses = sum(d.accesses for d in dram_stats)
+    conflicts = sum(d.row_conflicts for d in dram_stats)
+    tree["dram.accesses"] = accesses
+    tree["dram.reads"] = sum(d.reads for d in dram_stats)
+    tree["dram.row_conflict_rate"] = (conflicts / accesses
+                                      if accesses else 0.0)
+    tree["ring.messages"] = system.ring.stats.messages
+    flatten_tree([c.ipc() for c in system.stats.cores],
+                 "per_core_ipc", tree)
+    return tree

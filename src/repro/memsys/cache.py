@@ -11,8 +11,9 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..sim.component import (SimComponent, SnapshotError, dataclass_state,
-                             reset_dataclass_stats, restore_dataclass)
+from ..sim.component import (KIND_FULL, CarryoverReport, SimComponent,
+                             dataclass_state, reset_dataclass_stats,
+                             restore_dataclass)
 from ..uarch.params import CACHE_LINE_BYTES
 
 
@@ -138,23 +139,83 @@ class SetAssocCache(SimComponent):
     def reset_stats(self) -> None:
         reset_dataclass_stats(self.stats)
 
-    def snapshot(self) -> dict:
-        state = self._header()
-        state["geometry"] = (self.num_sets, self.ways, self.line_bytes)
+    def config_state(self) -> dict:
+        return {"num_sets": self.num_sets, "ways": self.ways,
+                "line_bytes": self.line_bytes}
+
+    def snapshot(self, kind: str = KIND_FULL) -> dict:
+        state = self._header(kind)
         state["sets"] = [OrderedDict(cset) for cset in self._sets]
         state["stats"] = dataclass_state(self.stats)
         return state
 
     def restore(self, state: dict) -> None:
         state = self._check(state)
-        if state["geometry"] != (self.num_sets, self.ways, self.line_bytes):
-            raise SnapshotError(
-                f"cache geometry mismatch: snapshot {state['geometry']} != "
-                f"live {(self.num_sets, self.ways, self.line_bytes)}")
         for cset, saved in zip(self._sets, state["sets"]):
             cset.clear()
             cset.update(saved)
         restore_dataclass(self.stats, state["stats"])
+
+    def reseat(self, state: dict, report: CarryoverReport,
+               path: str = "") -> None:
+        """Adopt a snapshot, re-hashing contents into the live geometry.
+
+        Lines are replayed LRU -> MRU per source set (source sets in
+        index order) so recency carries over as faithfully as the new
+        geometry allows; lines that collide past the new associativity
+        are dropped as LRU overflow.  Stats carry over verbatim — the
+        history they count happened regardless of the new geometry.
+        """
+        state = self._check(state, match_config=False)
+        saved_cfg = state["config"]
+        if saved_cfg == self.config_state():
+            self.restore(state)
+            total = sum(len(s) for s in state["sets"])
+            report.record(path, total, total)
+            return
+        old_sets = saved_cfg["num_sets"]
+        old_line = saved_cfg["line_bytes"]
+        for cset in self._sets:
+            cset.clear()
+        total = 0
+        seeded = set()
+        for index, saved in enumerate(state["sets"]):
+            for tag, line in saved.items():
+                total += 1
+                # Invert the source mapping to the line base address,
+                # then re-align into the (possibly different) live line
+                # size; several source lines can land in one covering
+                # line, so dedupe keeps the first (least-recent) copy.
+                addr = (tag * old_sets + index) * old_line
+                base = (addr // self.line_bytes) * self.line_bytes
+                if base in seeded:
+                    continue
+                seeded.add(base)
+                self.seed_line(base, line)
+        kept = sum(len(s) for s in self._sets)
+        dropped = self.trim_to_ways()
+        report.record(path, kept - dropped, total)
+        restore_dataclass(self.stats, state["stats"])
+
+    def seed_line(self, addr: int, line: CacheLineState) -> None:
+        """Insert an existing line object at ``addr`` as MRU, rewriting
+        its tag for the live geometry (reseat helper; no stats, no
+        capacity check — call :meth:`trim_to_ways` afterwards)."""
+        index, tag = self._index_tag(addr)
+        line.tag = tag
+        cset = self._sets[index]
+        cset.pop(tag, None)
+        cset[tag] = line
+
+    def trim_to_ways(self) -> int:
+        """Evict LRU lines from any over-full set (reseat helper).
+        Returns the number of lines dropped."""
+        dropped = 0
+        for cset in self._sets:
+            while len(cset) > self.ways:
+                cset.popitem(last=False)
+                dropped += 1
+        return dropped
 
     def occupancy(self) -> int:
         return sum(len(s) for s in self._sets)

@@ -12,9 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from ..sim.component import (SimComponent, dataclass_state, rebase_clock,
-                             require_empty, reset_dataclass_stats,
-                             restore_dataclass)
+from ..sim.component import (KIND_FULL, CarryoverReport, SimComponent,
+                             dataclass_state, rebase_clock, require_empty,
+                             reset_dataclass_stats, restore_dataclass)
 from ..sim.events import EventWheel
 from ..uarch.params import CACHE_LINE_BYTES, DRAMConfig
 
@@ -107,9 +107,18 @@ class DRAMChannel(SimComponent):
             bank.row_conflicts = 0
             bank.row_closed = 0
 
-    def snapshot(self) -> dict:
+    def config_state(self) -> dict:
+        # Address-interpretation geometry only: timing parameters
+        # (t_cas/t_rcd/...) live in cfg and never shape the payload, so
+        # pure timing overrides restore/reseat losslessly.
+        return {"channel_id": self.channel_id,
+                "channels": self.cfg.channels,
+                "nbanks": len(self.banks),
+                "row_bytes": self.cfg.row_bytes}
+
+    def snapshot(self, kind: str = KIND_FULL) -> dict:
         require_empty(self, queue=self.queue)
-        state = self._header()
+        state = self._header(kind)
         state["banks"] = [dataclass_state(bank) for bank in self.banks]
         state["bus_free_at"] = self.bus_free_at
         state["marked_remaining"] = self.marked_remaining
@@ -123,6 +132,28 @@ class DRAMChannel(SimComponent):
         self.bus_free_at = state["bus_free_at"]
         self._pick_scheduled_for = None
         self.marked_remaining = state["marked_remaining"]
+
+    def start_cold(self) -> None:
+        """Reset to power-on state (reseat helper: a channel whose
+        geometry changed adopts nothing directly; open rows are
+        re-seeded across the new channel map by the hierarchy)."""
+        require_empty(self, queue=self.queue)
+        for bank in self.banks:
+            bank.open_row = None
+            bank.busy_until = 0
+            bank.row_hits = 0
+            bank.row_conflicts = 0
+            bank.row_closed = 0
+        self.bus_free_at = 0
+        self._pick_scheduled_for = None
+        self.marked_remaining = 0
+
+    def seed_open_row(self, addr: int) -> None:
+        """Open the row covering ``addr`` in its bank (reseat helper)."""
+        self.banks[self.bank_of(addr)].open_row = self.row_of(addr)
+
+    def open_row_count(self) -> int:
+        return sum(1 for bank in self.banks if bank.open_row is not None)
 
     def rebase(self, origin: int) -> None:
         """Rebase bank/bus clocks when the wheel rewinds to zero.  Only
@@ -288,10 +319,17 @@ class DRAMSystem(SimComponent):
         for channel in self.channels.values():
             channel.reset_stats()
 
-    def snapshot(self) -> dict:
-        state = self._header()
+    def config_state(self) -> dict:
+        return {"channels": self.cfg.channels,
+                "channel_ids": tuple(self.channel_ids),
+                "nbanks": self.cfg.ranks_per_channel
+                * self.cfg.banks_per_rank,
+                "row_bytes": self.cfg.row_bytes}
+
+    def snapshot(self, kind: str = KIND_FULL) -> dict:
+        state = self._header(kind)
         state["stats"] = dataclass_state(self.stats)
-        state["channels"] = {cid: ch.snapshot()
+        state["channels"] = {cid: ch.snapshot(kind)
                              for cid, ch in self.channels.items()}
         return state
 
@@ -300,6 +338,46 @@ class DRAMSystem(SimComponent):
         restore_dataclass(self.stats, state["stats"])
         for cid, channel in self.channels.items():
             channel.restore(state["channels"][cid])
+
+    def reseat(self, state: dict, report: CarryoverReport,
+               path: str = "") -> None:
+        """Same geometry restores verbatim; across a geometry change the
+        aggregate stats carry, channels start cold, and the hierarchy
+        re-seeds open rows across the new channel map (the per-bank
+        clocks and counters genuinely cannot carry)."""
+        state = self._check(state, match_config=False)
+        if state["config"] == self.config_state():
+            self.restore(state)
+            opens = sum(
+                1 for ch in state["channels"].values()
+                for bank in ch["banks"] if bank["open_row"] is not None)
+            report.record(path, opens, opens)
+            return
+        addrs = open_row_addrs(state)
+        self.adopt_stats_cold(state)
+        kept = sum(1 for addr in addrs if self.seed_open_row(addr))
+        report.record(path, kept, len(addrs))
+
+    def adopt_stats_cold(self, state: dict) -> None:
+        """Reseat helper: carry the aggregate stats block, start every
+        channel cold (the caller re-seeds open rows afterwards)."""
+        state = self._check(state, match_config=False)
+        restore_dataclass(self.stats, state["stats"])
+        self.start_cold()
+
+    def start_cold(self) -> None:
+        for channel in self.channels.values():
+            channel.start_cold()
+
+    def seed_open_row(self, addr: int) -> bool:
+        """Open the row covering ``addr`` if one of this controller's
+        channels owns the line; returns whether it was seeded."""
+        cid = self.channel_of(addr, self.cfg.channels)
+        channel = self.channels.get(cid)
+        if channel is None:
+            return False
+        channel.seed_open_row(addr)
+        return True
 
     def rebase(self, origin: int) -> None:
         for channel in self.channels.values():
@@ -319,3 +397,23 @@ class DRAMSystem(SimComponent):
 
     def pending(self) -> int:
         return sum(len(ch.queue) for ch in self.channels.values())
+
+
+def open_row_addrs(state: dict) -> List[int]:
+    """Representative line addresses of every open row in a
+    :class:`DRAMSystem` snapshot, inverted through the *snapshot's* own
+    geometry descriptor.  Feeding these through the live machine's
+    line→channel→bank→row mapping re-seeds row-buffer locality into any
+    new geometry (reseat helper)."""
+    cfg = state["config"]
+    lines_per_row = cfg["row_bytes"] // CACHE_LINE_BYTES
+    addrs: List[int] = []
+    for cid in sorted(state["channels"]):
+        for bank_idx, bank in enumerate(state["channels"][cid]["banks"]):
+            row = bank["open_row"]
+            if row is None:
+                continue
+            local = (row * cfg["nbanks"] + bank_idx) * lines_per_row
+            addrs.append((local * cfg["channels"] + cid)
+                         * CACHE_LINE_BYTES)
+    return addrs

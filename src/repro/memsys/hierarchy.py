@@ -16,10 +16,11 @@ from typing import Callable, List
 from ..interconnect.ring import Ring
 from ..prefetch import build_prefetcher
 from ..prefetch.base import FDPThrottle, NullPrefetcher
-from ..sim.component import SimComponent, rebase_clock
+from ..sim.component import (KIND_FULL, CarryoverReport, SimComponent,
+                             rebase_clock)
 from ..trace import Stage
 from .cache import line_addr
-from .dram import DRAMRequest, DRAMSystem
+from .dram import DRAMRequest, DRAMSystem, open_row_addrs
 from .llc import LLC
 from .request import MemRequest
 
@@ -82,12 +83,18 @@ class MemoryHierarchy(SimComponent):
         if self.fdp is not None:
             self.fdp.reset_stats()
 
-    def snapshot(self) -> dict:
-        state = self._header()
-        state["llc"] = self.llc.snapshot()
-        state["dram"] = [dram.snapshot() for dram in self.dram]
-        state["prefetcher"] = self.prefetcher.snapshot()
-        state["fdp"] = self.fdp.snapshot() if self.fdp is not None else None
+    def config_state(self) -> dict:
+        return {"num_mcs": self.cfg.num_mcs,
+                "total_channels": self.total_channels,
+                "has_fdp": self.fdp is not None}
+
+    def snapshot(self, kind: str = KIND_FULL) -> dict:
+        state = self._header(kind)
+        state["llc"] = self.llc.snapshot(kind)
+        state["dram"] = [dram.snapshot(kind) for dram in self.dram]
+        state["prefetcher"] = self.prefetcher.snapshot(kind)
+        state["fdp"] = (self.fdp.snapshot(kind)
+                        if self.fdp is not None else None)
         state["slice_free"] = list(self._slice_free)
         return state
 
@@ -100,6 +107,52 @@ class MemoryHierarchy(SimComponent):
         if self.fdp is not None:
             self.fdp.restore(state["fdp"])
         self._slice_free[:] = state["slice_free"]
+
+    def reseat(self, state: dict, report: CarryoverReport,
+               path: str = "") -> None:
+        """Adopt a snapshot into a possibly re-configured hierarchy."""
+        state = self._check(state, match_config=False)
+        self.llc.reseat(state["llc"], report, f"{path}/llc")
+        self._reseat_dram(state, report, f"{path}/dram")
+        self.prefetcher.reseat(state["prefetcher"], report,
+                               f"{path}/prefetcher")
+        if self.fdp is not None and state["fdp"] is not None:
+            self.fdp.reseat(state["fdp"], report, f"{path}/fdp")
+        elif self.fdp is not None or state["fdp"] is not None:
+            # FDP toggled across the fork: nothing to translate — a new
+            # throttle starts at its default degree, a dropped one loses
+            # its adapted degree.
+            report.record(f"{path}/fdp", 0, 1)
+        self._slice_free[:] = state["slice_free"]
+
+    def _reseat_dram(self, state: dict, report: CarryoverReport,
+                     path: str) -> None:
+        same = (len(state["dram"]) == len(self.dram)
+                and all(saved["config"] == dram.config_state()
+                        for saved, dram in zip(state["dram"], self.dram)))
+        if same:
+            for dram, saved in zip(self.dram, state["dram"]):
+                dram.reseat(saved, report, path)
+            return
+        # Channel-map change (channel count, bank count, row size, or MC
+        # split): open rows redistribute across the new geometry via
+        # their representative line addresses; per-MC aggregate stats
+        # carry only when the MC split is unchanged.
+        addrs = []
+        for saved in state["dram"]:
+            addrs.extend(open_row_addrs(saved))
+        if len(state["dram"]) == len(self.dram):
+            for dram, saved in zip(self.dram, state["dram"]):
+                dram.adopt_stats_cold(saved)
+        else:
+            for dram in self.dram:
+                dram.start_cold()
+            report.record(f"{path}/stats", 0, len(state["dram"]))
+        kept = 0
+        for addr in addrs:
+            if self.dram[self.mc_of_line(addr)].seed_open_row(addr):
+                kept += 1
+        report.record(path, kept, len(addrs))
 
     def rebase(self, origin: int) -> None:
         """Rebase slice-port and DRAM clocks when the wheel rewinds."""

@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from ..sim.component import (SimComponent, dataclass_state,
-                             reset_dataclass_stats, restore_dataclass)
+from ..sim.component import (KIND_FULL, CarryoverReport, SimComponent,
+                             dataclass_state, reset_dataclass_stats,
+                             restore_dataclass)
 from ..uarch.params import CACHE_LINE_BYTES, LLCConfig
 from .cache import CacheLineState, SetAssocCache, line_addr
 from .mshr import MSHRFile
@@ -45,10 +46,13 @@ class LLCSlice(SimComponent):
         self.mshr.reset_stats()
         reset_dataclass_stats(self.stats)
 
-    def snapshot(self) -> dict:
-        state = self._header()
-        state["cache"] = self.cache.snapshot()
-        state["mshr"] = self.mshr.snapshot()
+    def config_state(self) -> dict:
+        return {"slice_id": self.slice_id}
+
+    def snapshot(self, kind: str = KIND_FULL) -> dict:
+        state = self._header(kind)
+        state["cache"] = self.cache.snapshot(kind)
+        state["mshr"] = self.mshr.snapshot(kind)
         state["stats"] = dataclass_state(self.stats)
         return state
 
@@ -56,6 +60,13 @@ class LLCSlice(SimComponent):
         state = self._check(state)
         self.cache.restore(state["cache"])
         self.mshr.restore(state["mshr"])
+        restore_dataclass(self.stats, state["stats"])
+
+    def reseat(self, state: dict, report: CarryoverReport,
+               path: str = "") -> None:
+        state = self._check(state)
+        self.cache.reseat(state["cache"], report, f"{path}/cache")
+        self.mshr.reseat(state["mshr"], report, f"{path}/mshr")
         restore_dataclass(self.stats, state["stats"])
 
     # -- stats mutation API (SIM005: counters change only via the owner) -----
@@ -161,15 +172,29 @@ class LLC(SimComponent):
         for sl in self.slices:
             sl.reset_stats()
 
-    def snapshot(self) -> dict:
-        state = self._header()
-        state["slices"] = [sl.snapshot() for sl in self.slices]
+    def config_state(self) -> dict:
+        # One slice per core; fork() forbids changing the core count, so
+        # lines never migrate between slices — only the per-slice cache
+        # geometry can change (handled by SetAssocCache.reseat).
+        return {"num_slices": len(self.slices)}
+
+    def snapshot(self, kind: str = KIND_FULL) -> dict:
+        state = self._header(kind)
+        state["slices"] = [sl.snapshot(kind) for sl in self.slices]
         return state
 
     def restore(self, state: dict) -> None:
         state = self._check(state)
         for sl, saved in zip(self.slices, state["slices"]):
             sl.restore(saved)
+
+    def reseat(self, state: dict, report: CarryoverReport,
+               path: str = "") -> None:
+        state = self._check(state)
+        # All slices accumulate under one path so the report reads as
+        # one LLC-wide carryover line.
+        for sl, saved in zip(self.slices, state["slices"]):
+            sl.reseat(saved, report, path)
 
     # -- aggregate stats ------------------------------------------------------
     def total_demand_hits(self) -> int:

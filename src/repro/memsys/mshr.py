@@ -9,7 +9,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from ..sim.component import SimComponent, require_empty
+from ..sim.component import (KIND_FULL, CarryoverReport, SimComponent,
+                             require_empty)
 
 
 @dataclass
@@ -49,16 +50,27 @@ class MSHRFile(SimComponent):
         self.coalesced = 0
         self.rejections = 0
 
-    def snapshot(self) -> dict:
+    def config_state(self) -> dict:
+        return {"capacity": self.capacity}
+
+    def snapshot(self, kind: str = KIND_FULL) -> dict:
         require_empty(self, entries=self._entries)
-        state = self._header()
-        state["capacity"] = self.capacity
+        state = self._header(kind)
         state["stats"] = (self.peak_occupancy, self.coalesced,
                           self.rejections)
         return state
 
     def restore(self, state: dict) -> None:
         state = self._check(state)
+        self._entries.clear()
+        (self.peak_occupancy, self.coalesced,
+         self.rejections) = state["stats"]
+
+    def reseat(self, state: dict, report: CarryoverReport,
+               path: str = "") -> None:
+        # The workload payload (drained-table stats) is meaningful under
+        # any capacity, so a capacity change loses nothing.
+        state = self._check(state, match_config=False)
         self._entries.clear()
         (self.peak_occupancy, self.coalesced,
          self.rejections) = state["stats"]

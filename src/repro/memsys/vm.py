@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..sim.component import SimComponent
+from ..sim.component import KIND_FULL, SimComponent
 from ..uarch.params import PAGE_BYTES
 
 
@@ -52,8 +52,8 @@ class FrameAllocator(SimComponent):
     def reset_stats(self) -> None:
         pass
 
-    def snapshot(self) -> dict:
-        state = self._header()
+    def snapshot(self, kind: str = KIND_FULL) -> dict:
+        state = self._header(kind)
         state["next_frame"] = self._next_frame
         return state
 
@@ -107,14 +107,17 @@ class PageTable(SimComponent):
     def reset_stats(self) -> None:
         pass
 
-    def snapshot(self) -> dict:
-        state = self._header()
-        state["asid"] = self.asid
+    def config_state(self) -> dict:
+        # The ASID is core-identity wiring: fork() forbids changing the
+        # core count, so a restore/reseat target always matches.
+        return {"asid": self.asid}
+
+    def snapshot(self, kind: str = KIND_FULL) -> dict:
+        state = self._header(kind)
         state["entries"] = dict(self._entries)
         return state
 
     def restore(self, state: dict) -> None:
         state = self._check(state)
-        self.asid = state["asid"]
         self._entries.clear()
         self._entries.update(state["entries"])

@@ -10,8 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from ..sim.component import (SimComponent, dataclass_state,
-                             reset_dataclass_stats, restore_dataclass)
+from ..sim.component import (KIND_FULL, CarryoverReport, SimComponent,
+                             dataclass_state, reset_dataclass_stats,
+                             restore_dataclass)
 
 
 @dataclass
@@ -56,8 +57,13 @@ class Prefetcher(SimComponent):
     def reset_stats(self) -> None:
         reset_dataclass_stats(self.stats)
 
-    def snapshot(self) -> dict:
-        state = self._header()
+    def config_state(self) -> dict:
+        # The policy kind is the whole descriptor: pattern tables only
+        # make sense to the algorithm that built them.
+        return {"kind": self.name}
+
+    def snapshot(self, kind: str = KIND_FULL) -> dict:
+        state = self._header(kind)
         state["arch"] = self._arch_snapshot()
         state["stats"] = dataclass_state(self.stats)
         return state
@@ -66,6 +72,19 @@ class Prefetcher(SimComponent):
         state = self._check(state)
         self._arch_restore(state["arch"])
         restore_dataclass(self.stats, state["stats"])
+
+    def reseat(self, state: dict, report: CarryoverReport,
+               path: str = "") -> None:
+        """Adopt a snapshot when the policy kind matches; a different
+        prefetcher starts cold (its tables cannot be translated).  The
+        snapshot may come from a different Prefetcher subclass, so the
+        kind comparison happens before any header check."""
+        if (isinstance(state, dict)
+                and state.get("config") == self.config_state()):
+            self.restore(state)
+            report.record(path, 1, 1)
+        else:
+            report.record(path, 0, 1)
 
     # -- stats mutation API (SIM005: counters change only via the owner) -----
     def note_issued(self) -> None:
@@ -167,8 +186,12 @@ class FDPThrottle(SimComponent):
     def reset_stats(self) -> None:
         pass
 
-    def snapshot(self) -> dict:
-        state = self._header()
+    def config_state(self) -> dict:
+        return {"min_degree": self.min_degree,
+                "max_degree": self.max_degree}
+
+    def snapshot(self, kind: str = KIND_FULL) -> dict:
+        state = self._header(kind)
         state["degree"] = self.degree
         state["window"] = (self._window_issued, self._window_useful)
         return state
@@ -177,3 +200,14 @@ class FDPThrottle(SimComponent):
         state = self._check(state)
         self.degree = state["degree"]
         self._window_issued, self._window_useful = state["window"]
+
+    def reseat(self, state: dict, report: CarryoverReport,
+               path: str = "") -> None:
+        """The adapted degree clamps into the live [min, max] range;
+        the in-progress accuracy window always carries."""
+        state = self._check(state, match_config=False)
+        self.degree = min(self.max_degree,
+                          max(self.min_degree, state["degree"]))
+        self._window_issued, self._window_useful = state["window"]
+        kept = 1 if self.degree == state["degree"] else 0
+        report.record(path, kept, 1)

@@ -1,7 +1,22 @@
 """Uniform component-state protocol for the phased run lifecycle.
 
 Every stateful simulator class implements :class:`SimComponent`, which
-makes the architectural-vs-statistical split explicit instead of implied:
+partitions each component's mutable state into two layers:
+
+**workload-derived state**
+    What the simulated program put there: trace positions, cache/TLB
+    contents keyed by addresses, predictor tables, page tables, DRAM
+    open rows, statistics.  This is what snapshots carry.
+
+**config-derived state**
+    Structure sizes, latencies, policy objects, and wiring — everything
+    reconstructible from :class:`~repro.uarch.params.SystemConfig`.
+    Snapshots do not serialize it; they carry only a small *descriptor*
+    (:meth:`SimComponent.config_state`) recording the projection of the
+    configuration that the workload payload's interpretation depends on
+    (geometry, capacities, identity, policy kind).
+
+The protocol methods:
 
 ``reset_stats()``
     Zero every statistical counter the component owns without touching
@@ -9,19 +24,35 @@ makes the architectural-vs-statistical split explicit instead of implied:
     Used at the warmup/measure boundary so figures report only the
     region of interest.
 
-``snapshot() -> dict``
-    Capture *all* mutable state — architectural and statistical — as a
-    versioned, picklable dict.  Components whose in-flight state holds
-    callbacks (MSHR waiters, DRAM request callbacks, EMC pending lines)
-    require a *quiesced* machine (empty event wheel) and raise
-    :class:`SnapshotError` otherwise; the system-level checkpoint flow
-    guarantees this by draining the wheel first.
+``config_state() -> dict``
+    The config-derived descriptor described above.  ``restore`` demands
+    it match the live component exactly; ``reseat`` reads the snapshot's
+    copy to remap workload state across a config change.
+
+``snapshot(kind=KIND_FULL) -> dict``
+    Capture the workload-derived layer as a versioned, picklable dict
+    (header: ``component``/``version``/``kind``/``config``).  The two
+    kinds carry the same payload; ``kind`` records intent —
+    :data:`KIND_FULL` feeds a strict same-config ``restore``,
+    :data:`KIND_WORKLOAD` feeds a tolerant cross-config ``reseat``.
+    Components whose in-flight state holds callbacks (MSHR waiters,
+    DRAM request callbacks, EMC pending lines) require a *quiesced*
+    machine (empty event wheel) and raise :class:`SnapshotError`
+    otherwise; the system-level checkpoint flow guarantees this by
+    draining the wheel first.
 
 ``restore(state)``
-    The inverse: adopt a snapshot in place.  Shared-identity objects
-    (stats dataclasses aliased between components and
-    :class:`~repro.sim.stats.SimStats`) are refilled in place so the
-    aliases survive.
+    The strict inverse: adopt a snapshot in place on an identically
+    configured component.  Shared-identity objects (stats dataclasses
+    aliased between components and :class:`~repro.sim.stats.SimStats`)
+    are refilled in place so the aliases survive.
+
+``reseat(state, report, path)``
+    The tolerant inverse: adopt a snapshot into a component whose
+    configuration may differ from the snapshot's, re-hashing contents
+    into new geometries where sizes changed and invalidating only what
+    genuinely cannot carry over.  Records per-component kept/total
+    counts into a :class:`CarryoverReport`.
 
 Snapshots are *shallow* captures: outer containers are copied, interior
 objects are shared with the live component.  Serialize (pickle) or diff
@@ -34,39 +65,123 @@ from collections import OrderedDict, deque
 from dataclasses import MISSING, fields, is_dataclass
 from typing import Any, Dict, Iterable, Tuple
 
+#: snapshot kind for strict same-config checkpoint/restore
+KIND_FULL = "full"
+#: snapshot kind for cross-config fork/reseat
+KIND_WORKLOAD = "workload"
+
+_KINDS = (KIND_FULL, KIND_WORKLOAD)
+
 
 class SnapshotError(RuntimeError):
     """A snapshot or restore was attempted in an invalid state (pending
-    callbacks, component/version mismatch, malformed payload)."""
+    callbacks, component/version/config mismatch, malformed payload)."""
+
+
+class CarryoverReport:
+    """Accounting of how much workload-derived state survived a reseat.
+
+    Components record ``(kept, total)`` entry counts under a
+    slash-separated path (``"cores[0]/l1"``, ``"hierarchy/dram"``) as
+    they adopt a snapshot into a possibly re-configured machine.  A
+    component whose entire payload carries over records
+    ``kept == total``; invalidated state shows up as ``kept < total``.
+    """
+
+    def __init__(self) -> None:
+        self.entries: "OrderedDict[str, Tuple[int, int]]" = OrderedDict()
+
+    def record(self, path: str, kept: int, total: int) -> None:
+        prev_kept, prev_total = self.entries.get(path, (0, 0))
+        self.entries[path] = (prev_kept + kept, prev_total + total)
+
+    def ratio(self, path: str) -> float:
+        kept, total = self.entries[path]
+        return kept / total if total else 1.0
+
+    def overall(self) -> float:
+        kept = sum(k for k, _t in self.entries.values())
+        total = sum(t for _k, t in self.entries.values())
+        return kept / total if total else 1.0
+
+    def as_dict(self) -> Dict[str, Tuple[int, int]]:
+        """Plain-dict view for embedding in results (picklable)."""
+        return dict(self.entries)
+
+    def format(self) -> str:
+        lines = ["carryover by component (kept/total):"]
+        for path, (kept, total) in self.entries.items():
+            ratio = kept / total if total else 1.0
+            lines.append(f"  {path:<28s} {kept:>8d}/{total:<8d} "
+                         f"{ratio:>6.1%}")
+        lines.append(f"  {'overall':<28s} {self.overall():>24.1%}")
+        return "\n".join(lines)
 
 
 class SimComponent:
     """Base class for the uniform component-state protocol.
 
-    Subclasses implement :meth:`reset_stats`, :meth:`snapshot`, and
-    :meth:`restore`; ``snapshot`` dicts carry a ``component``/``version``
-    header written by :meth:`_header` and verified by :meth:`_check`.
-    Bump ``SNAPSHOT_VERSION`` whenever the state layout changes.
+    Subclasses implement :meth:`reset_stats`, :meth:`config_state`,
+    :meth:`snapshot`, and :meth:`restore` (and :meth:`reseat` when
+    their workload payload's layout depends on the configuration);
+    ``snapshot`` dicts carry a ``component``/``version``/``kind``/
+    ``config`` header written by :meth:`_header` and verified by
+    :meth:`_check`.  Bump ``SNAPSHOT_VERSION`` whenever the state
+    layout changes.
     """
 
-    SNAPSHOT_VERSION: int = 1
+    SNAPSHOT_VERSION: int = 2
 
     def reset_stats(self) -> None:
         raise NotImplementedError
 
-    def snapshot(self) -> Dict[str, Any]:
+    def config_state(self) -> Dict[str, Any]:
+        """Config-derived descriptor: the projection of configuration
+        the workload payload's interpretation depends on.  Components
+        whose payload is config-independent return ``{}``."""
+        return {}
+
+    def snapshot(self, kind: str = KIND_FULL) -> Dict[str, Any]:
         raise NotImplementedError
 
     def restore(self, state: Dict[str, Any]) -> None:
         raise NotImplementedError
 
-    # -- header helpers ------------------------------------------------------
-    def _header(self) -> Dict[str, Any]:
-        return {"component": type(self).__name__,
-                "version": self.SNAPSHOT_VERSION}
+    def reseat(self, state: Dict[str, Any], report: CarryoverReport,
+               path: str = "") -> None:
+        """Adopt ``state`` into a possibly re-configured component.
 
-    def _check(self, state: Dict[str, Any]) -> Dict[str, Any]:
-        """Verify a snapshot's header against this component; return it."""
+        The default implementation only handles the unchanged-config
+        case (full carryover); components with geometry-sensitive
+        payloads override it to remap.
+        """
+        self._check(state, match_config=False)
+        if state.get("config") != self.config_state():
+            raise SnapshotError(
+                f"{type(self).__name__} at {path or '<root>'}: cannot "
+                f"reseat across config change "
+                f"{state.get('config')!r} -> {self.config_state()!r}")
+        self.restore(state)
+
+    # -- header helpers ------------------------------------------------------
+    def _header(self, kind: str = KIND_FULL) -> Dict[str, Any]:
+        if kind not in _KINDS:
+            raise SnapshotError(
+                f"{type(self).__name__}: unknown snapshot kind {kind!r}")
+        return {"component": type(self).__name__,
+                "version": self.SNAPSHOT_VERSION,
+                "kind": kind,
+                "config": self.config_state()}
+
+    def _check(self, state: Dict[str, Any],
+               match_config: bool = True) -> Dict[str, Any]:
+        """Verify a snapshot's header against this component; return it.
+
+        With ``match_config`` (the strict ``restore`` path) the
+        snapshot's config descriptor must equal the live component's;
+        ``reseat`` implementations pass ``match_config=False`` and
+        handle the mismatch themselves.
+        """
         if not isinstance(state, dict):
             raise SnapshotError(
                 f"{type(self).__name__}: snapshot is not a dict: "
@@ -81,6 +196,22 @@ class SimComponent:
             raise SnapshotError(
                 f"{type(self).__name__}: snapshot version {version} != "
                 f"supported {self.SNAPSHOT_VERSION}")
+        kind = state.get("kind")
+        if kind not in _KINDS:
+            raise SnapshotError(
+                f"{type(self).__name__}: snapshot kind {kind!r} not in "
+                f"{_KINDS}")
+        if match_config:
+            live = self.config_state()
+            saved = state.get("config")
+            if saved != live:
+                diffs = sorted(
+                    key for key in set(saved or ()) | set(live)
+                    if (saved or {}).get(key) != live.get(key))
+                raise SnapshotError(
+                    f"{type(self).__name__}: config mismatch on "
+                    f"{diffs} (snapshot {saved!r} != live {live!r}); "
+                    f"use reseat() to adopt across a config change")
         return state
 
 
@@ -228,6 +359,9 @@ def rebase_clock_map(mapping: Dict[Any, int], origin: int) -> None:
 __all__ = [
     "SimComponent",
     "SnapshotError",
+    "CarryoverReport",
+    "KIND_FULL",
+    "KIND_WORKLOAD",
     "dataclass_state",
     "restore_dataclass",
     "reset_dataclass_stats",

@@ -3,6 +3,7 @@ and package the results benches and examples consume."""
 
 from __future__ import annotations
 
+import copy
 import os
 from dataclasses import dataclass, field
 from typing import Final, List, Optional, Sequence, Tuple
@@ -31,6 +32,12 @@ class RunResult:
     ring_messages: int
     label: str = ""
     per_core_ipc: List[float] = field(default_factory=list)
+    #: How the machine was warmed: "fresh" (warmup executed in-process) or
+    #: "checkpoint" (seated from a warmup checkpoint, possibly via fork).
+    warmed_from: Optional[str] = None
+    #: Per-component carryover ratios when the machine was forked from a
+    #: shared warmup checkpoint under a different config (None otherwise).
+    fork_carryover: Optional[dict] = None
     #: Stage-level latency attribution; populated only when the run was
     #: traced (a :class:`repro.trace.Tracer` was passed or REPRO_TRACE set).
     latency_attribution: Optional[LatencyAttribution] = None
@@ -61,7 +68,8 @@ def run_system(cfg: SystemConfig, workload: Workload,
                label: str = "", max_cycles: int = 50_000_000,
                tracer: Optional[Tracer] = None,
                warmup_instrs: int = 0,
-               warmup_checkpoint: Optional[str] = None) -> RunResult:
+               warmup_checkpoint: Optional[str] = None,
+               warmup_base_cfg: Optional[SystemConfig] = None) -> RunResult:
     """Run one workload on one configuration to completion.
 
     Pass a :class:`repro.trace.Tracer` (or set ``REPRO_TRACE=1``) to record
@@ -72,22 +80,51 @@ def run_system(cfg: SystemConfig, workload: Workload,
     ``warmup_instrs`` > 0 runs a warmup window first and measures only
     the region after it.  ``warmup_checkpoint`` names a checkpoint file
     for the warmed machine state: when it exists the warmup is skipped
-    entirely (the machine resumes from the file, and ``cfg``/``workload``
-    must describe the same run that produced it); when it does not, it is
+    entirely (the machine resumes from the file); when it does not, it is
     written right after the warmup boundary so later runs can skip.
+
+    ``warmup_base_cfg`` makes the warmup checkpoint *shared across a
+    config sweep*: the warmup runs (or the checkpoint is loaded) under
+    that canonical base config, and the warmed machine is then
+    :meth:`~repro.sim.system.System.fork`-ed to the target ``cfg`` —
+    caches and predictors re-hash into the target geometries, and the
+    result carries the per-component carryover ratios in
+    ``fork_carryover``.  Without it the checkpoint is config-specific and
+    ``cfg``/``workload`` must describe the same run that produced it.
     """
     if tracer is None and trace_enabled_from_env():
         tracer = Tracer()
     system = None
+    warmed_from: Optional[str] = None
+    fork_carryover: Optional[dict] = None
     if (warmup_instrs and warmup_checkpoint
             and os.path.exists(warmup_checkpoint)):
-        system = System.from_checkpoint(warmup_checkpoint, tracer=tracer)
+        if warmup_base_cfg is not None:
+            base = System.from_checkpoint(warmup_checkpoint)
+            system, report = base.fork(tracer=tracer, cfg=cfg)
+            fork_carryover = report.as_dict()
+        else:
+            system = System.from_checkpoint(warmup_checkpoint,
+                                            tracer=tracer)
+        warmed_from = "checkpoint"
     if system is None:
-        system = System(cfg, workload, tracer=tracer)
-        if warmup_instrs:
-            system.warmup(warmup_instrs, max_cycles=max_cycles)
+        if warmup_instrs and warmup_base_cfg is not None:
+            # Warm the canonical base once, persist it for the rest of
+            # the sweep, then fork to this point's config.
+            base = System(copy.deepcopy(warmup_base_cfg), workload)
+            base.warmup(warmup_instrs, max_cycles=max_cycles)
             if warmup_checkpoint:
-                system.checkpoint(warmup_checkpoint)
+                base.checkpoint(warmup_checkpoint)
+            system, report = base.fork(tracer=tracer, cfg=cfg)
+            fork_carryover = report.as_dict()
+            warmed_from = "fresh"
+        else:
+            system = System(cfg, workload, tracer=tracer)
+            if warmup_instrs:
+                system.warmup(warmup_instrs, max_cycles=max_cycles)
+                if warmup_checkpoint:
+                    system.checkpoint(warmup_checkpoint)
+                warmed_from = "fresh"
     stats = system.run(max_cycles=max_cycles)
     dram_stats = system.dram_stats
     accesses = sum(d.accesses for d in dram_stats)
@@ -107,6 +144,8 @@ def run_system(cfg: SystemConfig, workload: Workload,
                              if tracer is not None and tracer.enabled
                              else None),
         ring=system.ring.stats,
+        warmed_from=warmed_from,
+        fork_carryover=fork_carryover,
     )
 
 

@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from .component import (SimComponent, dataclass_state, reset_dataclass_stats,
+from .component import (KIND_FULL, SimComponent, dataclass_state,
+                        reset_dataclass_stats,
                         restore_dataclass)
 
 #: Identity fields preserved by :meth:`SimStats.reset_stats` — they name
@@ -204,6 +205,23 @@ class EnergyCounters:
     rrt_writes: int = 0
     rob_chain_reads: int = 0
 
+    # -- mutation API (SIM008: counters change only via their owner) -----
+    def note_core_uop(self) -> None:
+        """A uop executed on a core's functional units."""
+        self.core_uops += 1
+
+    def note_l1_access(self) -> None:
+        """One L1 lookup (hit or miss)."""
+        self.l1_accesses += 1
+
+    def note_emc_uop(self) -> None:
+        """A chain uop executed on the EMC's compute logic."""
+        self.emc_uops += 1
+
+    def note_emc_cache_access(self) -> None:
+        """One EMC data-cache lookup."""
+        self.emc_cache_accesses += 1
+
 
 @dataclass
 class SimStats(SimComponent):
@@ -243,8 +261,11 @@ class SimStats(SimComponent):
         """Zero every counter in place, preserving identity fields."""
         reset_dataclass_stats(self, preserve=_IDENTITY_FIELDS)
 
-    def snapshot(self) -> dict:
-        state = self._header()
+    def config_state(self) -> dict:
+        return {"num_cores": len(self.cores)}
+
+    def snapshot(self, kind: str = KIND_FULL) -> dict:
+        state = self._header(kind)
         state["tree"] = dataclass_state(self)
         return state
 

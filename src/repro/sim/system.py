@@ -8,6 +8,7 @@ flows).
 
 from __future__ import annotations
 
+import copy
 import os
 import pickle
 import warnings
@@ -24,7 +25,8 @@ from ..trace import NULL_TRACER
 from ..uarch.params import SystemConfig
 from ..uarch.uop import Trace, UopType
 from ..workloads.memory_image import MemoryImage
-from .component import SimComponent, SnapshotError
+from .component import (KIND_FULL, KIND_WORKLOAD, CarryoverReport,
+                        SimComponent, SnapshotError)
 from .events import EventWheel
 from .stats import SimStats
 
@@ -48,7 +50,12 @@ DRAIN_MAX_EVENTS = 2_000_000
 
 #: on-disk checkpoint container format marker / layout version
 CHECKPOINT_FORMAT = "repro-checkpoint"
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+
+
+def _join(path: str, leaf: str) -> str:
+    """Carryover-report path join tolerating an empty root."""
+    return f"{path}/{leaf}" if path else leaf
 
 
 class System(SimComponent):
@@ -371,26 +378,35 @@ class System(SimComponent):
             if emc is not None:
                 emc.reset_stats()
 
-    def snapshot(self) -> dict:
+    def config_state(self) -> dict:
+        # The topology descriptor: how many per-core and per-MC state
+        # subtrees the payload holds, and which MCs carry EMC state.
+        return {
+            "num_cores": self.cfg.num_cores,
+            "num_mcs": self.cfg.num_mcs,
+            "emc_present": tuple(emc is not None for emc in self.emcs),
+        }
+
+    def snapshot(self, kind: str = KIND_FULL) -> dict:
         """Capture the full machine state.  Requires a quiesced machine:
         in-flight state holds callbacks and cannot be serialized."""
         if self.wheel.pending:
             raise SnapshotError(
                 f"cannot snapshot with {self.wheel.pending} events pending "
                 "(quiesce the machine first)")
-        state = self._header()
+        state = self._header(kind)
         state.update(
             now=self.wheel.now,
             seq=self.wheel._seq,
             finished=self._finished,
             warmed=self._warmed,
-            frame_allocator=self.frame_allocator.snapshot(),
-            stats=self.stats.snapshot(),
-            ring=self.ring.snapshot(),
-            hierarchy=self.hierarchy.snapshot(),
-            emcs=[emc.snapshot() if emc is not None else None
+            frame_allocator=self.frame_allocator.snapshot(kind),
+            stats=self.stats.snapshot(kind),
+            ring=self.ring.snapshot(kind),
+            hierarchy=self.hierarchy.snapshot(kind),
+            emcs=[emc.snapshot(kind) if emc is not None else None
                   for emc in self.emcs],
-            cores=[core.snapshot() for core in self.cores],
+            cores=[core.snapshot(kind) for core in self.cores],
         )
         return state
 
@@ -421,6 +437,112 @@ class System(SimComponent):
                 emc.restore(sub)
         for core, sub in zip(self.cores, state["cores"]):
             core.restore(sub)
+
+    def reseat(self, state: dict, report: CarryoverReport,
+               path: str = "") -> None:
+        """Seat a (possibly other-config) machine snapshot into this one.
+
+        Workload-derived state re-hashes into the live structures; what
+        cannot carry over (e.g. lines beyond a smaller cache's capacity,
+        a toggled EMC's warmed dcache) is dropped and accounted in
+        ``report``.  The core count is topology identity and must match.
+        """
+        state = self._check(state, match_config=False)
+        if self.wheel.pending:
+            raise SnapshotError("cannot reseat into a running machine")
+        if len(state["cores"]) != len(self.cores):
+            raise SnapshotError(
+                f"snapshot has {len(state['cores'])} cores, "
+                f"machine has {len(self.cores)}; reseating cannot change "
+                "the core count")
+        self.wheel.rewind(state["now"])
+        self.wheel._seq = state["seq"]
+        self._finished = state["finished"]
+        self._warmed = state["warmed"]
+        self.frame_allocator.restore(state["frame_allocator"])
+        self.stats.restore(state["stats"])
+        self.ring.reseat(state["ring"], report, _join(path, "ring"))
+        self.hierarchy.reseat(state["hierarchy"], report,
+                              _join(path, "hierarchy"))
+        emc_path = _join(path, "emc")
+        saved_emcs = state["emcs"]
+        if len(saved_emcs) == len(self.emcs):
+            for emc, sub in zip(self.emcs, saved_emcs):
+                if emc is not None and sub is not None:
+                    emc.reseat(sub, report, emc_path)
+                elif emc is not None or sub is not None:
+                    # Toggled on (starts cold) or off (warmed state lost).
+                    report.record(emc_path, 0, 1)
+        else:
+            # The MC count changed: per-MC EMC state (dcache contents,
+            # TLB fills, predictor tables) is keyed to the old line->MC
+            # partition and cannot be attributed across the new split.
+            lost = sum(1 for sub in saved_emcs if sub is not None)
+            if lost or any(emc is not None for emc in self.emcs):
+                report.record(emc_path, 0, max(lost, 1))
+        # One shared path: per-core L1/chain-cache carryover accumulates
+        # into machine-wide lines instead of num_cores separate ones.
+        for core, sub in zip(self.cores, state["cores"]):
+            core.reseat(sub, report, _join(path, "cores"))
+
+    # ------------------------------------------------------------------
+    # fork: same workload, different configuration
+    # ------------------------------------------------------------------
+    def fork(self, cfg_overrides: Optional[Dict[str, object]] = None,
+             tracer=None, *, cfg: Optional[SystemConfig] = None,
+             ) -> Tuple["System", CarryoverReport]:
+        """Build a new machine with ``cfg_overrides`` applied, seating this
+        machine's workload-derived state into it.
+
+        The point: one warmed machine can seed an entire config sweep.
+        Caches and TLBs re-hash into the new geometries, predictor tables
+        clamp to the new capacities, and whatever cannot carry over is
+        invalidated and accounted in the returned
+        :class:`~repro.sim.component.CarryoverReport`.
+
+        Requires a quiesced machine.  The workload (trace uop lists and
+        memory images, which mutate during execution and are referenced
+        by rename tables) is deep-copied via a pickle round trip so the
+        fork shares no mutable objects with the parent; both machines can
+        then run independently.  Changing ``num_cores`` is forbidden —
+        per-core traces are workload identity, not configuration.
+
+        Note that ``fork(overrides)`` is *not* bit-identical to warming a
+        fresh machine under the overridden config: timing-affecting
+        overrides change the warmup trajectory itself.  It is the warmed
+        *microarchitectural contents* that carry, which is exactly the
+        shared-warmup contract (see ``repro sanitize --fork-identity``).
+
+        ``cfg`` (keyword-only) supplies a complete target config instead
+        of overrides — the sweep runner's path, which has already built
+        the per-point config.  Mutually exclusive with ``cfg_overrides``.
+        """
+        from ..uarch.params import set_config_field
+        if self.wheel.pending:
+            raise SnapshotError(
+                f"cannot fork with {self.wheel.pending} events pending "
+                "(quiesce the machine first)")
+        if cfg is not None:
+            if cfg_overrides:
+                raise ValueError(
+                    "fork takes cfg_overrides or an explicit cfg, not both")
+        else:
+            cfg = copy.deepcopy(self.cfg)
+            for key, value in (cfg_overrides or {}).items():
+                set_config_field(cfg, key, value)
+        if cfg.num_cores != self.cfg.num_cores:
+            raise SnapshotError(
+                f"fork cannot change num_cores "
+                f"({self.cfg.num_cores} -> {cfg.num_cores}): per-core "
+                "traces are workload identity, not configuration")
+        cfg.validate()
+        workload, state = pickle.loads(pickle.dumps(
+            (self._workload, self.snapshot(kind=KIND_WORKLOAD)),
+            protocol=pickle.HIGHEST_PROTOCOL))
+        forked = System(cfg, workload, tracer=tracer)
+        report = CarryoverReport()
+        forked.reseat(state, report)
+        return forked, report
 
     # ------------------------------------------------------------------
     # checkpoint / resume

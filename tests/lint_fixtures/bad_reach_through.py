@@ -1,0 +1,26 @@
+"""Planted SIM008: writes that reach through a peer component's internals.
+
+The request queue and the open-row register belong to the DRAM channel;
+a core appending to one or poking the other bypasses the owner's
+snapshot/reseat contract.  ``ok_paths`` shows the shapes the rule must
+not flag: one-hop writes to the component's own members and calls to
+methods on the owning component.
+"""
+
+from repro.core.ooo_core import OutOfOrderCore
+
+
+class MeddlingCore(OutOfOrderCore):
+    """Core that mutates structures two-plus hops away."""
+
+    def skip_the_queue(self, req) -> None:
+        self.system.hierarchy.dram[0].queue.append(req)
+
+    def force_row_hit(self, bank: int, row: int) -> None:
+        self.system.hierarchy.dram[0].banks[bank].open_row = row
+
+    def ok_paths(self, req, line: int) -> None:
+        self.l1_pending[line] = req              # one hop: own container
+        self.fetch_index += 1                    # own field
+        self.wheel_seq = 0                       # own field
+        self.system.mark_llc_emc_bit(line)       # method on the owner

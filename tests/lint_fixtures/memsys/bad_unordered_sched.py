@@ -1,0 +1,27 @@
+"""Planted SIM009: set iteration order feeding the event wheel.
+
+Scheduling from inside a loop over a set lets hash order pick the event
+order, and with it every downstream tie-break.  ``ok_paths`` shows the
+clean idioms: sort before the timing-relevant loop, or iterate the set
+only for order-independent work.
+"""
+
+from repro.memsys.dram import DRAMChannel
+
+
+class HashOrderChannel(DRAMChannel):
+    """Channel that lets set hash order decide wakeup order."""
+
+    def kick_pending(self, pending_lines) -> None:
+        woken = {line for line in pending_lines}
+        for line in woken:
+            self.wheel.schedule(1, lambda: None)
+
+    def ok_paths(self, pending_lines) -> None:
+        woken = set(pending_lines)
+        for line in sorted(woken):               # ordered: fine
+            self.wheel.schedule(1, lambda: None)
+        marked = 0
+        for line in woken:                       # no timing sink: fine
+            marked += 1
+        return marked

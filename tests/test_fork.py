@@ -1,0 +1,153 @@
+"""System.fork and shared-warmup sweep tests.
+
+The fork contract: workload-derived state (cache/TLB contents, branch
+history, trace cursors) carries from a warmed parent into a machine
+rebuilt under a different configuration; config-derived structures are
+rebuilt and the carryover report accounts, per component, for what could
+not be re-seated.  On top of it, the experiment runner shares one warmup
+per (workload, warmup) identity across an entire config sweep.
+
+Bit-identity oracle is :func:`repro.lint.sanitize.flatten_state`, same
+as the lifecycle tests.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.parallel import mix_job, run_jobs
+from repro.lint.sanitize import flatten_state
+from repro.sim.component import SnapshotError
+from repro.sim.system import KIND_WORKLOAD, System
+from repro.uarch.params import eight_core_config, quad_core_config
+from repro.workloads.mixes import build_mix
+
+N = 400   # per-core instructions: tiny but structurally complete
+
+
+def warmed(n_instrs=N, warmup=100, **cfg_kwargs):
+    system = System(quad_core_config(**cfg_kwargs),
+                    build_mix("H4", n_instrs, seed=1))
+    system.warmup(warmup)
+    return system
+
+
+# ---------------------------------------------------------------------------
+# fork: identity and geometry changes
+# ---------------------------------------------------------------------------
+
+def test_identity_fork_is_bit_identical_with_full_carryover():
+    parent = warmed()
+    child, report = parent.fork()
+    assert flatten_state(child.snapshot(kind=KIND_WORKLOAD)) == \
+           flatten_state(parent.snapshot(kind=KIND_WORKLOAD))
+    assert report.overall() == 1.0
+    assert all(report.ratio(path) == 1.0 for path in report.as_dict())
+    # The fork is a live machine, not a view: running it leaves the
+    # parent untouched and still forkable.
+    child.run()
+    again, _ = parent.fork()
+    assert flatten_state(again.snapshot(kind=KIND_WORKLOAD)) == \
+           flatten_state(parent.snapshot(kind=KIND_WORKLOAD))
+
+
+def test_fork_shrinking_l1_rehashes_and_accounts_evictions():
+    parent = warmed(n_instrs=800, warmup=300)
+    child, report = parent.fork({"l1.ways": 1})
+    # Re-seating into 1-way sets keeps at most one line per set; the
+    # shortfall is visible per component, and only there.
+    assert 0.0 < report.ratio("cores/l1") < 1.0
+    assert report.ratio("hierarchy/llc/cache") == 1.0
+    assert report.ratio("hierarchy/dram") == 1.0
+    assert child.cfg.l1.ways == 1
+    child.run()                               # runs to completion
+
+
+def test_fork_toggling_emc_on_reports_lost_context():
+    parent = warmed()                         # no EMC in the parent
+    child, report = parent.fork({"emc.enabled": True})
+    assert report.ratio("emc") == 0.0         # nothing to carry into it
+    assert report.overall() < 1.0
+    stats = child.run()
+    assert stats.total_cycles > 0
+
+
+def test_fork_guards_core_count_and_argument_misuse():
+    parent = warmed()
+    with pytest.raises(SnapshotError, match="num_cores"):
+        parent.fork(cfg=eight_core_config())
+    with pytest.raises(ValueError, match="not both"):
+        parent.fork({"l1.ways": 4}, cfg=quad_core_config())
+    in_flight = System(quad_core_config(), build_mix("H4", N, seed=1))
+    in_flight.wheel.schedule(10, lambda: None)
+    with pytest.raises(SnapshotError):
+        in_flight.fork()
+
+
+# ---------------------------------------------------------------------------
+# shared warmup across a config sweep
+# ---------------------------------------------------------------------------
+
+# The acceptance sweep: EMC on/off x two prefetchers, plus two dotted
+# overrides -- six configs, one warmup identity.
+SWEEP_POINTS = [
+    dict(prefetcher="none", emc=False),
+    dict(prefetcher="none", emc=True),
+    dict(prefetcher="stream", emc=False),
+    dict(prefetcher="stream", emc=True),
+    dict(prefetcher="none", emc=True, overrides={"emc.num_contexts": 4}),
+    dict(prefetcher="none", emc=False, overrides={"dram.t_cas": 20}),
+]
+
+
+def sweep_jobs():
+    return [mix_job("H4", N, seed=1, warmup_instrs=100, **point)
+            for point in SWEEP_POINTS]
+
+
+def test_sweep_points_share_one_warmup_identity():
+    keys = {job.warmup_key() for job in sweep_jobs()}
+    assert len(keys) == 1
+    # ...but changing the workload or the warmup length splits it.
+    base = sweep_jobs()[0]
+    assert dataclasses.replace(base, warmup_instrs=200).warmup_key() \
+        not in keys
+    assert dataclasses.replace(base, seed=2).warmup_key() not in keys
+
+
+def test_sweep_performs_exactly_one_warmup(tmp_path, monkeypatch):
+    warmups = []
+    orig = System.warmup
+    monkeypatch.setattr(
+        System, "warmup",
+        lambda self, *a, **kw: warmups.append(self) or orig(self, *a, **kw))
+    results = run_jobs(sweep_jobs(), jobs=1, cache_dir=str(tmp_path))
+    assert len(warmups) == 1                  # one warmup for six configs
+    assert [r.warmed_from for r in results] == \
+           ["fresh"] + ["checkpoint"] * (len(results) - 1)
+    assert len(list(tmp_path.glob("warmup-ckpt/wck-*.pkl"))) == 1
+    # Every point reports its carryover; the identity point (none/no-EMC,
+    # no overrides) carries everything.
+    assert all(r.fork_carryover is not None for r in results)
+    identity = results[0].fork_carryover
+    assert all(kept == total for kept, total in identity.values())
+
+
+def test_sweep_results_identical_with_and_without_checkpoint_cache(tmp_path):
+    cached = run_jobs(sweep_jobs(), jobs=1, cache_dir=str(tmp_path))
+    replay = run_jobs(sweep_jobs(), jobs=1, cache_dir=str(tmp_path))
+    scratch = run_jobs(sweep_jobs(), jobs=1)  # fresh warmup per job
+    for a, b, c in zip(cached, replay, scratch):
+        assert a.stats == b.stats == c.stats
+    # Replayed results come out of the result cache, provenance intact.
+    assert [r.warmed_from for r in replay] == \
+           [r.warmed_from for r in cached]
+    assert all(r.warmed_from == "fresh" for r in scratch)
+
+
+def test_parallel_sweep_matches_serial(tmp_path):
+    serial = run_jobs(sweep_jobs(), jobs=1)
+    parallel = run_jobs(sweep_jobs(), jobs=3,
+                        cache_dir=str(tmp_path / "cache"))
+    for a, b in zip(serial, parallel):
+        assert a.stats == b.stats

@@ -30,6 +30,9 @@ PLANTED = [
     ("SIM006", "bad_mutable_default.py", 13),       # totals={}
     ("SIM007", "memsys/bad_past_event.py", 16),     # stored timestamp
     ("SIM007", "memsys/bad_past_event.py", 20),     # now - penalty
+    ("SIM008", "bad_reach_through.py", 17),         # 3-hop .append()
+    ("SIM008", "bad_reach_through.py", 20),         # 4-hop assignment
+    ("SIM009", "memsys/bad_unordered_sched.py", 17),  # set -> schedule()
 ]
 
 

@@ -31,8 +31,8 @@ def lines_of(findings):
 
 def test_builtin_rules_registered():
     codes = [r.code for r in all_rules()]
-    assert codes == ["SIM001", "SIM002", "SIM003",
-                     "SIM004", "SIM005", "SIM006", "SIM007"]
+    assert codes == ["SIM001", "SIM002", "SIM003", "SIM004", "SIM005",
+                     "SIM006", "SIM007", "SIM008", "SIM009"]
     for rule in all_rules():
         assert rule.name
         assert rule.description
@@ -286,3 +286,96 @@ def test_sim007_ignores_cold_paths_and_delay_schedule():
             def start(self):
                 self.wheel.schedule(1 + 53 * self.core_id, self._tick)
     """) == []
+
+
+# -- SIM008 cross-component reach-through -----------------------------------
+
+def test_sim008_flags_deep_mutations():
+    findings = run_rule("SIM008", """\
+        class Core:
+            def meddle(self, req, row):
+                self.system.dram.queue.append(req)
+                self.system.hierarchy.dram[0].banks[2].open_row = row
+                self.system.llc.pending[req.line] = req
+                self.hierarchy.llc.slices[0].tags.clear()
+    """)
+    assert sorted(lines_of(findings)) == [3, 4, 5, 6]
+
+
+def test_sim008_allows_one_hop_and_exempt_paths():
+    findings = run_rule("SIM008", """\
+        class Core:
+            def fine(self, req, line):
+                self.queue.append(req)               # own container
+                self.banks[2].open_row = 7           # one hop
+                self.wheel._seq = 3                  # one hop
+                self.stats.core.uops += 1            # SIM005's turf
+                self.cfg.emc.enabled = True          # config plumbing
+                self.system.dram.seed_open_row(line)  # owner method
+                local = {}
+                local.setdefault(line, req)          # not self-rooted
+    """)
+    assert findings == []
+
+
+def test_sim008_fires_outside_hot_packages_too():
+    findings = run_rule("SIM008", """\
+        class Driver:
+            def poke(self, system):
+                self.system.dram.queue.append(1)
+    """, path=COLD)
+    assert lines_of(findings) == [3]
+
+
+# -- SIM009 unordered iteration into timing ---------------------------------
+
+def test_sim009_flags_set_iteration_that_schedules():
+    findings = run_rule("SIM009", """\
+        class Channel:
+            def kick(self, lines):
+                woken = {x for x in lines}
+                for line in woken:
+                    self.wheel.schedule(1, self._tick)
+                for line in set(lines):
+                    self.ring.send(0, 1, "ctrl", self._tick)
+    """)
+    assert lines_of(findings) == [4, 6]
+
+
+def test_sim009_set_operators_propagate_through_names():
+    findings = run_rule("SIM009", """\
+        class Channel:
+            def kick(self, lines, busy):
+                pending = set(lines)
+                pending = pending - busy
+                for line in pending:
+                    self.wheel.schedule_at(self.wheel.now + 1, self._tick)
+    """)
+    assert lines_of(findings) == [5]
+
+
+def test_sim009_allows_sorted_dicts_and_sink_free_loops():
+    findings = run_rule("SIM009", """\
+        class Channel:
+            def fine(self, lines, by_bank):
+                woken = set(lines)
+                for line in sorted(woken):
+                    self.wheel.schedule(1, self._tick)
+                for bank, reqs in by_bank.items():
+                    self.wheel.schedule(2, self._tick)
+                count = 0
+                for line in woken:
+                    count += 1
+                maybe = list(lines)
+                for line in maybe:
+                    self.wheel.schedule(3, self._tick)
+    """)
+    assert findings == []
+
+
+def test_sim009_silent_outside_hot_path():
+    assert run_rule("SIM009", """\
+        def replot(viz, marks):
+            for m in {x for x in marks}:
+                viz.wheel.schedule(1, viz.redraw)
+    """, path=COLD) == []
