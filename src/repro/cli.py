@@ -308,6 +308,22 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Profile the pinned bench run on the host (cProfile/pyinstrument)."""
+    from .analysis.profile import profile_run
+    overrides = {}
+    if args.n_instrs is not None:
+        overrides["n_instrs"] = args.n_instrs
+    if args.warmup is not None:
+        overrides["warmup_instrs"] = args.warmup
+    reports = profile_run(phase=args.phase, engine=args.engine,
+                          sort=args.sort, limit=args.limit,
+                          out_path=args.out, **overrides)
+    for report in reports:
+        print(report.format())
+    return 0
+
+
 def _add_parallel(parser: argparse.ArgumentParser,
                   jobs_default=None) -> None:
     from .analysis.parallel import default_cache_dir, default_jobs
@@ -457,6 +473,33 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write BENCH_<rev>.json here (default: "
                               "print only)")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_hprof = sub.add_parser(
+        "profile", help="profile the pinned bench run on the host "
+                        "(cProfile or pyinstrument; finds the hot frames "
+                        "behind a BENCH_<rev>.json trend change)")
+    p_hprof.add_argument("--phase", default="all",
+                         choices=("build", "sim", "all"),
+                         help="profile workload build, the simulation, or "
+                              "the whole run (default all)")
+    p_hprof.add_argument("--engine", default="cprofile",
+                         choices=("cprofile", "pyinstrument"),
+                         help="profiler backend (pyinstrument falls back "
+                              "to cProfile when not installed)")
+    p_hprof.add_argument("--sort", default="cumulative",
+                         help="pstats sort key for cProfile output "
+                              "(default cumulative; try tottime)")
+    p_hprof.add_argument("--limit", type=int, default=30,
+                         help="rows of pstats output (default 30)")
+    p_hprof.add_argument("--out", default=None, metavar="PATH",
+                         help="dump raw stats (.pstats for cProfile, "
+                              ".html for pyinstrument)")
+    p_hprof.add_argument("-n", "--n-instrs", type=int,
+                         default=None,
+                         help="override the pinned instruction count")
+    p_hprof.add_argument("--warmup", type=int, default=None, metavar="N",
+                         help="override the pinned warmup window")
+    p_hprof.set_defaults(func=cmd_profile)
 
     p_san = sub.add_parser(
         "sanitize", help="determinism sanitizer: run one config twice "
