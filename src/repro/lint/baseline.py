@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 from collections import Counter
 from pathlib import Path
-from typing import Dict, Iterable, List, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from .findings import Finding
 
@@ -29,7 +29,7 @@ Key = Tuple[str, str, str]
 class Baseline:
     """A multiset of grandfathered finding keys."""
 
-    def __init__(self, counts: Dict[Key, int] = None) -> None:
+    def __init__(self, counts: Optional[Dict[Key, int]] = None) -> None:
         self.counts: Counter = Counter(counts or {})
 
     def __len__(self) -> int:

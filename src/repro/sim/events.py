@@ -6,81 +6,154 @@ scheduled on a single global :class:`EventWheel`.  Components that have
 nothing to do simply stop scheduling ticks and are woken by completion
 events; this "doze" idiom is what makes a Python cycle simulator usable on
 memory-bound workloads, where most core-cycles are idle.
+
+Implementation: a calendar queue rather than one flat heap.  Events for
+the same cycle live in one per-cycle bucket (a deque, append order =
+fire order), and a small heap orders only the *distinct* pending cycles.
+Most traffic lands in a handful of buckets (every awake core ticks each
+cycle, completions cluster), so the common scheduling operation is a
+dict lookup plus an append instead of an O(log n) heap push of a
+``(time, seq, callback)`` tuple — and same-cycle FIFO order is carried
+by the bucket itself, no tie-break sequence needed.  :meth:`advance`
+dispatches a whole cycle in one call, which lets the system loop hoist
+its per-event bookkeeping to per-cycle.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
 
 
 class EventWheel:
-    """A priority queue of ``(time, seq, callback)`` events.
+    """A calendar queue of per-cycle event buckets.
 
-    Events scheduled for the same cycle fire in scheduling order (the
-    monotonically increasing ``seq`` breaks ties), which keeps the simulator
-    deterministic for a fixed seed.
+    Events scheduled for the same cycle fire in scheduling order (bucket
+    append order), which keeps the simulator deterministic for a fixed
+    seed.  ``_seq`` counts schedules for snapshot bookkeeping; ordering
+    no longer depends on it.
     """
 
     def __init__(self) -> None:
         self.now: int = 0
         self._seq: int = 0
-        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        #: per-cycle buckets; a cycle key exists iff it has queued events
+        self._buckets: Dict[int, Deque[Callable[[], None]]] = {}
+        #: heap of the distinct cycles present in ``_buckets``
+        self._times: List[int] = []
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to fire ``delay`` cycles from now."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
+        time = self.now + delay
         self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, callback))
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = deque((callback,))
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(callback)
 
     def schedule_at(self, time: int, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` at an absolute cycle (>= now)."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         self._seq += 1
-        heapq.heappush(self._queue, (time, self._seq, callback))
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = deque((callback,))
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(callback)
 
     @property
     def pending(self) -> int:
         """Number of events still queued."""
-        return len(self._queue)
+        return sum(len(bucket) for bucket in self._buckets.values())
 
     def rewind(self, now: int = 0) -> None:
-        """Reset the clock and tie-break sequence on an *empty* wheel.
+        """Reset the clock and schedule sequence on an *empty* wheel.
 
         The warmup/measure boundary rewinds simulated time to zero so the
         measurement window is self-contained (and a checkpoint resumed in
         a fresh process replays identically).  Queued events hold absolute
         times, so rewinding with work in flight would corrupt ordering —
-        callers must quiesce first.
+        this quiesce guard is the only rewind path; callers (including
+        any mid-drain batch dispatch) must drain the wheel first.
         """
-        if self._queue:
+        if self._buckets:
             raise RuntimeError(
-                f"cannot rewind with {len(self._queue)} events pending")
+                f"cannot rewind with {self.pending} events pending")
         self.now = now
         self._seq = 0
 
     def step(self) -> bool:
         """Pop and run the next event.  Returns False if the wheel is empty."""
-        if not self._queue:
+        times = self._times
+        if not times:
             return False
-        time, _seq, callback = heapq.heappop(self._queue)
+        time = times[0]
         self.now = time
+        bucket = self._buckets[time]
+        callback = bucket.popleft()
         callback()
+        # The callback may have scheduled into this same cycle; only an
+        # exhausted bucket retires its heap entry.
+        if not bucket:
+            del self._buckets[time]
+            heapq.heappop(times)
         return True
 
-    def run(self, until: int = None, max_events: int = None) -> int:
+    def advance(self) -> int:
+        """Dispatch *every* event of the earliest pending cycle.
+
+        Events scheduled for that same cycle during the batch (zero-delay
+        wakeups) are dispatched too, in schedule order.  Returns the
+        number of events executed — 0 means the wheel is empty.
+        """
+        times = self._times
+        if not times:
+            return 0
+        time = times[0]
+        self.now = time
+        bucket = self._buckets[time]
+        popleft = bucket.popleft
+        executed = 0
+        while bucket:
+            popleft()()
+            executed += 1
+        del self._buckets[time]
+        heapq.heappop(times)
+        return executed
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
         """Drain events, optionally bounded by time and/or event count.
 
         Returns the number of events executed.
         """
         executed = 0
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        buckets = self._buckets
+        times = self._times
+        while times:
+            time = times[0]
+            if until is not None and time > until:
                 break
-            if max_events is not None and executed >= max_events:
-                break
-            self.step()
-            executed += 1
+            self.now = time
+            bucket = buckets[time]
+            if max_events is None:
+                popleft = bucket.popleft
+                while bucket:
+                    popleft()()
+                    executed += 1
+            else:
+                while bucket:
+                    if executed >= max_events:
+                        return executed
+                    bucket.popleft()()
+                    executed += 1
+            del buckets[time]
+            heapq.heappop(times)
         return executed

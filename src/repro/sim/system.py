@@ -278,7 +278,7 @@ class System(SimComponent):
             core.begin_warmup(warmup_instrs)
         for core in self.cores:
             core.start()
-        while self.wheel.step():
+        while self.wheel.advance():
             if self.wheel.now > max_cycles:
                 raise SimTimeoutError(
                     f"warmup exceeded {max_cycles} cycles; "
@@ -322,8 +322,14 @@ class System(SimComponent):
             self.warmup(warmup_instrs, max_cycles=max_cycles)
         for core in self.cores:
             core.start()
+        # Whole-cycle batch dispatch: finish/timeout checks run once per
+        # simulated cycle, not once per event.  Same-cycle events past
+        # the finish edge execute here instead of in the drain below —
+        # the drain would run them in the identical order, so the final
+        # state (and every statistic) is unchanged.
+        wheel_advance = self.wheel.advance
         while not self.all_finished:
-            if not self.wheel.step():
+            if not wheel_advance():
                 raise DeadlockError(self._deadlock_report())
             if self.wheel.now > max_cycles:
                 raise SimTimeoutError(
