@@ -16,7 +16,7 @@ from ..uarch.params import CACHE_LINE_BYTES
 from ..uarch.uop import MicroOp
 
 
-@dataclass
+@dataclass(slots=True)
 class ChainUop:
     """One uop of a chain, renamed to EMC physical registers (EPRs).
 
@@ -43,7 +43,7 @@ class ChainUop:
     core_ref: Any = None
 
 
-@dataclass
+@dataclass(slots=True)
 class DependenceChain:
     """A filtered chain of dependent uops plus its live-in data."""
 
@@ -62,6 +62,8 @@ class DependenceChain:
     #: the walk hit a dependent mispredicted branch: the EMC will detect the
     #: misprediction after executing the chain and cancel (§4.3)
     mispredict_truncated: bool = False
+    #: set by the EMC controller once the source miss's data has arrived
+    _source_ready: bool = False
 
     def __len__(self) -> int:
         return len(self.uops)

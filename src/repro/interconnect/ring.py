@@ -19,7 +19,7 @@ from ..sim.events import EventWheel
 from ..uarch.params import RingConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class RingStats:
     control_messages: int = 0
     data_messages: int = 0

@@ -22,7 +22,7 @@ def line_addr(addr: int) -> int:
     return addr & ~(CACHE_LINE_BYTES - 1)
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLineState:
     tag: int
     dirty: bool = False
@@ -33,9 +33,12 @@ class CacheLineState:
     emc_bit: bool = False
     prefetched: bool = False
     prefetch_useful: bool = False
+    # Set index stashed by fill() on the evicted line so addr_of can
+    # reconstruct its address; None for lines still resident.
+    _victim_index: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     hits: int = 0
     misses: int = 0
@@ -130,7 +133,7 @@ class SetAssocCache(SimComponent):
 
     def addr_of(self, state: CacheLineState) -> int:
         """Reconstruct the line base address of an evicted line."""
-        index = getattr(state, "_victim_index", None)
+        index = state._victim_index
         if index is None:
             raise ValueError("addr_of only valid for lines returned by fill()")
         return (state.tag * self.num_sets + index) * self.line_bytes

@@ -19,7 +19,7 @@ from ..sim.events import EventWheel
 from ..uarch.params import CACHE_LINE_BYTES, DRAMConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class DRAMRequest:
     """One line-granularity DRAM access."""
 
@@ -39,7 +39,7 @@ class DRAMRequest:
     row: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class BankState:
     open_row: Optional[int] = None
     busy_until: int = 0
@@ -48,7 +48,7 @@ class BankState:
     row_closed: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class DRAMStats:
     reads: int = 0
     writes: int = 0

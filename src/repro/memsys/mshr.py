@@ -13,7 +13,7 @@ from ..sim.component import (KIND_FULL, CarryoverReport, SimComponent,
                              require_empty)
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHREntry:
     line: int
     issued_at: int

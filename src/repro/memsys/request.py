@@ -10,7 +10,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class MemRequest:
     core_id: int
     vaddr: int

@@ -20,7 +20,7 @@ from .component import (KIND_FULL, SimComponent, dataclass_state,
 _IDENTITY_FIELDS = frozenset({"core_id", "benchmark"})
 
 
-@dataclass
+@dataclass(slots=True)
 class LatencyAccumulator:
     """Streaming mean over latency samples, with component splits and a
     log2-bucketed histogram (bucket i counts samples in [2^i, 2^(i+1)))."""
@@ -76,7 +76,7 @@ class LatencyAccumulator:
         return self.queue_total / self.count if self.count else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
     """Per-core architectural and memory behaviour counters."""
 
@@ -108,7 +108,7 @@ class CoreStats:
         return 1000.0 * self.llc_misses / self.instructions
 
 
-@dataclass
+@dataclass(slots=True)
 class EMCStats:
     """EMC activity counters (Figures 15, 17, 19, 22; Section 6.5)."""
 
@@ -185,7 +185,7 @@ class EMCStats:
         return self.chain_live_outs_total / self.chains_generated
 
 
-@dataclass
+@dataclass(slots=True)
 class EnergyCounters:
     """Raw event counts consumed by :mod:`repro.energy`."""
 

@@ -50,7 +50,8 @@ DRAIN_MAX_EVENTS = 2_000_000
 
 #: on-disk checkpoint container format marker / layout version
 CHECKPOINT_FORMAT = "repro-checkpoint"
-CHECKPOINT_VERSION = 2
+CHECKPOINT_VERSION = 3  # v3: slotted state dataclasses; v2 pickles
+                        # (dict-backed CacheLineState/MicroOp) don't load
 
 
 def _join(path: str, leaf: str) -> str:

@@ -75,7 +75,7 @@ UOP_LATENCY: Final[Mapping["UopType", int]] = MappingProxyType({
 MASK64 = (1 << 64) - 1
 
 
-@dataclass
+@dataclass(slots=True)
 class MicroOp:
     """One dynamic micro-operation from a workload trace.
 
