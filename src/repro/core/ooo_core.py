@@ -27,7 +27,7 @@ from ..sim.component import (KIND_FULL, CarryoverReport, SimComponent,
                              require_empty)
 from ..sim.stats import CoreStats
 from ..uarch.isa import effective_address, execute_alu
-from ..uarch.uop import UOP_LATENCY, MicroOp, Trace, UopType
+from ..uarch.uop import MASK64, UOP_LATENCY, Trace, UopType
 from .inflight import InflightUop, UopState
 
 #: backward-walk depth limit for dependent-miss classification
@@ -129,8 +129,9 @@ class OutOfOrderCore(SimComponent):
         """Called by any completion event that may unblock this core."""
         if self._doze_started is not None:
             # Attribute dozed time blocked on a full window to stall stats.
-            if (len(self.rob) >= self.cfg.rob_entries
-                    or self.rs_occupancy >= self.cfg.rs_entries):
+            cfg = self.cfg
+            if (len(self.rob) >= cfg.rob_entries
+                    or self.rs_occupancy >= cfg.rs_entries):
                 self.stats.full_window_stall_cycles += (
                     self.wheel.now - self._doze_started)
             self._doze_started = None
@@ -307,15 +308,6 @@ class OutOfOrderCore(SimComponent):
         self.wrap_count = state["wrap_count"]
         self._warmup_limit = state["warmup_limit"]
 
-    def _has_work(self) -> bool:
-        if self.ready:
-            return True
-        if self.rob and self.rob[0].state is UopState.DONE:
-            return True     # retirement-width-limited: keep draining
-        if self._can_fetch():
-            return True
-        return False
-
     def _can_fetch(self) -> bool:
         if self.stats_frozen and self.system.all_finished:
             return False    # draining: wrapped interference is over
@@ -328,103 +320,215 @@ class OutOfOrderCore(SimComponent):
                 and not self._fetch_blocked)
 
     def _tick(self) -> None:
+        """One core cycle: retire, issue, fetch/dispatch, chain
+        generation, then reschedule or doze.
+
+        The stage bodies are merged into this single method on purpose.
+        On the paper's workloads each stage touches about one uop per
+        cycle, so per-stage call and attribute-binding overhead — not the
+        per-uop work — dominates host time; one shared set of locals per
+        tick is measurably faster than four method calls.  The rare
+        trace-exhausted path stays in :meth:`_on_window_empty`, and
+        :meth:`_can_fetch` remains the (test-patchable) fetch gate.
+        """
         self._tick_scheduled = False
-        self._retire()
-        self._issue()
-        self._fetch()
-        self._maybe_generate_chain()
-        if self._has_work():
+        cfg = self.cfg
+        rob = self.rob
+        ready = self.ready
+        wheel = self.wheel
+        now = wheel.now
+        stats = self.stats
+        regfile = self.regfile
+        done = UopState.DONE
+        ready_state = UopState.READY
+
+        # -- retire ------------------------------------------------------
+        if rob and rob[0].state is done:
+            retire_width = cfg.retire_width
+            by_seq_pop = self._by_seq.pop
+            rename_get = self.rename.get
+            popleft = rob.popleft
+            frozen = self.stats_frozen
+            retired = 0
+            while retired < retire_width and rob and rob[0].state is done:
+                iu = popleft()
+                uop = iu.uop
+                by_seq_pop(uop.seq, None)
+                if rename_get(uop.dest) is iu:
+                    # Keep the committed value readable after the entry
+                    # leaves the window.
+                    regfile[uop.dest] = iu.value
+                if not frozen:
+                    stats.instructions += 1
+                retired += 1
+        if not rob and self._fetch_index >= len(self._trace):
+            self._on_window_empty()
+
+        # -- issue -------------------------------------------------------
+        if ready:
+            issue_width = cfg.issue_width
+            issued_state = UopState.ISSUED
+            load = UopType.LOAD
+            store = UopType.STORE
+            branch = UopType.BRANCH
+            popleft = ready.popleft
+            regfile_get = regfile.get
+            schedule = wheel.schedule
+            issued = 0
+            retry = None
+            while ready and issued < issue_width:
+                iu = popleft()
+                if iu.migrated or iu.state is not ready_state:
+                    continue
+                uop = iu.uop
+                op = uop.op
+                if op is load and not self._l1_mshr_free(iu):
+                    retry = iu
+                    break
+                iu.state = issued_state
+                iu.issue_cycle = now
+                if iu.rs_held:
+                    iu.rs_held = False
+                    self.rs_occupancy -= 1
+                if op is load:
+                    self._execute_load(iu)
+                elif op is store:
+                    self._execute_store(iu)
+                else:
+                    # ALU path of _execute(), inlined (both operand reads).
+                    reg = uop.src1
+                    if reg is None:
+                        a = 0
+                    else:
+                        p = iu.p1
+                        a = p.value if p is not None else regfile_get(reg, 0)
+                    reg = uop.src2
+                    if reg is None:
+                        b = 0
+                    else:
+                        p = iu.p2
+                        b = p.value if p is not None else regfile_get(reg, 0)
+                    value = execute_alu(uop, a, b)
+                    latency = UOP_LATENCY[op]
+                    if op is branch and uop.mispredicted:
+                        schedule(latency + cfg.mispredict_penalty,
+                                 self._unblock_fetch)
+                    # Bind via defaults: the loop reuses iu/value.
+                    schedule(latency,
+                             lambda iu=iu, value=value:
+                             self._complete(iu, value))
+                issued += 1
+            if retry is not None:
+                retry.state = ready_state
+                ready.appendleft(retry)
+
+        # -- fetch / dispatch -------------------------------------------
+        # _can_fetch() gates entry; inside the loop only the conditions
+        # dispatch itself can change (window occupancy, fetch block, trace
+        # exhaustion) are re-checked — warmup/drain gating cannot flip
+        # mid-fetch.  stats_frozen is re-read: retirement above may have
+        # just crossed the finish line.
+        if self._can_fetch():
+            trace = self._trace
+            trace_len = len(trace)
+            fetch_width = cfg.fetch_width
+            rob_entries = cfg.rob_entries
+            rs_entries = cfg.rs_entries
+            rename = self.rename
+            rename_get = rename.get
+            by_seq = self._by_seq
+            by_seq_get = by_seq.get
+            frozen = self.stats_frozen
+            note_core_uop = self.system.energy_counters.note_core_uop
+            branch = UopType.BRANCH
+            fetch_index = self._fetch_index
+            fetched = 0
+            while True:
+                uop = trace[fetch_index]
+                fetch_index += 1
+                iu = InflightUop(uop, now)
+                reg = uop.src1
+                if reg is not None:
+                    producer = rename_get(reg)
+                    if producer is not None:
+                        iu.p1 = producer
+                        if producer.state is not done:
+                            iu.deps += 1
+                            producer.consumers.append(iu)
+                reg = uop.src2
+                if reg is not None:
+                    producer = rename_get(reg)
+                    if producer is not None:
+                        iu.p2 = producer
+                        if producer.state is not done:
+                            iu.deps += 1
+                            producer.consumers.append(iu)
+                if uop.mem_dep is not None:
+                    dep = by_seq_get(uop.mem_dep)
+                    if dep is not None and dep.state is not done:
+                        iu.mem_dep_p = dep
+                        iu.deps += 1
+                        dep.consumers.append(iu)
+                if uop.dest is not None:
+                    rename[uop.dest] = iu
+                rob.append(iu)
+                by_seq[uop.seq] = iu
+                self.rs_occupancy += 1
+                if not frozen:
+                    note_core_uop()
+                if uop.op is branch and uop.mispredicted:
+                    self._fetch_blocked = True
+                    if not frozen:
+                        stats.mispredicted_branches += 1
+                if iu.deps == 0:
+                    iu.state = ready_state
+                    ready.append(iu)
+                fetched += 1
+                if (fetched >= fetch_width or fetch_index >= trace_len
+                        or len(rob) >= rob_entries
+                        or self.rs_occupancy >= rs_entries
+                        or self._fetch_blocked):
+                    break
+            self._fetch_index = fetch_index
+
+        # -- chain generation + reschedule ------------------------------
+        # Chain generation runs only when the EMC is on, stats are live,
+        # and the window is actually full — the same early-outs the method
+        # itself performs, hoisted here to keep the common tick cheap.
+        if (self.system.cfg.emc.enabled and not self.stats_frozen
+                and (len(rob) >= cfg.rob_entries
+                     or self.rs_occupancy >= cfg.rs_entries)):
+            self._maybe_generate_chain()
+        if (ready
+                or (rob and rob[0].state is done)
+                or self._can_fetch()):
             self._schedule_tick(1)
         else:
-            self._doze_started = self.wheel.now
+            self._doze_started = wheel.now
 
-    # ------------------------------------------------------------------
-    # retire
-    # ------------------------------------------------------------------
-    def _retire(self) -> None:
-        retired = 0
-        while (self.rob and retired < self.cfg.retire_width
-               and self.rob[0].state is UopState.DONE):
-            iu = self.rob.popleft()
-            self._by_seq.pop(iu.seq, None)
-            if self.rename.get(iu.uop.dest) is iu:
-                # Keep the committed value readable after the entry leaves
-                # the window.
-                self.regfile[iu.uop.dest] = iu.value
-            if not self.stats_frozen:
-                self.stats.instructions += 1
-            retired += 1
-        if not self.rob and self._fetch_index >= len(self._trace):
-            if self._warmup_limit is not None:
-                # Warming up: wrap without finishing so the measured window
-                # always starts from a running (not completed) machine.
-                if self.stats.instructions < self._warmup_limit:
-                    self._fetch_index = 0
-                    self.wrap_count += 1
-                return
-            if not self.finished:
-                self.finished = True
-                self.stats_frozen = True
-                self.stats.finished_at = self.wheel.now
-                self.system.on_core_finished(self.core_id)
-            if not self.system.all_finished:
-                # Wrap around: keep generating interference for the cores
-                # still inside their measurement window (§5 methodology).
+    def _on_window_empty(self) -> None:
+        """The window drained with the trace exhausted: wrap (warmup or
+        interference generation) or finish the measured pass."""
+        if self._warmup_limit is not None:
+            # Warming up: wrap without finishing so the measured window
+            # always starts from a running (not completed) machine.
+            if self.stats.instructions < self._warmup_limit:
                 self._fetch_index = 0
                 self.wrap_count += 1
-
-    # ------------------------------------------------------------------
-    # fetch / dispatch
-    # ------------------------------------------------------------------
-    def _fetch(self) -> None:
-        fetched = 0
-        while fetched < self.cfg.fetch_width and self._can_fetch():
-            uop = self._trace[self._fetch_index]
-            self._fetch_index += 1
-            self._dispatch(uop)
-            fetched += 1
-
-    def _resolve_source(self, reg: Optional[int], iu: InflightUop,
-                        slot: int) -> None:
-        if reg is None:
             return
-        producer = self.rename.get(reg)
-        if producer is not None:
-            if slot == 1:
-                iu.p1 = producer
-            else:
-                iu.p2 = producer
-            if producer.state is not UopState.DONE:
-                iu.deps += 1
-                producer.consumers.append(iu)
-
-    def _dispatch(self, uop: MicroOp) -> None:
-        iu = InflightUop(uop, self.wheel.now)
-        self._resolve_source(uop.src1, iu, 1)
-        self._resolve_source(uop.src2, iu, 2)
-        if uop.mem_dep is not None:
-            dep = self._by_seq.get(uop.mem_dep)
-            if dep is not None and dep.state is not UopState.DONE:
-                iu.mem_dep_p = dep
-                iu.deps += 1
-                dep.consumers.append(iu)
-        if uop.dest is not None:
-            self.rename[uop.dest] = iu
-        self.rob.append(iu)
-        self._by_seq[iu.seq] = iu
-        self.rs_occupancy += 1
-        if not self.stats_frozen:
-            self.system.energy_counters.note_core_uop()
-        if uop.op is UopType.BRANCH and uop.mispredicted:
-            self._fetch_blocked = True
-            if not self.stats_frozen:
-                self.stats.mispredicted_branches += 1
-        if iu.deps == 0:
-            iu.state = UopState.READY
-            self.ready.append(iu)
+        if not self.finished:
+            self.finished = True
+            self.stats_frozen = True
+            self.stats.finished_at = self.wheel.now
+            self.system.on_core_finished(self.core_id)
+        if not self.system.all_finished:
+            # Wrap around: keep generating interference for the cores
+            # still inside their measurement window (§5 methodology).
+            self._fetch_index = 0
+            self.wrap_count += 1
 
     # ------------------------------------------------------------------
-    # issue / execute
+    # issue / execute helpers
     # ------------------------------------------------------------------
     def _source_value(self, reg: Optional[int],
                       producer: Optional[InflightUop]) -> int:
@@ -434,39 +538,25 @@ class OutOfOrderCore(SimComponent):
             return producer.value
         return self.regfile.get(reg, 0)
 
-    def _issue(self) -> None:
-        issued = 0
-        retry: List[InflightUop] = []
-        while self.ready and issued < self.cfg.issue_width:
-            iu = self.ready.popleft()
-            if iu.migrated or iu.state is not UopState.READY:
-                continue
-            if iu.uop.op is UopType.LOAD and not self._l1_mshr_free(iu):
-                retry.append(iu)
-                break
-            iu.state = UopState.ISSUED
-            iu.issue_cycle = self.wheel.now
-            if iu.rs_held:
-                iu.rs_held = False
-                self.rs_occupancy -= 1
-            self._execute(iu)
-            issued += 1
-        for iu in retry:
-            iu.state = UopState.READY
-            self.ready.appendleft(iu)
-
     def _l1_mshr_free(self, iu: InflightUop) -> bool:
         # Loads to a line already pending coalesce and never need an entry.
-        base = self._source_value(iu.uop.src1, iu.p1)
-        vaddr = effective_address(iu.uop, base)
+        uop = iu.uop
+        reg = uop.src1
+        if reg is None:
+            vaddr = uop.imm & MASK64
+        else:
+            p1 = iu.p1
+            base = p1.value if p1 is not None else self.regfile.get(reg, 0)
+            vaddr = (base + uop.imm) & MASK64
         paddr = self.page_table.translate(vaddr)
         line = line_addr(paddr)
         iu.vaddr, iu.paddr = vaddr, paddr
         if self.l1.probe(line) is not None:
             return True
-        if line in self.l1_pending:
+        l1_pending = self.l1_pending
+        if line in l1_pending:
             return True
-        return len(self.l1_pending) < self.l1_mshr_capacity
+        return len(l1_pending) < self.l1_mshr_capacity
 
     def _execute(self, iu: InflightUop) -> None:
         uop = iu.uop
@@ -477,14 +567,26 @@ class OutOfOrderCore(SimComponent):
         if op is UopType.STORE:
             self._execute_store(iu)
             return
-        a = self._source_value(uop.src1, iu.p1)
-        b = self._source_value(uop.src2, iu.p2)
+        # _source_value(), inlined for both operands.
+        reg = uop.src1
+        if reg is None:
+            a = 0
+        else:
+            p = iu.p1
+            a = p.value if p is not None else self.regfile.get(reg, 0)
+        reg = uop.src2
+        if reg is None:
+            b = 0
+        else:
+            p = iu.p2
+            b = p.value if p is not None else self.regfile.get(reg, 0)
         value = execute_alu(uop, a, b)
         latency = UOP_LATENCY[op]
+        schedule = self.wheel.schedule
         if op is UopType.BRANCH and uop.mispredicted:
-            restart = latency + self.cfg.mispredict_penalty
-            self.wheel.schedule(restart, self._unblock_fetch)
-        self.wheel.schedule(latency, lambda: self._complete(iu, value))
+            schedule(latency + self.cfg.mispredict_penalty,
+                     self._unblock_fetch)
+        schedule(latency, lambda: self._complete(iu, value))
 
     def _unblock_fetch(self) -> None:
         self._fetch_blocked = False
@@ -514,16 +616,18 @@ class OutOfOrderCore(SimComponent):
             iu.vaddr = effective_address(iu.uop, base)
             iu.paddr = self.page_table.translate(iu.vaddr)
         line = line_addr(iu.paddr)
-        if not self.stats_frozen:
+        frozen = self.stats_frozen
+        l1_latency = self.l1_latency
+        schedule = self.wheel.schedule
+        if not frozen:
             self.system.energy_counters.note_l1_access()
         if self.l1.access(line) is not None:
-            if not self.stats_frozen:
+            if not frozen:
                 self.stats.l1_hits += 1
             value = self.image.read(iu.vaddr)
-            self.wheel.schedule(self.l1_latency,
-                                lambda: self._complete(iu, value))
+            schedule(l1_latency, lambda: self._complete(iu, value))
             return
-        if not self.stats_frozen:
+        if not frozen:
             self.stats.l1_misses += 1
         waiters = self.l1_pending.get(line)
         if waiters is not None:
@@ -533,9 +637,9 @@ class OutOfOrderCore(SimComponent):
         req = MemRequest(core_id=self.core_id, vaddr=iu.vaddr,
                          paddr=iu.paddr, line=line, pc=iu.uop.pc,
                          uop=iu, callback=self._l1_fill,
-                         t_start=self.wheel.now + self.l1_latency)
-        self.wheel.schedule(self.l1_latency,
-                            lambda: self.system.hierarchy.demand_request(req))
+                         t_start=self.wheel.now + l1_latency)
+        schedule(l1_latency,
+                 lambda: self.system.hierarchy.demand_request(req))
 
     def _l1_fill(self, req: MemRequest) -> None:
         # Installing the line and waking dependents costs an L1 access.
@@ -574,12 +678,17 @@ class OutOfOrderCore(SimComponent):
             # value is architecturally available.
             self.system.notify_source_complete(iu.source_of_chain)
             iu.source_of_chain = None
-        for consumer in iu.consumers:
-            consumer.deps -= 1
-            if (consumer.deps == 0 and consumer.state is UopState.WAITING
-                    and not consumer.migrated):
-                consumer.state = UopState.READY
-                self.ready.append(consumer)
+        consumers = iu.consumers
+        if consumers:
+            waiting = UopState.WAITING
+            ready_state = UopState.READY
+            ready_append = self.ready.append
+            for consumer in consumers:
+                consumer.deps -= 1
+                if (consumer.deps == 0 and consumer.state is waiting
+                        and not consumer.migrated):
+                    consumer.state = ready_state
+                    ready_append(consumer)
         self.wake()
 
     # ------------------------------------------------------------------
