@@ -9,9 +9,11 @@ flows).
 from __future__ import annotations
 
 import copy
+import gc
 import os
 import pickle
 import warnings
+from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.ooo_core import OutOfOrderCore
@@ -57,6 +59,25 @@ CHECKPOINT_VERSION = 3  # v3: slotted state dataclasses; v2 pickles
 def _join(path: str, leaf: str) -> str:
     """Carryover-report path join tolerating an empty root."""
     return f"{path}/{leaf}" if path else leaf
+
+
+@contextmanager
+def _gc_paused():
+    """Suspend cyclic garbage collection for the duration of an event loop.
+
+    The event loops allocate millions of short-lived objects (events,
+    in-flight uops, requests) whose lifetimes refcounting alone handles;
+    generational collection only adds scan passes over them.  Restores the
+    collector's prior enabled state — and never forces a collection — so
+    nesting (run inside warmup) and embedding callers stay unaffected.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 class System(SimComponent):
@@ -279,11 +300,12 @@ class System(SimComponent):
             core.begin_warmup(warmup_instrs)
         for core in self.cores:
             core.start()
-        while self.wheel.advance():
-            if self.wheel.now > max_cycles:
-                raise SimTimeoutError(
-                    f"warmup exceeded {max_cycles} cycles; "
-                    + self._deadlock_report())
+        with _gc_paused():
+            while self.wheel.advance():
+                if self.wheel.now > max_cycles:
+                    raise SimTimeoutError(
+                        f"warmup exceeded {max_cycles} cycles; "
+                        + self._deadlock_report())
         laggards = [c.core_id for c in self.cores if not c.warmup_done]
         if laggards:
             raise DeadlockError(
@@ -329,19 +351,20 @@ class System(SimComponent):
         # the drain would run them in the identical order, so the final
         # state (and every statistic) is unchanged.
         wheel_advance = self.wheel.advance
-        while not self.all_finished:
-            if not wheel_advance():
-                raise DeadlockError(self._deadlock_report())
-            if self.wheel.now > max_cycles:
-                raise SimTimeoutError(
-                    f"exceeded {max_cycles} cycles; "
-                    + self._deadlock_report())
-        self.stats.total_cycles = max(
-            (c.stats.finished_at or 0) for c in self.cores)
-        # Drain in-flight memory traffic (write-throughs, writebacks,
-        # fills) so end-of-run counters settle; wrapped cores stop
-        # fetching once everyone has finished, so the wheel empties.
-        self.wheel.run(max_events=drain_max_events)
+        with _gc_paused():
+            while not self.all_finished:
+                if not wheel_advance():
+                    raise DeadlockError(self._deadlock_report())
+                if self.wheel.now > max_cycles:
+                    raise SimTimeoutError(
+                        f"exceeded {max_cycles} cycles; "
+                        + self._deadlock_report())
+            self.stats.total_cycles = max(
+                (c.stats.finished_at or 0) for c in self.cores)
+            # Drain in-flight memory traffic (write-throughs, writebacks,
+            # fills) so end-of-run counters settle; wrapped cores stop
+            # fetching once everyone has finished, so the wheel empties.
+            self.wheel.run(max_events=drain_max_events)
         if self.wheel.pending:
             self.stats.drain_truncated = True
             warnings.warn(
