@@ -27,7 +27,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..uarch.isa import effective_address, execute_alu
+from ..uarch.isa import execute_alu
 from ..uarch.uop import MASK64, MicroOp, Trace, UopType
 from .memory_image import MemoryImage
 
@@ -65,15 +65,21 @@ class TraceBuilder:
                       is_spill_fill=is_spill_fill, mem_dep=mem_dep)
         self._seq += 1
         self.uops.append(uop)
+        regs_get = self.regs.get
         if op is UopType.LOAD:
-            addr = effective_address(uop, self._reg(src1))
+            # effective_address(), inlined for the build fast path.
+            addr = (imm & MASK64 if src1 is None
+                    else (regs_get(src1, 0) + imm) & MASK64)
             value = self.image.read(addr)
         elif op is UopType.STORE:
-            addr = effective_address(uop, self._reg(src1))
-            value = self._reg(src2) if src2 is not None else (imm & MASK64)
+            addr = (imm & MASK64 if src1 is None
+                    else (regs_get(src1, 0) + imm) & MASK64)
+            value = regs_get(src2, 0) if src2 is not None else (imm & MASK64)
             self.image.write(addr, value)
         else:
-            value = execute_alu(uop, self._reg(src1), self._reg(src2))
+            value = execute_alu(uop,
+                                0 if src1 is None else regs_get(src1, 0),
+                                0 if src2 is None else regs_get(src2, 0))
         if dest is not None:
             self.regs[dest] = value
         return value
@@ -130,8 +136,20 @@ def _build_chase_order(rng: random.Random, params: PointerChaseParams
     per_page: List[List[int]] = [[] for _ in range(num_pages)]
     for i in range(n):
         per_page[i // nodes_per_page].append(i)
+    getrandbits = rng.getrandbits
     for nodes in per_page:
-        rng.shuffle(nodes)
+        # rng.shuffle(nodes), Fisher–Yates inlined with _randbelow
+        # replicated via getrandbits — bit-for-bit the same draw sequence
+        # (pinned by test_inline_randbelow_matches_randint_sequence and
+        # test_inline_shuffle_matches_random_shuffle) without three call
+        # frames per element.
+        for i in range(len(nodes) - 1, 0, -1):
+            bound = i + 1
+            bits = bound.bit_length()
+            r = getrandbits(bits)
+            while r >= bound:
+                r = getrandbits(bits)
+            nodes[i], nodes[r] = nodes[r], nodes[i]
     import bisect
     live_pages = list(range(num_pages))     # kept sorted
 
@@ -143,19 +161,29 @@ def _build_chase_order(rng: random.Random, params: PointerChaseParams
             pos = bisect.bisect_right(live_pages, current)
             if pos < len(live_pages):
                 return pos
-        return rng.randrange(len(live_pages))
+        # rng.randrange(len(live_pages)), _randbelow inlined as above.
+        bound = len(live_pages)
+        bits = bound.bit_length()
+        r = getrandbits(bits)
+        while r >= bound:
+            r = getrandbits(bits)
+        return r
 
     order: List[int] = []
+    order_append = order.append
+    random = rng.random
+    locality = params.page_locality
     page_pos = rng.randrange(len(live_pages))
     while live_pages:
         page = live_pages[page_pos]
-        order.append(per_page[page].pop())
-        if not per_page[page]:
+        nodes = per_page[page]
+        order_append(nodes.pop())
+        if not nodes:
             live_pages.pop(page_pos)
             if not live_pages:
                 break
             page_pos = next_page_pos(min(page_pos, len(live_pages) - 1))
-        elif rng.random() >= params.page_locality:
+        elif random() >= locality:
             page_pos = next_page_pos(page_pos)
     return order
 
@@ -183,16 +211,35 @@ def pointer_chase(builder: TraceBuilder, n_instrs: int,
         chain_bases.append(base)
         order = _build_chase_order(rng, sub)
         orders.append(order)
-        node_addr = lambda i, b=base: b + i * nb
-        for pos, node in enumerate(order):
-            nxt = order[(pos + 1) % len(order)]
-            image.write(node_addr(node) + 0, node_addr(nxt))   # ->next
-            # ->ptr: a *recently visited* node (graph edges into recently
-            # touched allocations), giving the second indirection genuine
-            # temporal page locality.
-            back = rng.randint(1, min(64, len(order)))
-            target = order[pos - back]
-            image.write(node_addr(node) + 8, node_addr(target) + 16)
+        n = len(order)
+        addr_of = [base + i * nb for i in range(n)]
+        # ->next pointers first (the pass consumes no randomness), then
+        # the ->ptr pass below draws per node in the same order as the
+        # original interleaved loop — the RNG call sequence is unchanged,
+        # and the two passes write disjoint words (+0 vs +8).
+        visit_addrs = [addr_of[i] for i in order]
+        image.bulk_write(
+            zip(visit_addrs, visit_addrs[1:] + visit_addrs[:1]),
+            aligned=True)
+        # ->ptr: a *recently visited* node (graph edges into recently
+        # touched allocations), giving the second indirection genuine
+        # temporal page locality.  ``back = rng.randint(1, maxback)`` is
+        # replicated inline via getrandbits — exactly CPython's
+        # Random._randbelow_with_getrandbits — to skip three call frames
+        # per node (sequence equivalence is pinned by a regression test).
+        maxback = 64 if n >= 64 else n
+        k = maxback.bit_length()
+        getrandbits = rng.getrandbits
+
+        def back_pointers():
+            for pos, node in enumerate(order):
+                r = getrandbits(k)
+                while r >= maxback:
+                    r = getrandbits(k)
+                # back = 1 + r, target = order[pos - back]
+                yield addr_of[node] + 8, addr_of[order[pos - 1 - r]] + 16
+
+        image.bulk_write(back_pointers(), aligned=True)
 
     R_NEXT, R_TMP, R_VAL, R_PTR2, R_ACC, R_SP = 2, 3, 4, 5, 6, 7
     R_PTR0 = 16                       # pointer register per parallel chain

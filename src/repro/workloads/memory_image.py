@@ -7,7 +7,7 @@ write this image, so dependent addresses are genuinely data-dependent.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator
+from typing import Dict, Iterable, Iterator, Tuple
 
 from ..uarch.uop import MASK64
 
@@ -40,7 +40,25 @@ class MemoryImage:
 
     def write(self, addr: int, value: int) -> None:
         """Write the 8-byte word containing ``addr``."""
-        self._words[self._word_addr(addr)] = value & MASK64
+        self._words[addr & ~0x7 & MASK64] = value & MASK64
+
+    def bulk_write(self, items: Iterable[Tuple[int, int]], *,
+                   aligned: bool = False) -> None:
+        """Write many ``(addr, value)`` pairs in one pass.
+
+        Equivalent to calling :meth:`write` per pair, but the stores run
+        inside one ``dict.update`` — the workload builders lay out
+        hundreds of thousands of words through this path.  With
+        ``aligned=True`` the caller guarantees every address is 8-byte
+        aligned and every value already fits 64 bits, skipping the
+        per-pair masking entirely.
+        """
+        if aligned:
+            self._words.update(items)
+            return
+        addr_mask = ~0x7 & MASK64
+        self._words.update(
+            (addr & addr_mask, value & MASK64) for addr, value in items)
 
     def __contains__(self, addr: int) -> bool:
         return self._word_addr(addr) in self._words

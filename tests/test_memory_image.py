@@ -84,3 +84,16 @@ def test_disjoint_words_do_not_interfere(a1, a2, v1, v2):
     image.write(a2, v2)
     assert image.read(a1) == v1
     assert image.read(a2) == v2
+
+
+def test_bulk_write_matches_per_word_writes():
+    a = MemoryImage()
+    b = MemoryImage()
+    pairs = [(0x1000 + 8 * i, i * 0x1234567) for i in range(64)]
+    pairs.append((0x1003, (1 << 80) - 1))       # unaligned addr, wide value
+    for addr, value in pairs:
+        a.write(addr, value)
+    b.bulk_write(iter(pairs))                   # any iterable works
+    assert len(a) == len(b)
+    for addr in a.written_addresses():
+        assert a.read(addr) == b.read(addr)

@@ -196,3 +196,51 @@ def test_unknown_profile_rejected():
 def test_any_seed_generates_valid_mcf_trace(seed):
     trace, image = build_trace("gcc", n_instrs=200, seed=seed)
     replay(trace, image.copy())   # must not raise
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       maxback=st.integers(min_value=1, max_value=64))
+def test_inline_randbelow_matches_randint_sequence(seed, maxback):
+    """pointer_chase replicates ``rng.randint(1, maxback)`` inline via
+    getrandbits (CPython's _randbelow_with_getrandbits) to skip call
+    frames on the build hot path.  The drawn sequence — and therefore
+    every generated trace — must match the randint formulation exactly."""
+    import random
+    ref = random.Random(seed)
+    expected = [ref.randint(1, maxback) for _ in range(500)]
+    rng = random.Random(seed)
+    getrandbits = rng.getrandbits
+    k = maxback.bit_length()
+    got = []
+    for _ in range(500):
+        r = getrandbits(k)
+        while r >= maxback:
+            r = getrandbits(k)
+        got.append(1 + r)
+    assert got == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       length=st.integers(min_value=0, max_value=200))
+def test_inline_shuffle_matches_random_shuffle(seed, length):
+    """_build_chase_order inlines rng.shuffle (Fisher-Yates over
+    getrandbits); the permutation and the RNG state afterwards must match
+    random.Random.shuffle exactly."""
+    import random
+    ref_rng = random.Random(seed)
+    ref = list(range(length))
+    ref_rng.shuffle(ref)
+    rng = random.Random(seed)
+    got = list(range(length))
+    getrandbits = rng.getrandbits
+    for i in range(len(got) - 1, 0, -1):
+        bound = i + 1
+        bits = bound.bit_length()
+        r = getrandbits(bits)
+        while r >= bound:
+            r = getrandbits(bits)
+        got[i], got[r] = got[r], got[i]
+    assert got == ref
+    assert rng.getstate() == ref_rng.getstate()
