@@ -25,7 +25,7 @@ from ..memsys.vm import PageTable
 from ..sim.component import (KIND_FULL, CarryoverReport, SimComponent,
                              SnapshotError, rebase_clock,
                              require_empty)
-from ..sim.stats import CoreStats
+from ..sim.stats import CoreStats, CounterBank
 from ..uarch.isa import effective_address, execute_alu
 from ..uarch.uop import MASK64, UOP_LATENCY, Trace, UopType
 from .inflight import InflightUop, UopState
@@ -91,6 +91,12 @@ class OutOfOrderCore(SimComponent):
         self._chain_gen_busy_until = 0
         # PC-indexed LRU chain cache (extension; empty when disabled).
         self._chain_cache: "OrderedDict[int, bool]" = OrderedDict()
+        # Flat accumulator for the chain-generation energy events; always
+        # drained into the energy counters before _build_chain returns, so
+        # it holds no state between events (never snapshotted).
+        self._chain_energy = CounterBank(
+            ("cdb_broadcasts", "rrt_reads", "rrt_writes",
+             "rob_chain_reads"))
 
         self._tick_scheduled = False
         self._doze_started: Optional[int] = None
@@ -698,26 +704,38 @@ class OutOfOrderCore(SimComponent):
         """Find the nearest ancestor load that LLC-missed and whose data had
         not returned when ``iu`` was dispatched.  Returns (root, edge_depth)
         with the minimum edge count, or None."""
-        best: Optional[Tuple[int, InflightUop]] = None
-        stack: List[Tuple[InflightUop, int]] = [(p, 1) for p in iu.producers()]
-        visited = set()
+        best_depth = 0
+        best_node: Optional[InflightUop] = None
+        dispatch_cycle = iu.dispatch_cycle
+        load = UopType.LOAD
+        stack: List[Tuple[InflightUop, int]] = [
+            (p, 1) for p in (iu.p1, iu.p2) if p is not None]
+        pop = stack.pop
+        push = stack.append
+        visited: set = set()
+        visited_add = visited.add
         while stack:
-            node, depth = stack.pop()
-            if depth > MISS_WALK_LIMIT or id(node) in visited:
+            node, depth = pop()
+            if depth > MISS_WALK_LIMIT or node in visited:
                 continue
-            visited.add(id(node))
-            qualifies = (node.uop.op is UopType.LOAD and node.was_llc_miss
-                         and (node.done_cycle is None
-                              or node.done_cycle >= iu.dispatch_cycle))
-            if qualifies:
-                if best is None or depth < best[0]:
-                    best = (depth, node)
+            visited_add(node)
+            if (node.uop.op is load and node.was_llc_miss
+                    and (node.done_cycle is None
+                         or node.done_cycle >= dispatch_cycle)):
+                if best_node is None or depth < best_depth:
+                    best_depth = depth
+                    best_node = node
                 continue
-            for producer in node.producers():
-                stack.append((producer, depth + 1))
-        if best is None:
+            depth += 1
+            p = node.p1
+            if p is not None:
+                push((p, depth))
+            p = node.p2
+            if p is not None:
+                push((p, depth))
+        if best_node is None:
             return None
-        return best[1], best[0]
+        return best_node, best_depth
 
     def classify_llc_outcome(self, req: MemRequest, hit: bool,
                              prefetched: bool) -> None:
@@ -855,13 +873,26 @@ class OutOfOrderCore(SimComponent):
         branch truncates the walk — everything past it is wrong-path from
         the EMC's point of view and the EMC will cancel there (§4.3).
         """
+        # Chain-generation energy events accumulate in a flat CounterBank
+        # (list-index adds on the walk's hot path) and drain into the
+        # energy counters on every exit from the real walk below.
+        counts = self._chain_energy.counts
+        CDB, RRT_R, RRT_W, ROB_R = 0, 1, 2, 3
+        try:
+            return self._build_chain_inner(source, counts,
+                                           CDB, RRT_R, RRT_W, ROB_R)
+        finally:
+            self.system.energy_counters.absorb(self._chain_energy)
+
+    def _build_chain_inner(self, source: InflightUop, counts: List[int],
+                           CDB: int, RRT_R: int, RRT_W: int, ROB_R: int
+                           ) -> Optional[DependenceChain]:
         emc_cfg = self.system.cfg.emc
-        energy = self.system.energy_counters
         woken = {source.seq}            # seqs whose dest is chain-produced
         value_depth = {source.seq: 0}   # load-indirection depth per value
         candidates: List[InflightUop] = []
         max_walk = emc_cfg.max_chain_uops * self._WALK_OVERSHOOT
-        energy.cdb_broadcasts += 1      # pseudo wake-up of the source miss
+        counts[CDB] += 1                # pseudo wake-up of the source miss
 
         rob = list(self.rob)
         try:
@@ -869,20 +900,20 @@ class OutOfOrderCore(SimComponent):
         except ValueError:
             return None
         mispredict_truncated = False
+
+        def slot(producer: Optional[InflightUop]) -> str:
+            if producer is None or producer.state is UopState.DONE:
+                return "ready"
+            if producer.seq in woken:
+                return "woken"
+            return "blocked"
+
         for iu in rob[start:]:
             if len(candidates) >= max_walk:
                 break
             if iu.state is not UopState.WAITING or iu.migrated:
                 continue
             uop = iu.uop
-
-            def slot(producer: Optional[InflightUop]) -> str:
-                if producer is None or producer.state is UopState.DONE:
-                    return "ready"
-                if producer.seq in woken:
-                    return "woken"
-                return "blocked"
-
             s1 = slot(iu.p1) if uop.src1 is not None else "absent"
             s2 = slot(iu.p2) if uop.src2 is not None else "absent"
             if "blocked" in (s1, s2):
@@ -916,7 +947,7 @@ class OutOfOrderCore(SimComponent):
                     depth += 1
                 if depth > emc_cfg.max_load_depth:
                     continue            # too deep: it would gate live-outs
-            energy.cdb_broadcasts += 1
+            counts[CDB] += 1
             woken.add(iu.seq)           # stores wake fills via mem_dep
             if uop.dest is not None:
                 value_depth[iu.seq] = depth
@@ -953,20 +984,20 @@ class OutOfOrderCore(SimComponent):
         next_epr = 1
         chain_uops: List[ChainUop] = []
         live_ins = 0
-        energy.rrt_writes += 1
+        counts[RRT_W] += 1
         for iu in kept:
             if next_epr >= emc_cfg.prf_entries:
                 break
             uop = iu.uop
             cu = ChainUop(uop=uop, dest_epr=None, index=len(chain_uops),
                           core_ref=iu)
-            energy.rob_chain_reads += 1
+            counts[ROB_R] += 1
             skip = False
             for slot_no, (reg, producer) in enumerate(
                     ((uop.src1, iu.p1), (uop.src2, iu.p2)), start=1):
                 if reg is None:
                     continue
-                energy.rrt_reads += 1
+                counts[RRT_R] += 1
                 if producer is not None and producer.seq in rrt:
                     if producer.seq not in seq_to_index:
                         skip = True     # producer fell off the EPR cap
@@ -1000,7 +1031,7 @@ class OutOfOrderCore(SimComponent):
                 cu.dest_epr = next_epr
                 rrt[iu.seq] = next_epr
                 next_epr += 1
-                energy.rrt_writes += 1
+                counts[RRT_W] += 1
             seq_to_index[iu.seq] = cu.index
             chain_uops.append(cu)
 

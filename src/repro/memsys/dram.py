@@ -241,17 +241,40 @@ class DRAMChannel(SimComponent):
             self._form_batch()
 
         # Group by bank once, then serve the best request of each free bank.
+        banks = self.banks
         by_bank: Dict[int, List[DRAMRequest]] = {}
         for req in self.queue:
             by_bank.setdefault(req.bank, []).append(req)
         for bank_id, requests in by_bank.items():
-            if self.banks[bank_id].busy_until > now:
+            bank = banks[bank_id]
+            if bank.busy_until > now:
                 continue
-            req = min(requests, key=self._request_priority)
+            if len(requests) == 1:
+                req = requests[0]
+            else:
+                # min(requests, key=self._request_priority), inlined: the
+                # open row is per-bank, so it is hoisted out of the scan,
+                # and the strict < keeps min()'s first-wins tie-breaking.
+                open_row = bank.open_row
+                req = requests[0]
+                best_key = (1 if req.is_prefetch else 0,
+                            0 if req.marked else 1,
+                            0 if open_row == req.row else 1, req.queued_at)
+                for cand in requests:
+                    key = (1 if cand.is_prefetch else 0,
+                           0 if cand.marked else 1,
+                           0 if open_row == cand.row else 1, cand.queued_at)
+                    if key < best_key:
+                        req, best_key = cand, key
+                # self._request_priority stays the canonical definition.
             self._issue(req, now)
 
         if self.queue:
-            wake = min(self.banks[r.bank].busy_until for r in self.queue)
+            wake = None
+            for r in self.queue:
+                busy = banks[r.bank].busy_until
+                if wake is None or busy < wake:
+                    wake = busy
             self._schedule_pick(max(wake, now + 1))
 
     def _issue(self, req: DRAMRequest, now: int) -> None:

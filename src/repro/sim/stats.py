@@ -20,6 +20,44 @@ from .component import (KIND_FULL, SimComponent, dataclass_state,
 _IDENTITY_FIELDS = frozenset({"core_id", "benchmark"})
 
 
+class CounterBank:
+    """Int-keyed flat accumulator for counters bumped in a hot loop.
+
+    Attribute increments on a stats dataclass cost an attribute load, an
+    add, and an attribute store per event; a bank turns each into one
+    list-index add, and the owning dataclass absorbs the deltas once at a
+    safe flush point (one where no events can observe the counters
+    mid-loop).  The bank itself is transient accumulation state — flush
+    before any snapshot — and never part of the stats tree.
+
+    Index counters by position in ``fields``::
+
+        bank = CounterBank(("rrt_reads", "rrt_writes"))
+        counts = bank.counts
+        counts[0] += 1          # rrt_reads
+        ...
+        stats.energy.absorb(bank)
+    """
+
+    __slots__ = ("fields", "counts")
+
+    def __init__(self, fields) -> None:
+        self.fields = tuple(fields)
+        self.counts: List[int] = [0] * len(self.fields)
+
+    def drain(self, owner) -> None:
+        """Add the accumulated deltas onto ``owner``'s fields and zero
+        the bank.  Prefer the owner-side wrapper (e.g.
+        :meth:`EnergyCounters.absorb`) so the mutation stays with the
+        counters' owner."""
+        counts = self.counts
+        for i, name in enumerate(self.fields):
+            delta = counts[i]
+            if delta:
+                setattr(owner, name, getattr(owner, name) + delta)
+                counts[i] = 0
+
+
 @dataclass(slots=True)
 class LatencyAccumulator:
     """Streaming mean over latency samples, with component splits and a
@@ -221,6 +259,11 @@ class EnergyCounters:
     def note_emc_cache_access(self) -> None:
         """One EMC data-cache lookup."""
         self.emc_cache_accesses += 1
+
+    def absorb(self, bank: CounterBank) -> None:
+        """Fold a hot-loop :class:`CounterBank`'s deltas into these
+        counters and zero the bank (the owner-mediated flush point)."""
+        bank.drain(self)
 
 
 @dataclass
