@@ -34,6 +34,10 @@ BENCH_PREFETCHER = "stream"
 BENCH_SEED = 1
 BENCH_REPEATS = 3
 
+#: CI trend gate: fail when ``instrs_per_s`` drops more than this
+#: fraction below the previous revision's artifact
+TREND_REGRESSION_LIMIT = 0.20
+
 
 @dataclass(frozen=True)
 class BenchResult:
@@ -82,12 +86,17 @@ def run_bench(repeats: int = BENCH_REPEATS,
     repetitions and best-of-N only de-noises the host timing.  When
     ``out_dir`` is given, writes ``BENCH_<rev>.json`` there and returns
     its path alongside the result.
+
+    Raises :class:`ValueError` for ``repeats < 1`` — silently clamping
+    would report a measurement that never happened.
     """
     from ..sim.runner import run_quad_mix
 
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
     best_wall = float("inf")
     result = None
-    for _ in range(max(1, repeats)):
+    for _ in range(repeats):
         start = time.perf_counter()
         run = run_quad_mix(BENCH_MIX, BENCH_N_INSTRS,
                            prefetcher=BENCH_PREFETCHER, emc=True,
@@ -105,7 +114,7 @@ def run_bench(repeats: int = BENCH_REPEATS,
         instrs_per_s=round(instrs / best_wall, 1),
         total_cycles=cycles,
         total_instrs=instrs,
-        repeats=max(1, repeats),
+        repeats=repeats,
     )
     path = None
     if out_dir:
@@ -115,3 +124,47 @@ def run_bench(repeats: int = BENCH_REPEATS,
             json.dump(bench.to_json(), fh, indent=2, sort_keys=True)
             fh.write("\n")
     return bench, path
+
+
+def load_baseline(path: str) -> Optional[dict]:
+    """Load a previous ``BENCH_<rev>.json`` for trend comparison.
+
+    ``path`` may be the JSON file itself or a directory containing one or
+    more ``BENCH_*.json`` (a downloaded CI artifact); with several, the
+    most recently modified wins.  Returns None when nothing usable is
+    there — a missing baseline soft-passes the gate (first run, expired
+    artifact), it does not fail it.
+    """
+    candidate = path
+    if os.path.isdir(path):
+        names = [os.path.join(path, n) for n in os.listdir(path)
+                 if n.startswith("BENCH_") and n.endswith(".json")]
+        if not names:
+            return None
+        candidate = max(names, key=os.path.getmtime)
+    try:
+        with open(candidate) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    rate = data.get("instrs_per_s")
+    if not isinstance(rate, (int, float)) or rate <= 0:
+        return None
+    return data
+
+
+def check_trend(bench: BenchResult, baseline: dict,
+                limit: float = TREND_REGRESSION_LIMIT) -> Tuple[bool, str]:
+    """Compare ``instrs_per_s`` against a baseline artifact.
+
+    Returns ``(ok, message)``: ok is False only when throughput dropped
+    by more than ``limit`` (a fraction, e.g. 0.20 = 20%).
+    """
+    prev = float(baseline["instrs_per_s"])
+    change = bench.instrs_per_s / prev - 1.0
+    message = (f"bench trend vs {baseline.get('rev', 'unknown')}: "
+               f"{prev:,.0f} -> {bench.instrs_per_s:,.0f} instrs/s "
+               f"({change:+.1%}; gate: -{limit:.0%})")
+    return change >= -limit, message

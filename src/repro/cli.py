@@ -300,11 +300,21 @@ def cmd_figure(args) -> int:
 
 def cmd_bench(args) -> int:
     """Time the pinned simulator-throughput microbench (best-of-N)."""
-    from .analysis.bench import run_bench
+    from .analysis.bench import check_trend, load_baseline, run_bench
     result, path = run_bench(repeats=args.repeats, out_dir=args.out_dir)
     print(result.format())
     if path:
         print(f"wrote {path}")
+    if args.baseline is not None:
+        baseline = load_baseline(args.baseline)
+        if baseline is None:
+            print(f"bench trend: no usable baseline at {args.baseline}; "
+                  "skipping the gate (first run or expired artifact)")
+            return 0
+        ok, message = check_trend(result, baseline)
+        print(message)
+        if not ok:
+            return 1
     return 0
 
 
@@ -472,6 +482,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--out-dir", default=None, metavar="DIR",
                          help="write BENCH_<rev>.json here (default: "
                               "print only)")
+    p_bench.add_argument("--baseline", default=None, metavar="PATH",
+                         help="previous BENCH_<rev>.json (or a directory "
+                              "of them); exit 1 if instrs_per_s regressed "
+                              "more than 20%%, soft-pass when missing")
     p_bench.set_defaults(func=cmd_bench)
 
     p_hprof = sub.add_parser(
