@@ -164,7 +164,8 @@ def check_trend(bench: BenchResult, baseline: dict,
     """
     prev = float(baseline["instrs_per_s"])
     change = bench.instrs_per_s / prev - 1.0
-    message = (f"bench trend vs {baseline.get('rev', 'unknown')}: "
+    message = (f"bench trend {baseline.get('rev', 'unknown')} -> "
+               f"{bench.rev}: "
                f"{prev:,.0f} -> {bench.instrs_per_s:,.0f} instrs/s "
                f"({change:+.1%}; gate: -{limit:.0%})")
     return change >= -limit, message

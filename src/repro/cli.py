@@ -309,7 +309,9 @@ def cmd_bench(args) -> int:
         baseline = load_baseline(args.baseline)
         if baseline is None:
             print(f"bench trend: no usable baseline at {args.baseline}; "
-                  "skipping the gate (first run or expired artifact)")
+                  f"skipping the gate for rev {result.rev} "
+                  "(first run or expired artifact — nothing to compare "
+                  "against)")
             return 0
         ok, message = check_trend(result, baseline)
         print(message)
@@ -334,11 +336,106 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _farm_progress(done: int, total: int, label: str) -> None:
+    print(f"[{done}/{total}] {label}", file=sys.stderr)
+
+
+def cmd_farm_run(args) -> int:
+    """Expand a YAML spec and run it (queue + async pool, or run_jobs)."""
+    import os
+
+    from .analysis.farm import FarmError, run_farm
+    from .analysis.spec import load_spec
+    spec = load_spec(args.spec)
+    jobs_list = spec.jobs()
+    mode = (f"queue {args.queue_dir}" if args.queue_dir
+            else "local executor")
+    print(f"farm run {spec.name}: {len(jobs_list)} jobs "
+          f"({len(spec.points())} matrix points x {len(spec.seeds)} "
+          f"seed(s)) via {mode}, {args.jobs} worker(s)")
+    out_dir = args.out_dir or os.path.join("farm-out", spec.name)
+    try:
+        report = run_farm(spec, queue_dir=args.queue_dir, jobs=args.jobs,
+                          out_dir=out_dir, lease_s=args.lease,
+                          timeout=args.timeout, cache_dir=args.cache_dir,
+                          progress=_farm_progress)
+    except FarmError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for path in report.output_paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_farm_worker(args) -> int:
+    """Serve a shared queue directory until it drains."""
+    from .analysis.farm import run_worker
+    executed = run_worker(
+        args.queue_dir, worker_id=args.worker_id, lease_s=args.lease,
+        poll_s=args.poll, max_jobs=args.max_jobs, wait=args.wait,
+        timeout=args.timeout,
+        log=lambda line: print(line, file=sys.stderr))
+    print(f"worker executed {executed} job(s)")
+    return 0
+
+
+def cmd_farm_status(args) -> int:
+    """Report queue state; with --expect-done, gate on completion."""
+    from .analysis.farm import FarmError, format_status, queue_status
+    try:
+        status = queue_status(args.queue_dir)
+    except FarmError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_status(status))
+    if args.expect_done and not status.all_done:
+        print("error: queue is not fully done", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_farm_report(args) -> int:
+    """Re-emit a spec's declared outputs from the shared result store."""
+    import os
+
+    from .analysis.farm import FarmError, collect_results, write_outputs
+    from .analysis.spec import load_spec
+    spec = load_spec(args.spec)
+    try:
+        results = collect_results(args.queue_dir, spec.jobs())
+    except FarmError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    out_dir = args.out_dir or os.path.join("farm-out", spec.name)
+    for path in write_outputs(spec, results, out_dir):
+        print(f"wrote {path}")
+        if path.endswith((".md", ".txt")):
+            with open(path) as fh:
+                print(fh.read())
+    return 0
+
+
+def _jobs_count(text: str) -> int:
+    """argparse type for every ``--jobs``-style worker count: >= 1.
+
+    Mirrors the ``repeats < 1`` bench fix — silently accepting 0 or a
+    negative count would either deadlock or fall back to serial without
+    telling the user.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _add_parallel(parser: argparse.ArgumentParser,
                   jobs_default=None) -> None:
     from .analysis.parallel import default_cache_dir, default_jobs
     parser.add_argument(
-        "--jobs", type=int,
+        "--jobs", type=_jobs_count,
         default=jobs_default if jobs_default is not None else default_jobs(),
         help="worker processes for independent runs (default: "
              "$REPRO_JOBS or 1; 1 = serial, bit-identical results)")
@@ -414,7 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("name", help=f"one of: {', '.join(sorted(FIGURES))}")
     p_fig.add_argument("--scale", type=float, default=None,
                        help="REPRO_BENCH_SCALE multiplier")
-    p_fig.add_argument("--jobs", type=int, default=None,
+    p_fig.add_argument("--jobs", type=_jobs_count, default=None,
                        help="worker processes (exported as REPRO_JOBS to "
                             "the figure's driver)")
     p_fig.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -514,6 +611,79 @@ def build_parser() -> argparse.ArgumentParser:
     p_hprof.add_argument("--warmup", type=int, default=None, metavar="N",
                          help="override the pinned warmup window")
     p_hprof.set_defaults(func=cmd_profile)
+
+    p_farm = sub.add_parser(
+        "farm", help="declarative experiment farm: run YAML matrix "
+                     "specs through a shared work queue "
+                     "(see docs/experiments-farm.md)")
+    farm_sub = p_farm.add_subparsers(dest="farm_command", required=True)
+
+    def _add_farm_queue(p, required: bool) -> None:
+        p.add_argument("--queue-dir", metavar="DIR", required=required,
+                       default=None,
+                       help="shared queue + result-store directory; "
+                            "many workers/hosts may point at one DIR"
+                       + ("" if required else
+                          " (default: no queue, plain in-process "
+                          "executor)"))
+        p.add_argument("--lease", type=float, default=60.0, metavar="S",
+                       help="job lease seconds; an expired lease "
+                            "(killed worker) returns the job to the "
+                            "queue (default 60)")
+        p.add_argument("--timeout", type=float, default=None,
+                       metavar="S",
+                       help="per-job wall-clock timeout in seconds")
+
+    pf_run = farm_sub.add_parser(
+        "run", help="expand a spec and run it to completion, emitting "
+                    "its declared tables/figures")
+    pf_run.add_argument("spec", help="path to the YAML experiment spec")
+    pf_run.add_argument("--jobs", type=_jobs_count, default=1,
+                        help="local worker processes (default 1)")
+    pf_run.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache for the no-queue path "
+                             "(ignored with --queue-dir, which has its "
+                             "own store)")
+    pf_run.add_argument("--out-dir", default=None, metavar="DIR",
+                        help="where to write declared outputs "
+                             "(default farm-out/<spec name>)")
+    _add_farm_queue(pf_run, required=False)
+    pf_run.set_defaults(func=cmd_farm_run)
+
+    pf_worker = farm_sub.add_parser(
+        "worker", help="serve a shared queue directory (run any number "
+                       "of these, on any host sharing DIR)")
+    _add_farm_queue(pf_worker, required=True)
+    pf_worker.add_argument("--worker-id", default=None,
+                           help="stable worker name (default "
+                                "<hostname>-<pid>)")
+    pf_worker.add_argument("--max-jobs", type=_jobs_count, default=None,
+                           help="exit after executing N jobs")
+    pf_worker.add_argument("--poll", type=float, default=0.5,
+                           metavar="S", help="idle poll interval")
+    pf_worker.add_argument("--wait", action="store_true",
+                           help="keep polling an empty queue instead "
+                                "of exiting when it drains")
+    pf_worker.set_defaults(func=cmd_farm_worker)
+
+    pf_status = farm_sub.add_parser(
+        "status", help="per-state job counts (total and per spec)")
+    pf_status.add_argument("--queue-dir", metavar="DIR", required=True)
+    pf_status.add_argument("--expect-done", action="store_true",
+                           help="exit 1 unless every queued job is "
+                                "done (CI gate)")
+    pf_status.set_defaults(func=cmd_farm_status)
+
+    pf_report = farm_sub.add_parser(
+        "report", help="re-emit a spec's declared outputs from the "
+                       "queue's result store")
+    pf_report.add_argument("spec", help="path to the YAML experiment "
+                                        "spec")
+    pf_report.add_argument("--queue-dir", metavar="DIR", required=True)
+    pf_report.add_argument("--out-dir", default=None, metavar="DIR",
+                           help="where to write outputs (default "
+                                "farm-out/<spec name>)")
+    pf_report.set_defaults(func=cmd_farm_report)
 
     p_san = sub.add_parser(
         "sanitize", help="determinism sanitizer: run one config twice "

@@ -65,3 +65,33 @@ def test_load_baseline_soft_passes_on_missing_or_garbage(tmp_path):
     zero = tmp_path / "BENCH_zero.json"
     zero.write_text('{"instrs_per_s": 0}')
     assert load_baseline(str(zero)) is None
+
+
+def test_check_trend_message_names_both_revisions():
+    """The trend line must say which two artifacts were compared —
+    'prev -> cur' — so a CI log reader can tell a stale baseline from a
+    real regression at a glance."""
+    from repro.analysis.bench import check_trend
+    ok, message = check_trend(_result(9_500.0),
+                              {"rev": "prev", "instrs_per_s": 10_000.0})
+    assert ok
+    assert "prev -> cur" in message
+    # an old artifact without a rev field degrades gracefully
+    _, message = check_trend(_result(9_500.0), {"instrs_per_s": 10_000.0})
+    assert "unknown -> cur" in message
+
+
+def test_cli_bench_soft_pass_names_rev_and_baseline(tmp_path, capsys,
+                                                    monkeypatch):
+    """`repro bench --baseline <empty>` soft-passes, and the message must
+    say which rev ran and which baseline path had nothing usable."""
+    import repro.analysis.bench as bench_mod
+    from repro.cli import main
+    monkeypatch.setattr(bench_mod, "run_bench",
+                        lambda repeats, out_dir: (_result(9_500.0), None))
+    missing = str(tmp_path / "artifacts")
+    rc = main(["bench", "--baseline", missing])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "skipping the gate for rev cur" in out
+    assert missing in out
