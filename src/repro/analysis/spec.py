@@ -378,7 +378,7 @@ def _validate_axis(axis: str, values: List[Any], filename: str,
             marker = (type(value).__name__, value)
         except TypeError:
             raise _err(filename, lines, path + (i,),
-                       f"axis value {value!r} is not a scalar")
+                       f"axis value {value!r} is not a scalar") from None
         if marker in seen:
             raise _err(filename, lines, path + (i,),
                        f"duplicate value {value!r} in axis {axis!r}")

@@ -138,7 +138,9 @@ class OutOfOrderCore(SimComponent):
             cfg = self.cfg
             if (len(self.rob) >= cfg.rob_entries
                     or self.rs_occupancy >= cfg.rs_entries):
-                self.stats.full_window_stall_cycles += (
+                # CoreStats is donated to SimStats.cores at construction;
+                # SimStats.reset_stats zeroes it recursively.
+                self.stats.full_window_stall_cycles += (  # simlint: disable=SIM011
                     self.wheel.now - self._doze_started)
             self._doze_started = None
         self._schedule_tick()

@@ -12,9 +12,15 @@ trace subsystem silently depend on:
 - **SIM005** stats counters mutated from outside their owning component
 - **SIM006** mutable default arguments
 
+plus the whole-program protocol-conformance set (SIM010–SIM013), driven
+by the cross-module symbol graph in :mod:`repro.lint.graph`: snapshot
+completeness, reset coverage, config-state drift, and inter-procedural
+determinism taint.
+
 Run it as ``repro lint src/`` (or via :func:`lint_paths`), suppress a
-finding inline with ``# simlint: disable=SIM001``, and grandfather legacy
-findings in a committed baseline file.  The dynamic counterpart — the
+finding inline with ``# simlint: disable=SIM001`` (stale suppressions
+are themselves reported as SIM099), and grandfather legacy findings in
+a committed baseline file.  The dynamic counterpart — the
 two-run determinism sanitizer — lives in :mod:`repro.lint.sanitize` and is
 exposed as ``repro sanitize``.
 

@@ -30,6 +30,10 @@ def add_lint_arguments(parser) -> None:
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline from current findings "
                              "and exit 0")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="rewrite the baseline keeping only entries "
+                             "that still fire, dropping the rest, and "
+                             "exit 0")
     parser.add_argument("--select", nargs="+", metavar="CODE",
                         default=None,
                         help="run only these rule codes (e.g. SIM001)")
@@ -55,6 +59,7 @@ def cmd_lint(args) -> int:
         baseline_path = DEFAULT_BASELINE
     baseline = (Baseline.load(baseline_path) if baseline_path
                 else Baseline())
+    baseline_size = len(baseline)   # match() consumes slots below
     try:
         result = lint_paths(args.paths, rules=rules, baseline=baseline)
     except FileNotFoundError as exc:
@@ -66,6 +71,15 @@ def cmd_lint(args) -> int:
             result.findings + result.baselined).dump(out_path)
         print(f"wrote {len(result.findings) + len(result.baselined)} "
               f"grandfathered findings to {out_path}")
+        return 0
+    if args.prune_baseline:
+        # Keep only entries a finding still consumed this run: fixed (or
+        # deleted) debt falls out of the ledger instead of rotting there.
+        out_path = args.baseline or DEFAULT_BASELINE
+        dropped = baseline_size - len(result.baselined)
+        Baseline.from_findings(result.baselined).dump(out_path)
+        print(f"pruned {dropped} stale entries from {out_path}; "
+              f"{len(result.baselined)} remain")
         return 0
     if args.format == "json":
         print(format_json(result))

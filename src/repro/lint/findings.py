@@ -60,6 +60,12 @@ class LintContext:
     lines: Tuple[str, ...]         # source split into lines (1-based access
                                    # via ``line_at``)
     hot_path: bool                 # under a simulation hot-path package
+    #: whole-program symbol graph over every file in this lint run
+    #: (:class:`repro.lint.graph.ProjectGraph`); None only when a rule is
+    #: driven directly on a snippet outside the engine
+    graph: object = None
+    #: this file's :class:`repro.lint.graph.ModuleInfo` within ``graph``
+    module: object = None
 
     def line_at(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):

@@ -1,0 +1,698 @@
+"""Project symbol graph: the whole-program layer under simlint v2.
+
+SIM001–SIM009 are per-file AST walks; the protocol-conformance rules
+(SIM010–SIM013) need facts no single file contains — which classes are
+:class:`~repro.sim.component.SimComponent` subclasses, what a class
+inherits through bases defined in other modules, and whether a helper
+function two imports away returns a wall-clock value.  This module builds
+that view once per lint run:
+
+- a **module table** keyed by dotted name (derived from ``__init__.py``
+  packaging on disk), with per-module import alias maps covering
+  ``import a.b as c``, ``from m import X as Y``, and relative imports;
+- a **class table** per module with base-class expressions resolved
+  across modules into a linearized ancestor list (duplicates dropped,
+  unresolvable bases kept as terminal names so ``SimComponent`` is
+  recognized even when ``repro.sim.component`` is outside the linted
+  tree);
+- per-class **attribute tables**: ``self.X`` assignments in ``__init__``
+  (with the first-assignment value node, for state-vs-wiring
+  classification), ``self.X`` assignments anywhere, class-level
+  attributes, and ``@dataclass`` field declarations;
+- per-method **self indexes**: attributes mentioned through ``self``,
+  methods called through ``self``/``super()``, and whether the method
+  hands the whole instance to ``dataclass_state``/``restore_dataclass``/
+  ``reset_dataclass_stats`` (wildcard coverage);
+- a **call-edge index** with an inter-procedural **taint fixpoint**:
+  which functions (module-level or methods) return values derived from
+  wall-clock reads or process-global RNG draws, propagated through
+  project-local call chains until stable.
+
+The graph is deliberately approximate in the direction of *fewer false
+positives*: unresolvable calls and bases contribute nothing, dynamic
+attribute access (``getattr``/``setattr`` with computed names) marks a
+method as wildcard coverage, and name resolution never imports or
+executes project code — everything is derived from the parsed ASTs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .rules.common import attribute_chain
+
+#: the protocol root every stateful simulator class derives from; matched
+#: by terminal name so fixture trees that cannot see repro.sim.component
+#: still resolve their hierarchy
+SIM_COMPONENT_NAME = "SimComponent"
+
+#: helpers that consume the *whole* instance: a method calling one of
+#: these with a bare ``self`` argument covers every attribute
+_WILDCARD_STATE_HELPERS = frozenset({
+    "dataclass_state", "restore_dataclass", "reset_dataclass_stats",
+})
+
+#: decorator names that make a class a dataclass
+_DATACLASS_DECORATORS = frozenset({"dataclass"})
+
+# -- taint sources (SIM013) ---------------------------------------------------
+
+#: module-level functions of ``time`` that read the host clock
+_TIME_FUNCS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "clock",
+})
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+#: names importable from random/numpy.random that do NOT touch global state
+_SAFE_RNG_FACTORIES = frozenset({
+    "Random", "SystemRandom", "default_rng", "Generator", "RandomState",
+    "SeedSequence", "BitGenerator", "PCG64", "Philox", "MT19937", "SFC64",
+})
+_OS_ENTROPY_FUNCS = frozenset({"urandom", "getrandom"})
+_UUID_RANDOM_FUNCS = frozenset({"uuid1", "uuid4"})
+
+
+@dataclass
+class MethodInfo:
+    """Facts simlint needs about one function/method body."""
+
+    name: str
+    node: ast.AST                          # FunctionDef / AsyncFunctionDef
+    self_attrs: FrozenSet[str]             # attrs mentioned through self
+    self_calls: FrozenSet[str]             # methods called via self/super()
+    wildcard_state: bool                   # whole-instance state helper call
+
+
+@dataclass
+class AttrAssign:
+    """First ``self.X = ...`` assignment for one attribute in __init__."""
+
+    name: str
+    lineno: int
+    col: int
+    value: Optional[ast.expr]              # None for bare annotations
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus its simlint-relevant tables."""
+
+    name: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    base_exprs: List[ast.expr] = field(default_factory=list)
+    methods: Dict[str, MethodInfo] = field(default_factory=dict)
+    #: attr -> first assignment inside this class's own __init__
+    init_attrs: Dict[str, AttrAssign] = field(default_factory=dict)
+    #: every attr assigned through self in any method of this class
+    all_self_attrs: Set[str] = field(default_factory=set)
+    #: plain class-level attribute names (``name = "ghb"``)
+    class_attrs: Set[str] = field(default_factory=set)
+    is_dataclass: bool = False
+    #: class-level annotated fields (dataclass field declarations)
+    dataclass_fields: Dict[str, AttrAssign] = field(default_factory=dict)
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module.name}.{self.name}"
+
+
+@dataclass
+class FunctionInfo:
+    """A taint-analysis participant: module-level function or method."""
+
+    module: "ModuleInfo"
+    cls: Optional[ClassInfo]
+    name: str
+    node: ast.AST
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.module.name, self.cls.name if self.cls else "",
+                self.name)
+
+    @property
+    def qualname(self) -> str:
+        if self.cls is not None:
+            return f"{self.cls.qualname}.{self.name}"
+        return f"{self.module.name}.{self.name}"
+
+
+class ModuleInfo:
+    """One parsed project module and its local symbol tables."""
+
+    def __init__(self, path: str, name: str, tree: ast.Module) -> None:
+        self.path = path
+        self.name = name                       # dotted; "" for scripts
+        self.tree = tree
+        #: local alias -> dotted target (module or module.symbol)
+        self.imports: Dict[str, str] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self._index()
+
+    # -- construction --------------------------------------------------------
+    def _index(self) -> None:
+        package = self.name.rsplit(".", 1)[0] if "." in self.name else ""
+        for node in self.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    self.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from(node, package)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = (f"{base}.{alias.name}"
+                                           if base else alias.name)
+            elif isinstance(node, ast.ClassDef):
+                self.classes[node.name] = _build_class(self, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = FunctionInfo(
+                    module=self, cls=None, name=node.name, node=node)
+
+    def _resolve_from(self, node: ast.ImportFrom,
+                      package: str) -> Optional[str]:
+        """Absolute dotted base of a ``from X import ...`` statement."""
+        if node.level == 0:
+            return node.module or ""
+        # Relative import: climb level-1 packages above this module's
+        # package (level 1 == the package itself).
+        parts = package.split(".") if package else []
+        drop = node.level - 1
+        if drop > len(parts):
+            return None
+        base_parts = parts[: len(parts) - drop]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts)
+
+
+def _decorator_name(dec: ast.expr) -> str:
+    if isinstance(dec, ast.Call):
+        dec = dec.func
+    _base, attrs = attribute_chain(dec)
+    if attrs:
+        return attrs[-1]
+    if isinstance(dec, ast.Name):
+        return dec.id
+    return ""
+
+
+def _build_class(module: ModuleInfo, node: ast.ClassDef) -> ClassInfo:
+    info = ClassInfo(name=node.name, module=module, node=node,
+                     base_exprs=list(node.bases))
+    info.is_dataclass = any(_decorator_name(d) in _DATACLASS_DECORATORS
+                            for d in node.decorator_list)
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods[stmt.name] = _build_method(stmt)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name):
+            info.class_attrs.add(stmt.target.id)
+            info.dataclass_fields[stmt.target.id] = AttrAssign(
+                name=stmt.target.id, lineno=stmt.lineno,
+                col=stmt.col_offset, value=stmt.value)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    info.class_attrs.add(target.id)
+    init = info.methods.get("__init__")
+    if init is not None:
+        info.init_attrs = _init_attr_table(init.node)
+    for method in info.methods.values():
+        for stmt in ast.walk(method.node):
+            for target in _assign_targets(stmt):
+                attr = _self_attr_name(target)
+                if attr is not None:
+                    info.all_self_attrs.add(attr)
+    return info
+
+
+def _assign_targets(stmt: ast.AST) -> List[ast.expr]:
+    if isinstance(stmt, ast.Assign):
+        out: List[ast.expr] = []
+        for target in stmt.targets:
+            if isinstance(target, ast.Tuple):
+                out.extend(target.elts)
+            else:
+                out.append(target)
+        return out
+    if isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        return [stmt.target]
+    return []
+
+
+def _self_attr_name(target: ast.expr) -> Optional[str]:
+    """``self.X`` (exactly one hop) -> ``X``; anything else -> None."""
+    if (isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"):
+        return target.attr
+    return None
+
+
+def _init_attr_table(init: ast.AST) -> Dict[str, AttrAssign]:
+    table: Dict[str, AttrAssign] = {}
+    for stmt in ast.walk(init):
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = stmt.value
+        for target in _assign_targets(stmt):
+            attr = _self_attr_name(target)
+            if attr is None or attr in table:
+                continue
+            table[attr] = AttrAssign(name=attr, lineno=target.lineno,
+                                     col=target.col_offset, value=value)
+    return table
+
+
+def _build_method(node: ast.AST) -> MethodInfo:
+    self_attrs: Set[str] = set()
+    self_calls: Set[str] = set()
+    wildcard = False
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute):
+            if isinstance(sub.value, ast.Name) and sub.value.id == "self":
+                self_attrs.add(sub.attr)
+            # super().m(...) -> virtual self-call
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            if isinstance(func, ast.Attribute):
+                value = func.value
+                if isinstance(value, ast.Name) and value.id == "self":
+                    self_calls.add(func.attr)
+                elif (isinstance(value, ast.Call)
+                        and isinstance(value.func, ast.Name)
+                        and value.func.id == "super"):
+                    self_calls.add(func.attr)
+            elif isinstance(func, ast.Name):
+                if func.id in _WILDCARD_STATE_HELPERS and any(
+                        isinstance(arg, ast.Name) and arg.id == "self"
+                        for arg in sub.args):
+                    wildcard = True
+                elif func.id in ("getattr", "setattr") and sub.args and \
+                        isinstance(sub.args[0], ast.Name) and \
+                        sub.args[0].id == "self":
+                    # Dynamic attribute access over self: assume it can
+                    # reach anything (e.g. snapshot loops over a name
+                    # list) rather than inventing false gaps.
+                    wildcard = True
+    return MethodInfo(name=getattr(node, "name", "<fn>"), node=node,
+                      self_attrs=frozenset(self_attrs),
+                      self_calls=frozenset(self_calls),
+                      wildcard_state=wildcard)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name from on-disk packaging.
+
+    Walks up while ``__init__.py`` marks the parent as a package, so
+    ``src/repro/memsys/dram.py`` -> ``repro.memsys.dram`` and an
+    un-packaged script is just its stem.
+    """
+    path = Path(path)
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+class ProjectGraph:
+    """Cross-module symbol graph over one lint run's file set."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.by_path: Dict[str, ModuleInfo] = {}
+        self._taint: Optional[Dict[Tuple[str, str, str], str]] = None
+
+    # -- construction --------------------------------------------------------
+    def add_module(self, path, tree: ast.Module,
+                   name: Optional[str] = None) -> ModuleInfo:
+        norm = Path(path).as_posix()
+        if name is None:
+            name = module_name_for(Path(path))
+        info = ModuleInfo(path=norm, name=name, tree=tree)
+        self.modules[name] = info
+        self.by_path[norm] = info
+        self._taint = None
+        return info
+
+    @classmethod
+    def build(cls, items: Iterable[Tuple[str, ast.Module]]
+              ) -> "ProjectGraph":
+        graph = cls()
+        for path, tree in items:
+            graph.add_module(path, tree)
+        return graph
+
+    def module_for(self, path) -> Optional[ModuleInfo]:
+        return self.by_path.get(Path(path).as_posix())
+
+    # -- name resolution -----------------------------------------------------
+    def resolve(self, module: ModuleInfo, dotted: str):
+        """Resolve a dotted name seen in ``module`` to a project symbol.
+
+        Returns a :class:`ClassInfo`, :class:`FunctionInfo`, or
+        :class:`ModuleInfo`, or None when the name leaves the linted
+        tree (stdlib, third-party, un-linted files).
+        """
+        parts = dotted.split(".")
+        head, rest = parts[0], parts[1:]
+        target = module.imports.get(head)
+        if target is not None:
+            absolute = target.split(".") + rest
+        elif head in module.classes:
+            return self._navigate_class(module.classes[head], rest)
+        elif head in module.functions:
+            return module.functions[head] if not rest else None
+        else:
+            absolute = None
+        if absolute is None:
+            return None
+        # Longest module prefix, then navigate the remainder.
+        for cut in range(len(absolute), 0, -1):
+            mod = self.modules.get(".".join(absolute[:cut]))
+            if mod is None:
+                continue
+            remainder = absolute[cut:]
+            if not remainder:
+                return mod
+            head, rest = remainder[0], remainder[1:]
+            if head in mod.classes:
+                return self._navigate_class(mod.classes[head], rest)
+            if head in mod.functions and not rest:
+                return mod.functions[head]
+            return None
+        return None
+
+    @staticmethod
+    def _navigate_class(cls: ClassInfo, rest: List[str]):
+        if not rest:
+            return cls
+        if len(rest) == 1 and rest[0] in cls.methods:
+            return FunctionInfo(module=cls.module, cls=cls, name=rest[0],
+                                node=cls.methods[rest[0]].node)
+        return None
+
+    # -- class hierarchy -----------------------------------------------------
+    def base_of(self, cls: ClassInfo, expr: ast.expr):
+        """Resolve one base-class expression to a ClassInfo or a terminal
+        name string (unresolvable bases keep their last dotted part)."""
+        base, attrs = attribute_chain(expr)
+        if isinstance(base, ast.Name):
+            dotted = ".".join([base.id] + attrs)
+            resolved = self.resolve(cls.module, dotted)
+            if isinstance(resolved, ClassInfo):
+                return resolved
+            return (attrs[-1] if attrs else base.id)
+        return None
+
+    def ancestors(self, cls: ClassInfo) -> Tuple[List[ClassInfo],
+                                                 Set[str]]:
+        """(resolved ancestor classes incl. ``cls`` in MRO-ish order,
+        unresolved terminal base names)."""
+        order: List[ClassInfo] = []
+        unresolved: Set[str] = set()
+        seen: Set[int] = set()
+
+        def visit(node: ClassInfo) -> None:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            order.append(node)
+            for expr in node.base_exprs:
+                base = self.base_of(node, expr)
+                if isinstance(base, ClassInfo):
+                    visit(base)
+                elif isinstance(base, str):
+                    unresolved.add(base)
+
+        visit(cls)
+        return order, unresolved
+
+    def is_sim_component(self, cls: ClassInfo) -> bool:
+        """True when ``cls`` (not the root itself) derives from
+        :class:`SimComponent`, resolved across modules or recognized by
+        terminal base name when the root is outside the linted tree."""
+        if cls.name == SIM_COMPONENT_NAME:
+            return False
+        order, unresolved = self.ancestors(cls)
+        if SIM_COMPONENT_NAME in unresolved:
+            return True
+        return any(anc.name == SIM_COMPONENT_NAME for anc in order[1:])
+
+    def find_method(self, cls: ClassInfo, name: str,
+                    skip_root: bool = False
+                    ) -> Optional[Tuple[ClassInfo, MethodInfo]]:
+        """Locate ``name`` in the class's resolved ancestor chain.
+
+        ``skip_root`` ignores definitions on the ``SimComponent`` root —
+        its raising stubs do not count as implementing the protocol.
+        """
+        order, _unresolved = self.ancestors(cls)
+        for anc in order:
+            if skip_root and anc.name == SIM_COMPONENT_NAME:
+                continue
+            method = anc.methods.get(name)
+            if method is not None:
+                return anc, method
+        return None
+
+    def inherited_attrs(self, cls: ClassInfo) -> Set[str]:
+        """Every attribute name the class or its resolved ancestors
+        assign through self, declare at class level, or declare as a
+        dataclass field."""
+        order, _unresolved = self.ancestors(cls)
+        attrs: Set[str] = set()
+        for anc in order:
+            attrs |= anc.all_self_attrs
+            attrs |= anc.class_attrs
+            attrs |= set(anc.dataclass_fields)
+        return attrs
+
+    def reachable_state_coverage(
+            self, cls: ClassInfo,
+            roots: Iterable[str]) -> Tuple[Set[str], bool]:
+        """Attributes mentioned through self in the transitive closure of
+        ``roots`` (virtual dispatch: every self-call resolves against
+        ``cls``'s own MRO, so base-class hooks see subclass overrides).
+
+        Returns ``(attrs, wildcard)`` where ``wildcard`` means some
+        reached method hands the whole instance to a state helper or
+        uses dynamic attribute access — full coverage.
+        """
+        covered: Set[str] = set()
+        wildcard = False
+        queue: List[str] = list(roots)
+        visited: Set[str] = set()
+        while queue:
+            name = queue.pop()
+            if name in visited:
+                continue
+            visited.add(name)
+            found = self.find_method(cls, name)
+            if found is None:
+                continue
+            _owner, method = found
+            covered |= method.self_attrs
+            wildcard = wildcard or method.wildcard_state
+            queue.extend(method.self_calls - visited)
+        return covered, wildcard
+
+    # -- taint fixpoint (SIM013) ---------------------------------------------
+    def taint_summaries(self) -> Dict[Tuple[str, str, str], str]:
+        """fn-key -> human-readable taint origin, for every project
+        function whose *return value* derives from a wall-clock read or a
+        process-global RNG draw (directly, or through project calls)."""
+        if self._taint is None:
+            self._taint = self._compute_taint()
+        return self._taint
+
+    def function_taint(self, fn: FunctionInfo) -> Optional[str]:
+        return self.taint_summaries().get(fn.key)
+
+    def _all_functions(self) -> List[FunctionInfo]:
+        out: List[FunctionInfo] = []
+        for _name, module in sorted(self.modules.items()):
+            for fn in module.functions.values():
+                out.append(fn)
+            for cls in module.classes.values():
+                for mname, method in cls.methods.items():
+                    out.append(FunctionInfo(module=module, cls=cls,
+                                            name=mname, node=method.node))
+        return out
+
+    def _compute_taint(self) -> Dict[Tuple[str, str, str], str]:
+        functions = self._all_functions()
+        summaries: Dict[Tuple[str, str, str], str] = {}
+        changed = True
+        # Fixpoint: each pass may discover taint flowing one call deeper.
+        while changed:
+            changed = False
+            for fn in functions:
+                if fn.key in summaries:
+                    continue
+                origin = self._returns_taint(fn, summaries)
+                if origin is not None:
+                    summaries[fn.key] = origin
+                    changed = True
+        return summaries
+
+    def _returns_taint(self, fn: FunctionInfo,
+                       summaries: Dict[Tuple[str, str, str], str]
+                       ) -> Optional[str]:
+        tainted_locals = self.tainted_locals(fn, summaries)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                origin = self.expr_taint(fn, node.value, tainted_locals,
+                                         summaries)
+                if origin is not None:
+                    return origin
+        return None
+
+    def tainted_locals(self, fn: FunctionInfo,
+                       summaries: Optional[Dict] = None
+                       ) -> Dict[str, str]:
+        """Local name -> taint origin, from straight-line assignments
+        inside ``fn`` (two passes so later-defined helpers feed earlier
+        uses conservatively)."""
+        if summaries is None:
+            summaries = self.taint_summaries()
+        tainted: Dict[str, str] = {}
+        for _ in range(2):
+            before = len(tainted)
+            for stmt in ast.walk(fn.node):
+                if not isinstance(stmt, (ast.Assign, ast.AnnAssign,
+                                         ast.AugAssign)):
+                    continue
+                value = stmt.value
+                if value is None:
+                    continue
+                origin = self.expr_taint(fn, value, tainted, summaries)
+                if origin is None:
+                    continue
+                for target in _assign_targets(stmt):
+                    if isinstance(target, ast.Name):
+                        tainted[target.id] = origin
+                    else:
+                        attr = _self_attr_name(target)
+                        if attr is not None:
+                            tainted[f"self.{attr}"] = origin
+            if len(tainted) == before:
+                break
+        return tainted
+
+    def expr_taint(self, fn: FunctionInfo, expr: ast.expr,
+                   tainted_locals: Dict[str, str],
+                   summaries: Dict[Tuple[str, str, str], str]
+                   ) -> Optional[str]:
+        """Taint origin of ``expr`` inside ``fn``, or None."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and node.id in tainted_locals:
+                return tainted_locals[node.id]
+            if (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and f"self.{node.attr}" in tainted_locals):
+                return tainted_locals[f"self.{node.attr}"]
+            if not isinstance(node, ast.Call):
+                continue
+            origin = self._direct_source(fn.module, node)
+            if origin is not None:
+                return origin
+            target = self.call_target(fn, node)
+            if target is not None:
+                summary = summaries.get(target.key)
+                if summary is not None:
+                    return (f"{summary} via call to "
+                            f"'{target.qualname}'")
+        return None
+
+    def call_target(self, fn: FunctionInfo,
+                    call: ast.Call) -> Optional[FunctionInfo]:
+        """Resolve a call inside ``fn`` to a project function, if any."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            resolved = self.resolve(fn.module, func.id)
+            if isinstance(resolved, FunctionInfo):
+                return resolved
+            return None
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            is_self = isinstance(value, ast.Name) and value.id == "self"
+            is_super = (isinstance(value, ast.Call)
+                        and isinstance(value.func, ast.Name)
+                        and value.func.id == "super")
+            if (is_self or is_super) and fn.cls is not None:
+                found = self.find_method(fn.cls, func.attr)
+                if found is not None:
+                    # Key by the *defining* class: that is how the
+                    # summary table enumerates methods.
+                    owner, method = found
+                    return FunctionInfo(module=owner.module, cls=owner,
+                                        name=func.attr, node=method.node)
+                return None
+            base, attrs = attribute_chain(func)
+            if isinstance(base, ast.Name):
+                resolved = self.resolve(fn.module,
+                                        ".".join([base.id] + attrs))
+                if isinstance(resolved, FunctionInfo):
+                    return resolved
+        return None
+
+    def _direct_source(self, module: ModuleInfo,
+                       call: ast.Call) -> Optional[str]:
+        """Wall-clock / global-RNG source call, resolved through this
+        module's import aliases.  Returns a description or None."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            target = module.imports.get(func.id)
+            if target is None:
+                return None
+            return self._source_for_dotted(target)
+        if isinstance(func, ast.Attribute):
+            base, attrs = attribute_chain(func)
+            if not isinstance(base, ast.Name):
+                return None
+            head = module.imports.get(base.id, base.id
+                                      if base.id in ("datetime", "date")
+                                      else None)
+            if head is None:
+                return None
+            return self._source_for_dotted(".".join([head] + attrs))
+        return None
+
+    @staticmethod
+    def _source_for_dotted(dotted: str) -> Optional[str]:
+        parts = dotted.split(".")
+        if len(parts) < 2:
+            return None
+        root, leaf = parts[0], parts[-1]
+        if root == "time" and leaf in _TIME_FUNCS:
+            return f"wall-clock read 'time.{leaf}'"
+        if root in ("datetime", "date") and leaf in _DATETIME_FUNCS:
+            return f"wall-clock read '{dotted}'"
+        if root == "os" and leaf in _OS_ENTROPY_FUNCS:
+            return f"host entropy 'os.{leaf}'"
+        if root == "uuid" and leaf in _UUID_RANDOM_FUNCS:
+            return f"host entropy 'uuid.{leaf}'"
+        if root == "secrets":
+            return f"host entropy 'secrets.{leaf}'"
+        if root == "random" and leaf not in _SAFE_RNG_FACTORIES:
+            return f"global RNG 'random.{leaf}'"
+        if root == "numpy" and "random" in parts[1:-1] + [parts[1]] \
+                and leaf not in _SAFE_RNG_FACTORIES and len(parts) >= 3:
+            return f"global RNG 'numpy.random.{leaf}'"
+        return None

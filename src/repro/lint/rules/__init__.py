@@ -1,10 +1,17 @@
-"""Built-in simlint rules; importing this package registers SIM001–SIM009."""
+"""Built-in simlint rules; importing this package registers SIM001–SIM013.
+
+SIM001–SIM009 are per-file AST walks; SIM010–SIM013 are whole-program
+rules driven by the :class:`~repro.lint.graph.ProjectGraph` the engine
+builds over the full lint run.
+"""
 
 from . import (sim001_shared_state, sim002_unseeded_random,
                sim003_wall_clock, sim004_float_cycles,
                sim005_foreign_stats, sim006_mutable_defaults,
                sim007_past_event, sim008_reach_through,
-               sim009_unordered_iteration)
+               sim009_unordered_iteration, sim010_snapshot_completeness,
+               sim011_reset_coverage, sim012_config_state_drift,
+               sim013_taint_flow)
 
 __all__ = [
     "sim001_shared_state",
@@ -16,4 +23,8 @@ __all__ = [
     "sim007_past_event",
     "sim008_reach_through",
     "sim009_unordered_iteration",
+    "sim010_snapshot_completeness",
+    "sim011_reset_coverage",
+    "sim012_config_state_drift",
+    "sim013_taint_flow",
 ]

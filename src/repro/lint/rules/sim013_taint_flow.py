@@ -1,0 +1,122 @@
+"""SIM013: inter-procedural determinism taint in hot-path code.
+
+SIM002/SIM003 catch a wall-clock read or global RNG draw *at the line
+that performs it*.  They are blind to the laundered version: a helper in
+another module returns ``time.monotonic()``, the hot path stores the
+helper's result into a cycle attribute or schedules an event with it,
+and nothing on the offending line looks nondeterministic.  This rule
+closes that hole with the :class:`~repro.lint.graph.ProjectGraph` taint
+fixpoint: functions whose return values derive from host time / entropy
+/ process-global RNG (directly or through further project calls) are
+summarized once per run, and hot-path sinks consuming those summaries
+are flagged here.
+
+Sinks (the same surface SIM004 guards for float contamination):
+
+- an argument of an event-wheel ``schedule``/``schedule_at``/``send``
+  call;
+- an assignment whose target is cycle-named (``*_cycle[s]``,
+  ``*_tick[s]``, ``*_at``, ``when``, ``deadline``).
+
+Only *cross-function* flows fire (the taint origin involves at least one
+project call); a direct ``time.time()`` on the sink line is already
+SIM003's finding, and double-reporting would just be noise.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List
+
+from ..findings import Finding, LintContext
+from ..registry import Rule, register_rule
+from .common import attribute_chain, target_names
+
+_CYCLE_NAME = re.compile(
+    r"(?:^|_)(?:cycle|cycles|tick|ticks|when|deadline)$|_at$")
+_SINK_CALLS = frozenset({"schedule", "schedule_at", "send"})
+
+
+def _terminal_name(target: ast.expr) -> str:
+    if isinstance(target, ast.Name):
+        return target.id
+    _base, attrs = attribute_chain(target)
+    return attrs[-1] if attrs else ""
+
+
+def _module_functions(graph, module) -> List:
+    """Every taint participant defined in this module, keyed exactly as
+    the graph's summary table keys them."""
+    from ..graph import FunctionInfo
+    out = list(module.functions.values())
+    for cls in module.classes.values():
+        for name, method in cls.methods.items():
+            out.append(FunctionInfo(module=module, cls=cls, name=name,
+                                    node=method.node))
+    return out
+
+
+@register_rule
+class TaintedTimeFlow(Rule):
+    code = "SIM013"
+    name = "determinism-taint-flow"
+    description = (
+        "A value derived from host wall-clock, host entropy, or the "
+        "process-global RNG flows *through project helper calls* into "
+        "hot-path cycle arithmetic or event scheduling: the simulated "
+        "timeline silently depends on the host.  Thread a seeded "
+        "random.Random / integer cycle value instead.  (Direct reads at "
+        "the sink line are SIM002/SIM003.)")
+
+    def check(self, tree: ast.Module,
+              ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.hot_path:
+            return
+        graph, module = ctx.graph, ctx.module
+        if graph is None or module is None:
+            return
+        summaries = graph.taint_summaries()
+        for fn in _module_functions(graph, module):
+            tainted = graph.tainted_locals(fn, summaries)
+            yield from self._check_sinks(ctx, graph, fn, tainted,
+                                         summaries)
+
+    def _check_sinks(self, ctx, graph, fn, tainted,
+                     summaries) -> Iterator[Finding]:
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.Assign, ast.AnnAssign,
+                                 ast.AugAssign)):
+                value = getattr(node, "value", None)
+                if value is None:
+                    continue
+                for target in target_names(node):
+                    name = _terminal_name(target)
+                    if not _CYCLE_NAME.search(name):
+                        continue
+                    origin = graph.expr_taint(fn, value, tainted,
+                                              summaries)
+                    if origin is None or "via call to" not in origin:
+                        continue
+                    yield self.finding(
+                        ctx, node,
+                        f"cycle-valued target {name!r} receives a value "
+                        f"tainted by {origin}; simulated time must not "
+                        f"depend on the host")
+                    break
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if not (isinstance(func, ast.Attribute)
+                        and func.attr in _SINK_CALLS):
+                    continue
+                for arg in list(node.args) + [kw.value
+                                              for kw in node.keywords]:
+                    origin = graph.expr_taint(fn, arg, tainted,
+                                              summaries)
+                    if origin is None or "via call to" not in origin:
+                        continue
+                    yield self.finding(
+                        ctx, node,
+                        f"{func.attr}() argument is tainted by {origin}; "
+                        f"event timing must not depend on the host")
+                    break

@@ -106,7 +106,9 @@ class LLC(SimComponent):
                                        for i in range(num_slices)]
         # Called with the line address when a line with the EMC bit set is
         # evicted or written, so the EMC data cache can invalidate its copy.
-        self.emc_invalidate_hook: Optional[Callable[[int], None]] = None
+        # Re-wired by the owning System after every restore/fork, so the
+        # snapshot protocol deliberately does not carry it.
+        self.emc_invalidate_hook: Optional[Callable[[int], None]] = None  # simlint: disable=SIM010
 
     def slice_of(self, line: int) -> LLCSlice:
         index = (line // CACHE_LINE_BYTES) % len(self.slices)

@@ -110,8 +110,11 @@ class System(SimComponent):
         # Kept for checkpointing: images mutate during execution, and the
         # rename tables hold references into the trace uop lists, so the
         # checkpoint payload must carry the *live* workload objects.
-        self._workload: List[Tuple[Trace, MemoryImage]] = list(workload)
-        self.images: List[MemoryImage] = [image for _t, image in workload]
+        # The checkpoint/fork envelope carries the live workload objects
+        # beside the snapshot tree (see fork/checkpoint below), so the
+        # snapshot protocol itself deliberately skips both attributes.
+        self._workload: List[Tuple[Trace, MemoryImage]] = list(workload)  # simlint: disable=SIM010
+        self.images: List[MemoryImage] = [image for _t, image in workload]  # simlint: disable=SIM010
         num_stops = cfg.num_cores + cfg.num_mcs
         self.ring = Ring(num_stops, cfg.ring, self.wheel)
         self.hierarchy = MemoryHierarchy(self)

@@ -1,0 +1,7 @@
+"""Planted SIM099: a suppression comment that silences nothing.
+
+The tuple is immutable, so SIM001 never fires here — the ``disable``
+comment is stale and must itself be reported.
+"""
+
+TUNING_TABLE = (1, 2, 3)  # simlint: disable=SIM001

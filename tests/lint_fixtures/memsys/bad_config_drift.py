@@ -1,0 +1,25 @@
+"""Planted SIM012: reseat and config_state() drifted apart.
+
+``reseat`` consumes a ``"banks"`` key no ``config_state`` ever writes
+(existing snapshots carry no such key), and ``config_state`` records
+``self.num_lanes`` which nothing in the class ever assigns.
+"""
+
+from repro.sim.component import SimComponent
+
+
+class DriftingCache(SimComponent):
+    """Cache whose fork path disagrees with its config descriptor."""
+
+    def __init__(self, ways: int) -> None:
+        self.ways = ways
+
+    def config_state(self) -> dict:
+        return {"ways": self.ways, "lanes": self.num_lanes}
+
+    def reseat(self, state: dict, report, path: str = "") -> None:
+        saved = state["config"]
+        if saved["ways"] != self.ways:
+            report.note(path, "associativity changed")
+        if saved["banks"] != 4:
+            report.note(path, "bank count changed")

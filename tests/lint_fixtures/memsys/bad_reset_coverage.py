@@ -1,0 +1,33 @@
+"""Planted SIM011: a stats counter reset_stats never reaches.
+
+``hit_stats`` is owned here (built in ``__init__``, not aliased from a
+parameter) and bumped on the hot path, but ``reset_stats`` only touches
+``stats`` — the warmup/measure boundary leaks warmup hits into measured
+figures.
+"""
+
+from repro.sim.component import SimComponent
+
+
+class _Counters:
+    def __init__(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+
+
+class StickyCounterBank(SimComponent):
+    """Counter bank that forgets to reset one of its stats objects."""
+
+    def __init__(self) -> None:
+        self.stats = _Counters()
+        self.hit_stats = _Counters()
+
+    def note_access(self) -> None:
+        self.stats.accesses += 1
+
+    def note_hit(self) -> None:
+        self.hit_stats.hits += 1
+
+    def reset_stats(self) -> None:
+        self.stats.accesses = 0
+        self.stats.hits = 0

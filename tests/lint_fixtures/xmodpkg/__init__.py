@@ -1,0 +1,6 @@
+"""Cross-module fixture package: exercises ProjectGraph resolution.
+
+The planted violations in ``memsys/`` depend on facts from sibling
+modules (a base class in ``base.py``, a tainted helper in
+``helpers.py``) — a per-file linter cannot see them.
+"""

@@ -1,0 +1,12 @@
+"""Clean-looking helper that launders a wall-clock read.
+
+This file is outside the hot packages, so SIM003 stays silent here; the
+taint only becomes a finding where the value reaches an event-wheel
+sink (see ``memsys/bad_taint_flow.py``).
+"""
+
+import time
+
+
+def fuzz_delay() -> int:
+    return int(time.time()) % 7

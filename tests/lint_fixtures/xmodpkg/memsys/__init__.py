@@ -1,0 +1,1 @@
+"""Hot-path half of the cross-module fixture package."""

@@ -1,0 +1,23 @@
+"""Planted SIM010, cross-module: the snapshot lives in the base class.
+
+``ReplayQueue`` inherits ``snapshot`` from ``xmodpkg.base.TimingBase``,
+whose hook dispatch reaches this class's ``_arch_snapshot`` — which
+covers ``entries`` but not ``retries``.  Seeing that requires resolving
+the hierarchy across files.
+"""
+
+from ..base import TimingBase
+
+
+class ReplayQueue(TimingBase):
+    """Queue whose retry counter misses the inherited snapshot."""
+
+    def __init__(self) -> None:
+        self.entries = []
+        self.retries = 0
+
+    def replay_front(self) -> None:
+        self.retries += 1
+
+    def _arch_snapshot(self) -> dict:
+        return {"entries": list(self.entries)}

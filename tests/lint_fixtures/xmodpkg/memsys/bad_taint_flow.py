@@ -1,0 +1,18 @@
+"""Planted SIM013, cross-module: a laundered host-time value reaches
+the event wheel.
+
+Nothing on the sink line reads a clock — the nondeterminism arrives
+through ``xmodpkg.helpers.fuzz_delay``, one import away.
+"""
+
+from ..helpers import fuzz_delay
+
+
+class JitteryKicker:
+    """Schedules a tick with a host-derived delay from a helper."""
+
+    def kick(self) -> None:
+        self.wheel.schedule(fuzz_delay(), self._tick)
+
+    def _tick(self) -> None:
+        pass

@@ -101,7 +101,7 @@ def test_rob_capacity_limits_inflight():
     tw = TraceWriter()
     tw.add(UopType.MOV, dest=1, imm=0x100000)
     tw.add(UopType.LOAD, dest=2, src1=1)
-    for i in range(400):
+    for _ in range(400):
         tw.add(UopType.ADD, dest=2, src1=2, imm=1)
     system, stats = run_trace(tw.trace(), image=image)
     assert stats.cores[0].instructions == 402

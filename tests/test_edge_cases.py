@@ -100,7 +100,7 @@ def test_serial_alu_chain_ipc_one():
     """A fully serial ALU chain caps at IPC ~1 (1-cycle ALU)."""
     tw = TraceWriter()
     tw.add(UopType.MOV, dest=1, imm=1)
-    for i in range(300):
+    for _ in range(300):
         tw.add(UopType.ADD, dest=1, src1=1, imm=1)
     system, stats = run_trace(tw.trace())
     ipc = stats.cores[0].instructions / stats.cores[0].finished_at

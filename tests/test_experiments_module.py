@@ -48,7 +48,7 @@ def test_fig02_rows_have_speedups():
 
 def test_fig03_coverage_bounds():
     coverage = exp.fig03_prefetch_coverage(["mcf"], n_instrs=N)
-    for pf, frac in coverage["mcf"].items():
+    for _pf, frac in coverage["mcf"].items():
         assert 0.0 <= frac <= 1.0
 
 

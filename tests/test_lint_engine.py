@@ -57,8 +57,71 @@ def test_suppression_is_per_code(tmp_path):
     path = write(tmp_path, "mod.py",
                  "REGISTRY = {}  # simlint: disable=SIM002\n")
     result = lint_paths([path])
-    # Wrong code: the SIM001 finding stays active.
-    assert [f.rule for f in result.findings] == ["SIM001"]
+    # Wrong code: the SIM001 finding stays active, and the SIM002
+    # suppression is itself flagged as silencing nothing.
+    assert [f.rule for f in result.findings] == ["SIM001", "SIM099"]
+
+
+# -- unused suppressions (SIM099) -------------------------------------------
+
+def test_unused_suppression_is_reported(tmp_path):
+    path = write(tmp_path, "mod.py",
+                 "x = 1  # simlint: disable=SIM001\n")
+    result = lint_paths([path])
+    (finding,) = result.findings
+    assert finding.rule == "SIM099"
+    assert "SIM001" in finding.message
+    assert finding.line == 1
+
+
+def test_used_suppression_is_not_reported(tmp_path):
+    path = write(tmp_path, "mod.py",
+                 "REGISTRY = {}  # simlint: disable=SIM001\n")
+    result = lint_paths([path])
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["SIM001"]
+
+
+def test_unused_disable_all_is_reported(tmp_path):
+    path = write(tmp_path, "mod.py",
+                 "x = 1  # simlint: disable=all\n")
+    result = lint_paths([path])
+    assert [f.rule for f in result.findings] == ["SIM099"]
+    assert "disable=all" in result.findings[0].message
+
+
+def test_unknown_rule_code_in_suppression_is_reported(tmp_path):
+    path = write(tmp_path, "mod.py",
+                 "x = 1  # simlint: disable=SIM0042\n")
+    result = lint_paths([path])
+    assert [f.rule for f in result.findings] == ["SIM099"]
+    assert "unknown rule SIM0042" in result.findings[0].message
+
+
+def test_unselected_code_is_not_judged_unused(tmp_path):
+    from repro.lint.registry import select_rules
+    path = write(tmp_path, "mod.py",
+                 "x = 1  # simlint: disable=SIM001\n")
+    result = lint_paths([path], rules=select_rules(["SIM006"]))
+    # --select SIM006 says nothing about whether SIM001 would fire.
+    assert result.findings == []
+
+
+def test_sim099_token_is_an_escape_hatch(tmp_path):
+    path = write(tmp_path, "mod.py",
+                 "x = 1  # simlint: disable=SIM001,SIM099\n")
+    result = lint_paths([path])
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["SIM099"]
+
+
+def test_suppression_text_inside_docstring_is_ignored(tmp_path):
+    path = write(tmp_path, "mod.py",
+                 '"""Example::\n\n'
+                 '    x = []  # simlint: disable=SIM001\n'
+                 '"""\n')
+    result = lint_paths([path])
+    assert result.findings == []
 
 
 # -- baseline ---------------------------------------------------------------
@@ -213,6 +276,23 @@ def test_cli_update_baseline_then_clean(tmp_path, capsys, monkeypatch):
     # The default baseline in the cwd is picked up automatically.
     assert simlint_main(["mod.py"]) == 0
     assert "(0 suppressed, 1 baselined)" in capsys.readouterr().out
+
+
+def test_cli_prune_baseline_drops_fixed_entries(tmp_path, capsys,
+                                                monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    src = write(tmp_path, "mod.py", VIOLATION + "OTHER = {}\n")
+    assert simlint_main(["mod.py", "--update-baseline"]) == 0
+    assert len(Baseline.load(tmp_path / "simlint-baseline.json")) == 2
+    capsys.readouterr()
+    # Fix one of the two grandfathered findings, then prune.
+    src.write_text(VIOLATION + "OTHER = (1,)\n")
+    assert simlint_main(["mod.py", "--prune-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "pruned 1 stale entries" in out
+    assert len(Baseline.load(tmp_path / "simlint-baseline.json")) == 1
+    # The remaining entry still matches; the run stays clean.
+    assert simlint_main(["mod.py"]) == 0
 
 
 def test_repro_cli_has_lint_and_sanitize(capsys):

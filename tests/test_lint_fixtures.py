@@ -33,6 +33,14 @@ PLANTED = [
     ("SIM008", "bad_reach_through.py", 17),         # 3-hop .append()
     ("SIM008", "bad_reach_through.py", 20),         # 4-hop assignment
     ("SIM009", "memsys/bad_unordered_sched.py", 17),  # set -> schedule()
+    ("SIM010", "memsys/bad_snapshot_completeness.py", 17),  # uncovered attr
+    ("SIM011", "memsys/bad_reset_coverage.py", 29),  # unreset counter
+    ("SIM012", "memsys/bad_config_drift.py", 18),    # unknown self attr
+    ("SIM012", "memsys/bad_config_drift.py", 24),    # unwritten config key
+    ("SIM013", "xmodpkg/memsys/bad_taint_flow.py", 15),  # laundered clock
+    ("SIM099", "bad_unused_suppression.py", 7),      # stale disable=SIM001
+    # Cross-module: hierarchy + hook dispatch resolved via xmodpkg/base.py.
+    ("SIM010", "xmodpkg/memsys/bad_missing_field.py", 17),
 ]
 
 
@@ -48,6 +56,31 @@ def test_fixtures_report_exactly_the_planted_findings():
 def test_fixture_run_fails_the_gate():
     result = lint_paths([FIXTURES])
     assert result.exit_code() == 1
+
+
+def test_sim010_names_exactly_the_omitted_attribute():
+    # Acceptance check: a component with one deliberately omitted
+    # snapshot field yields one SIM010 finding naming that attribute.
+    result = lint_paths(
+        [FIXTURES / "memsys" / "bad_snapshot_completeness.py"])
+    sim010 = [f for f in result.findings if f.rule == "SIM010"]
+    assert len(sim010) == 1
+    assert "'coalesced'" in sim010[0].message
+    assert "'entries'" not in sim010[0].message
+    assert "'depth'" not in sim010[0].message
+
+
+def test_cross_module_findings_need_the_whole_program_graph():
+    # Linting the whole package resolves ReplayQueue's hierarchy through
+    # xmodpkg/base.py and the taint through xmodpkg/helpers.py ...
+    pkg = lint_paths([FIXTURES / "xmodpkg"])
+    assert sorted(f.rule for f in pkg.findings) == ["SIM010", "SIM013"]
+    # ... while linting the bad files alone sees neither the base class
+    # (no snapshot to be incomplete against) nor the helper's taint.
+    alone = lint_paths(
+        [FIXTURES / "xmodpkg" / "memsys" / "bad_missing_field.py",
+         FIXTURES / "xmodpkg" / "memsys" / "bad_taint_flow.py"])
+    assert alone.findings == []
 
 
 def test_hot_path_rules_silent_outside_hot_packages():

@@ -1,0 +1,227 @@
+"""Unit tests for the whole-program symbol graph under simlint v2."""
+
+import ast
+import textwrap
+
+from repro.lint.graph import ProjectGraph, module_name_for
+
+
+def build(files):
+    """files: {posix path: source} -> ProjectGraph."""
+    graph = ProjectGraph()
+    for path, source in files.items():
+        graph.add_module(path, ast.parse(textwrap.dedent(source)))
+    return graph
+
+
+# -- module naming and imports ----------------------------------------------
+
+def test_module_name_follows_init_py_packaging(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "__init__.py").write_text("")
+    (tmp_path / "pkg" / "sub").mkdir()
+    (tmp_path / "pkg" / "sub" / "__init__.py").write_text("")
+    mod = tmp_path / "pkg" / "sub" / "mod.py"
+    mod.write_text("x = 1\n")
+    assert module_name_for(mod) == "pkg.sub.mod"
+    assert module_name_for(tmp_path / "pkg" / "sub" / "__init__.py") == \
+        "pkg.sub"
+    loose = tmp_path / "script.py"
+    loose.write_text("x = 1\n")
+    assert module_name_for(loose) == "script"
+
+
+def test_import_alias_maps():
+    graph = build({"m.py": """\
+        import collections
+        import numpy as np
+        from os import path as osp
+        from pkg.mod import Thing
+    """})
+    imports = graph.modules["m"].imports
+    assert imports["collections"] == "collections"
+    assert imports["np"] == "numpy"
+    assert imports["osp"] == "os.path"
+    assert imports["Thing"] == "pkg.mod.Thing"
+
+
+def test_relative_imports_resolve_against_package():
+    # add_module normally derives names from on-disk __init__.py files;
+    # explicit names here pin the relative-import arithmetic alone.
+    graph = ProjectGraph()
+    graph.add_module("pkg/__init__.py", ast.parse(""), name="pkg")
+    graph.add_module("pkg/base.py",
+                     ast.parse("class Base:\n    pass\n"), name="pkg.base")
+    graph.add_module("pkg/sub/mod.py",
+                     ast.parse("from ..base import Base\n"
+                               "class Child(Base):\n    pass\n"),
+                     name="pkg.sub.mod")
+    child = graph.modules["pkg.sub.mod"].classes["Child"]
+    order, unresolved = graph.ancestors(child)
+    assert [c.qualname for c in order] == ["pkg.sub.mod.Child",
+                                           "pkg.base.Base"]
+    assert unresolved == set()
+
+
+# -- hierarchy resolution ----------------------------------------------------
+
+SIM_TREE = {
+    "component.py": """\
+        class SimComponent:
+            def snapshot(self, kind="full"):
+                raise NotImplementedError
+
+            def reset_stats(self):
+                pass
+    """,
+    "base.py": """\
+        from component import SimComponent
+
+        class Device(SimComponent):
+            def snapshot(self, kind="full"):
+                state = {"kind": kind}
+                state.update(self._arch_snapshot())
+                return state
+
+            def _arch_snapshot(self):
+                return {}
+    """,
+    "leaf.py": """\
+        from base import Device
+
+        class Cache(Device):
+            def __init__(self):
+                self.lines = []
+                self.dirty = 0
+
+            def _arch_snapshot(self):
+                return {"lines": list(self.lines)}
+    """,
+}
+
+
+def test_is_sim_component_across_modules():
+    graph = build(SIM_TREE)
+    cache = graph.modules["leaf"].classes["Cache"]
+    device = graph.modules["base"].classes["Device"]
+    root = graph.modules["component"].classes["SimComponent"]
+    assert graph.is_sim_component(cache)
+    assert graph.is_sim_component(device)
+    assert not graph.is_sim_component(root)   # the root itself
+
+
+def test_is_sim_component_by_terminal_name_fallback():
+    graph = build({"m.py": """\
+        from repro.sim.component import SimComponent
+
+        class Thing(SimComponent):
+            pass
+
+        class Other:
+            pass
+    """})
+    module = graph.modules["m"]
+    assert graph.is_sim_component(module.classes["Thing"])
+    assert not graph.is_sim_component(module.classes["Other"])
+
+
+def test_find_method_skip_root_ignores_protocol_stubs():
+    graph = build(SIM_TREE)
+    cache = graph.modules["leaf"].classes["Cache"]
+    owner, _method = graph.find_method(cache, "snapshot", skip_root=True)
+    assert owner.name == "Device"
+    # reset_stats only exists on the root: skip_root finds nothing.
+    assert graph.find_method(cache, "reset_stats", skip_root=True) is None
+    assert graph.find_method(cache, "reset_stats") is not None
+
+
+def test_reachable_coverage_uses_virtual_dispatch():
+    graph = build(SIM_TREE)
+    cache = graph.modules["leaf"].classes["Cache"]
+    covered, wildcard = graph.reachable_state_coverage(
+        cache, ("snapshot",))
+    # Device.snapshot calls self._arch_snapshot(), which must resolve to
+    # Cache's override — covering 'lines' but not 'dirty'.
+    assert "lines" in covered
+    assert "dirty" not in covered
+    assert wildcard is False
+
+
+def test_wildcard_coverage_via_state_helpers():
+    graph = build({"m.py": """\
+        from repro.sim.component import SimComponent, dataclass_state
+
+        class Stats(SimComponent):
+            def __init__(self):
+                self.hits = 0
+
+            def snapshot(self, kind="full"):
+                return dataclass_state(self)
+    """})
+    stats = graph.modules["m"].classes["Stats"]
+    _covered, wildcard = graph.reachable_state_coverage(
+        stats, ("snapshot",))
+    assert wildcard is True
+
+
+def test_inherited_attrs_union_over_ancestors():
+    graph = build(SIM_TREE)
+    cache = graph.modules["leaf"].classes["Cache"]
+    attrs = graph.inherited_attrs(cache)
+    assert {"lines", "dirty"} <= attrs
+
+
+# -- taint fixpoint ----------------------------------------------------------
+
+def test_taint_propagates_through_call_chain():
+    graph = build({
+        "clock.py": """\
+            import time
+
+            def stamp():
+                return time.monotonic()
+        """,
+        "wrap.py": """\
+            from clock import stamp
+
+            def padded():
+                return stamp() + 1
+        """,
+    })
+    summaries = graph.taint_summaries()
+    assert ("clock", "", "stamp") in summaries
+    origin = summaries[("wrap", "", "padded")]
+    assert "wall-clock read 'time.monotonic'" in origin
+    assert "via call to 'clock.stamp'" in origin
+
+
+def test_seeded_rng_and_pure_helpers_stay_clean():
+    graph = build({"m.py": """\
+        import random
+
+        def make_rng(seed):
+            return random.Random(seed)
+
+        def double(x):
+            return 2 * x
+    """})
+    assert graph.taint_summaries() == {}
+
+
+def test_method_taint_keys_by_defining_class():
+    graph = build({"m.py": """\
+        import random
+
+        class Base:
+            def draw(self):
+                return random.random()
+
+        class Child(Base):
+            def pick(self):
+                return self.draw()
+    """})
+    summaries = graph.taint_summaries()
+    assert ("m", "Base", "draw") in summaries
+    # Child.pick's self.draw() resolves to Base.draw, so the taint
+    # reaches it through the hierarchy.
+    assert ("m", "Child", "pick") in summaries

@@ -15,7 +15,7 @@ def test_fast_core_wraps_until_slow_core_finishes():
     core must wrap around and keep running until the memory core ends."""
     fast = TraceWriter()
     fast.add(UopType.MOV, dest=1, imm=1)
-    for i in range(50):
+    for _ in range(50):
         fast.add(UopType.ADD, dest=1, src1=1, imm=1)
 
     slow = TraceWriter()

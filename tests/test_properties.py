@@ -45,7 +45,7 @@ def test_dram_bank_never_overlaps_service(addrs):
     wheel = EventWheel()
     channel = DRAMChannel(0, cfg, wheel, DRAMStats())
     served = []
-    for i, line in enumerate(addrs):
+    for _i, line in enumerate(addrs):
         req = DRAMRequest(line=line, source=0, is_write=False,
                           callback=lambda r: served.append(r))
         channel.enqueue(req)
@@ -56,7 +56,7 @@ def test_dram_bank_never_overlaps_service(addrs):
             (req.service_start, req.completed_at))
     for windows in by_bank.values():
         windows.sort()
-        for (s1, e1), (s2, _e2) in zip(windows, windows[1:]):
+        for (_s1, e1), (s2, _e2) in zip(windows, windows[1:]):
             assert s2 >= e1, windows
 
 
