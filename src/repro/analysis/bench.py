@@ -50,6 +50,12 @@ class BenchResult:
     total_cycles: int
     total_instrs: int
     repeats: int
+    # The machine the pinned bench ran on, recorded so the trend gate
+    # never compares rates across fabrics or machine shapes.  Defaults
+    # (trailing, for compatibility with pre-topology artifacts) describe
+    # the historical pinned run.
+    topology: str = "ring"
+    machine: str = "quad"
 
     def to_json(self) -> dict:
         return asdict(self)
@@ -115,6 +121,9 @@ def run_bench(repeats: int = BENCH_REPEATS,
         total_cycles=cycles,
         total_instrs=instrs,
         repeats=repeats,
+        topology=result.config.ring.topology,
+        machine={4: "quad", 8: "eight"}.get(
+            result.config.num_cores, f"{result.config.num_cores}-core"),
     )
     path = None
     if out_dir:
@@ -160,8 +169,21 @@ def check_trend(bench: BenchResult, baseline: dict,
     """Compare ``instrs_per_s`` against a baseline artifact.
 
     Returns ``(ok, message)``: ok is False only when throughput dropped
-    by more than ``limit`` (a fraction, e.g. 0.20 = 20%).
+    by more than ``limit`` (a fraction, e.g. 0.20 = 20%).  A baseline
+    measured on a different fabric or machine shape is not comparable —
+    simulating a mesh or more cores costs different host work per
+    simulated instruction — so the gate soft-passes and says why
+    (artifacts predating these fields describe the historical
+    ring/quad pinned run).
     """
+    prev_topology = baseline.get("topology", "ring")
+    prev_machine = baseline.get("machine", "quad")
+    if (prev_topology, prev_machine) != (bench.topology, bench.machine):
+        return True, (
+            f"bench trend skipped: baseline "
+            f"{baseline.get('rev', 'unknown')} ran on "
+            f"{prev_topology}/{prev_machine}, current {bench.rev} on "
+            f"{bench.topology}/{bench.machine} — rates not comparable")
     prev = float(baseline["instrs_per_s"])
     change = bench.instrs_per_s / prev - 1.0
     message = (f"bench trend {baseline.get('rev', 'unknown')} -> "

@@ -33,19 +33,24 @@ import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
-                    Tuple, Union)
+from types import MappingProxyType
+from typing import (Any, Callable, Dict, Final, List, Mapping, Optional,
+                    Sequence, Tuple, Union)
 
 from ..sim.runner import RunResult, apply_config_overrides, run_system
 from ..trace import Tracer
 from ..uarch.params import (SystemConfig, eight_core_config,
                             quad_core_config)
-from ..workloads.mixes import (build_eight_core_mix, build_homogeneous,
-                               build_mix, build_named)
+from ..workloads.mixes import (build_homogeneous, build_named,
+                               build_scaled_mix)
 from .figures import format_eta, progress_bar
 
 #: bump to invalidate every on-disk cache entry when result layout changes
-CACHE_SCHEMA = 4
+CACHE_SCHEMA = 5
+
+#: core count each machine-shape name builds by default
+NATURAL_CORES: Final[Mapping[str, int]] = MappingProxyType(
+    {"quad": 4, "eight": 8, "single": 1})
 
 Overrides = Tuple[Tuple[str, Any], ...]
 ProgressFn = Callable[[int, int, str, float], None]
@@ -78,7 +83,7 @@ class RunJob:
 
     workload: Tuple[Any, ...]
     n_instrs: int
-    topology: str = "quad"            # quad | eight | single
+    topology: str = "quad"            # machine shape: quad | eight | single
     prefetcher: str = "none"
     emc: bool = False
     num_mcs: int = 1
@@ -88,12 +93,20 @@ class RunJob:
     trace: bool = False
     label: str = ""
     warmup_instrs: int = 0
+    fabric: str = "ring"              # interconnect: ring | mesh
+    num_cores: int = 0                # 0 = the machine shape's natural count
 
     def key(self) -> tuple:
         """Identity of the run — everything except the display label."""
         return (self.workload, self.n_instrs, self.topology, self.prefetcher,
                 self.emc, self.num_mcs, self.seed, self.overrides,
-                self.max_cycles, self.trace, self.warmup_instrs)
+                self.max_cycles, self.trace, self.warmup_instrs,
+                self.fabric, self.num_cores)
+
+    def effective_cores(self) -> int:
+        """Core count this job actually builds (its override or the
+        machine shape's natural count)."""
+        return self.num_cores or NATURAL_CORES.get(self.topology, 4)
 
     def warmup_key(self) -> tuple:
         """Identity of the *warmed machine state* this job starts from.
@@ -103,9 +116,12 @@ class RunJob:
         (:func:`warmup_base_config`) and each sweep point
         :meth:`~repro.sim.system.System.fork`-s from it, so
         ``prefetcher``/``emc``/``overrides`` — and ``max_cycles``,
-        ``trace``, the label — are all excluded.  An entire config sweep
-        over one workload resolves to one checkpoint: the first point
-        pays for the warmup, everyone else forks.
+        ``trace``, the label — are all excluded.  Since schema v5 so are
+        ``fabric`` and ``num_cores``: the warmup always runs on the
+        neutral ring at the machine shape's natural core count and the
+        fork re-seats into the target fabric/core count.  An entire
+        config sweep over one workload resolves to one checkpoint: the
+        first point pays for the warmup, everyone else forks.
         """
         return (self.workload, self.n_instrs, self.topology,
                 self.num_mcs, self.seed, self.warmup_instrs)
@@ -200,21 +216,39 @@ def build_job_config(job: RunJob) -> SystemConfig:
         cfg.emc.enabled = job.emc
     else:
         raise ValueError(f"unknown topology {job.topology!r}")
+    cfg.ring.topology = job.fabric
+    if job.num_cores:
+        cfg.num_cores = job.num_cores
     apply_config_overrides(cfg, job.overrides)
     cfg.validate()
     return cfg
 
 
-def build_job_workload(job: RunJob):
+def build_job_workload(job: RunJob, num_cores: int = 0):
+    """Build the traces a job runs, one per core.
+
+    ``num_cores`` overrides the job's effective core count — the shared
+    warmup uses it to build the *base* machine's workload.  Builders are
+    per-core independent (per-core seeds), so a larger build's prefix is
+    bit-identical to the smaller build: the grown fork's added cores take
+    the tail while surviving cores keep the warmed prefix.
+    """
+    cores = num_cores or job.effective_cores()
     kind, args = job.workload[0], job.workload[1:]
     if kind == "mix":
-        return build_mix(args[0], job.n_instrs, seed=job.seed)
+        return build_scaled_mix(args[0], cores, job.n_instrs, seed=job.seed)
     if kind == "homog":
-        return build_homogeneous(args[0], args[1], job.n_instrs,
-                                 seed=job.seed)
+        # The spec carries its own count; num_cores (explicit or on the
+        # job) overrides it the same way it overrides the machine shape.
+        return build_homogeneous(args[0], num_cores or job.num_cores
+                                 or args[1], job.n_instrs, seed=job.seed)
     if kind == "eight":
-        return build_eight_core_mix(args[0], job.n_instrs, seed=job.seed)
+        return build_scaled_mix(args[0], cores, job.n_instrs, seed=job.seed)
     if kind == "named":
+        if job.num_cores and job.num_cores != len(args):
+            raise ValueError(
+                f"named workloads are one benchmark per core: "
+                f"{len(args)} names cannot fill num_cores={job.num_cores}")
         return build_named(list(args), job.n_instrs, seed=job.seed)
     raise ValueError(f"unknown workload kind {kind!r}")
 
@@ -222,8 +256,9 @@ def build_job_workload(job: RunJob):
 def warmup_base_config(job: RunJob) -> SystemConfig:
     """Canonical config under which a job's *shared* warmup executes.
 
-    One base per warmup identity: the job's topology with the EMC off and
-    no prefetcher, ignoring the per-point knobs (``prefetcher``, ``emc``,
+    One base per warmup identity: the job's machine shape on the neutral
+    ring at its natural core count, EMC off, no prefetcher — ignoring the
+    per-point knobs (``prefetcher``, ``emc``, ``fabric``, ``num_cores``,
     dotted overrides).  Every sweep point sharing a
     :meth:`RunJob.warmup_key` warms this exact machine — or loads its
     cached checkpoint — and then forks into its own config.
@@ -258,21 +293,37 @@ def execute_job(job: RunJob, cache_dir: Optional[str] = None) -> RunResult:
     A job with ``warmup_instrs`` warms the canonical base machine
     (:func:`warmup_base_config`) and forks to its own config — with or
     without a cache, so cached and uncached runs are bit-identical.
+    When the job's ``num_cores`` differs from the base machine's, the
+    base warms its natural-count workload (the target workload's prefix,
+    or its superset on a shrink) and the fork re-seats core-by-core.
     ``cache_dir`` additionally persists the warmed base state; see
     :func:`warmup_checkpoint_path`.
     """
     cfg = build_job_config(job)
-    workload = build_job_workload(job)
     tracer = Tracer() if job.trace else None
     checkpoint = warmup_checkpoint_path(cache_dir, job)
     if checkpoint:
         os.makedirs(os.path.dirname(checkpoint), exist_ok=True)
     base_cfg = warmup_base_config(job) if job.warmup_instrs else None
+    base_workload = None
+    if base_cfg is not None and base_cfg.num_cores != cfg.num_cores:
+        # Build once at the larger count and slice: the smaller machine's
+        # workload is the larger build's prefix by construction.
+        if base_cfg.num_cores < cfg.num_cores:
+            workload = build_job_workload(job)
+            base_workload = workload[:base_cfg.num_cores]
+        else:
+            base_workload = build_job_workload(
+                job, num_cores=base_cfg.num_cores)
+            workload = base_workload[:cfg.num_cores]
+    else:
+        workload = build_job_workload(job)
     return run_system(cfg, workload, label=job.label,
                       max_cycles=job.max_cycles, tracer=tracer,
                       warmup_instrs=job.warmup_instrs,
                       warmup_checkpoint=checkpoint,
-                      warmup_base_cfg=base_cfg)
+                      warmup_base_cfg=base_cfg,
+                      warmup_base_workload=base_workload)
 
 
 def _on_alarm(_signum, _frame):

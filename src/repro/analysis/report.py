@@ -47,3 +47,18 @@ def percent(value: float, signed: bool = True) -> str:
     """Format a ratio delta as a percentage string."""
     spec = "+.1%" if signed else ".1%"
     return format(value, spec)
+
+
+def format_fabric_summary(topology: str, stats) -> str:
+    """One line summarizing a run's interconnect traffic.
+
+    ``stats`` is the run's :class:`~repro.interconnect.FabricStats`;
+    the EMC share is appended only when EMC traffic exists.
+    """
+    line = (f"{topology}: {stats.messages} messages, "
+            f"{stats.total_hops} hops, "
+            f"avg latency {stats.avg_latency:.1f} cy")
+    if stats.emc_messages:
+        share = stats.emc_messages / stats.messages if stats.messages else 0.0
+        line += f" (EMC share {share:.1%})"
+    return line

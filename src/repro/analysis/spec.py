@@ -39,7 +39,7 @@ from typing import (Any, Callable, Dict, Final, List, Mapping, Optional,
                     Sequence, Tuple)
 
 from ..sim.runner import PREFETCHER_CONFIGS, RunResult
-from ..uarch.params import quad_core_config, set_config_field
+from ..uarch.params import TOPOLOGIES, quad_core_config, set_config_field
 from ..workloads.mixes import MIX_NAMES
 from ..workloads.spec import PROFILES
 from .figures import bar_chart
@@ -78,7 +78,7 @@ FIGURE_KEYS: Final[frozenset] = frozenset({
 #: matrix axes with farm-level meaning; every other axis must be a
 #: dotted SystemConfig path (``dram.t_rcd``, ``emc.num_contexts``, …)
 RESERVED_AXES: Final[frozenset] = frozenset({
-    "workload", "prefetcher", "emc", "num_mcs"})
+    "workload", "prefetcher", "emc", "num_mcs", "topology", "num_cores"})
 TABLE_FORMATS: Final[Tuple[str, ...]] = ("md", "csv", "txt")
 
 #: metric name -> extractor over a RunResult (the values tables/figures
@@ -90,6 +90,8 @@ METRICS: Final[Mapping[str, Callable[[RunResult], Any]]] = MappingProxyType({
     "dram_reads": lambda r: r.dram_reads,
     "dram_row_conflict_rate": lambda r: r.dram_row_conflict_rate,
     "ring_messages": lambda r: r.ring_messages,
+    "fabric_hops": lambda r: r.ring.total_hops if r.ring else 0,
+    "fabric_avg_latency": lambda r: r.ring.avg_latency if r.ring else 0.0,
     "emc_miss_fraction": lambda r: r.stats.emc_miss_fraction(),
     "dependent_miss_fraction": lambda r: r.stats.dependent_miss_fraction(),
     "energy_chip_j": lambda r: r.energy.chip,
@@ -268,6 +270,11 @@ class ExperimentSpec:
         prefetcher = point.get("prefetcher", "none")
         emc = bool(point.get("emc", False))
         num_mcs = int(point.get("num_mcs", 1))
+        # The spec's "topology" axis is the interconnect fabric
+        # (ring|mesh); RunJob.topology is the machine shape derived from
+        # the workload, so the axis lands on RunJob.fabric.
+        fabric = point.get("topology", "ring")
+        num_cores = int(point.get("num_cores", 0))
         overrides = tuple(sorted(
             (axis, value) for axis, value in point.items()
             if axis not in RESERVED_AXES))
@@ -280,7 +287,8 @@ class ExperimentSpec:
                       topology=topology, prefetcher=prefetcher, emc=emc,
                       num_mcs=num_mcs, seed=seed, overrides=overrides,
                       max_cycles=self.max_cycles, trace=self.trace,
-                      label=label, warmup_instrs=self.warmup)
+                      label=label, warmup_instrs=self.warmup,
+                      fabric=fabric, num_cores=num_cores)
 
 
 def _fmt(value: Any) -> str:
@@ -404,6 +412,19 @@ def _validate_axis(axis: str, values: List[Any], filename: str,
             if value not in (1, 2):
                 raise _err(filename, lines, path + (i,),
                            f"num_mcs must be 1 or 2, got {value!r}")
+    elif axis == "topology":
+        for i, value in enumerate(values):
+            if value not in TOPOLOGIES:
+                raise _err(filename, lines, path + (i,),
+                           f"unknown topology {value!r}; known: "
+                           f"{', '.join(TOPOLOGIES)}")
+    elif axis == "num_cores":
+        for i, value in enumerate(values):
+            if (not isinstance(value, int) or isinstance(value, bool)
+                    or value < 1):
+                raise _err(filename, lines, path + (i,),
+                           f"num_cores must be a positive integer, got "
+                           f"{value!r}")
     else:
         # a dotted SystemConfig path: prove each value lands
         probe = quad_core_config()

@@ -129,15 +129,19 @@ def sweep_mix(grid: Mapping[str, Sequence[Any]], mix: str, n_instrs: int,
               seed: int = 1, emc: bool = True, prefetcher: str = "none",
               jobs: int = 1, cache_dir: Optional[str] = None,
               timeout: Optional[float] = None, progress=None,
-              warmup_instrs: int = 0) -> SweepResult:
+              warmup_instrs: int = 0, fabric: str = "ring",
+              num_cores: int = 0) -> SweepResult:
     """Convenience wrapper: sweep over one Table 3 mix, optionally in
     parallel (``jobs`` worker processes, on-disk ``cache_dir``).
 
-    ``warmup_instrs`` gives every point a warmup window; note that grid
-    points differ in config overrides, so each point warms (and, with a
-    ``cache_dir``, checkpoints) its own machine state.
+    ``warmup_instrs`` gives every point a warmup window; all points
+    share one warmed base machine (see the module docstring).  ``fabric``
+    selects the interconnect topology and ``num_cores`` overrides the
+    core count (0 keeps the mix's natural four; the mix tiles cyclically
+    onto more cores).
     """
-    base = mix_job(mix, n_instrs, prefetcher=prefetcher, emc=emc, seed=seed,
-                   warmup_instrs=warmup_instrs)
+    base = replace(mix_job(mix, n_instrs, prefetcher=prefetcher, emc=emc,
+                           seed=seed, warmup_instrs=warmup_instrs),
+                   fabric=fabric, num_cores=num_cores)
     return sweep_jobs(grid, base, jobs=jobs, cache_dir=cache_dir,
                       timeout=timeout, progress=progress)

@@ -20,12 +20,12 @@ from types import MappingProxyType
 from typing import Final, List, Mapping, Optional
 
 from .analysis.parallel import ParallelRunError
-from .analysis.report import format_table
+from .analysis.report import format_fabric_summary, format_table
 from .sim.runner import (PREFETCHER_CONFIGS, RunResult, run_system)
 from .trace import Tracer
-from .uarch.params import eight_core_config, quad_core_config
+from .uarch.params import TOPOLOGIES, eight_core_config, quad_core_config
 from .workloads.mixes import (MIX_NAMES, MIXES, build_homogeneous,
-                              build_mix, build_named)
+                              build_named, build_scaled_mix)
 from .workloads.spec import HIGH_INTENSITY, LOW_INTENSITY, PROFILES
 
 
@@ -40,6 +40,9 @@ def _print_result(result: RunResult, verbose: bool = False) -> None:
         formats={"ipc": ".3f", "mpki": ".1f", "dep_miss%": ".1f"}))
     print(f"row-buffer conflict rate: {result.dram_row_conflict_rate:.1%}")
     print(f"DRAM reads: {result.dram_reads}")
+    if result.ring is not None:
+        print("fabric " + format_fabric_summary(
+            result.config.ring.topology, result.ring))
     if stats.emc.chains_generated:
         e = stats.emc
         print(f"EMC: {e.chains_generated} chains "
@@ -70,17 +73,24 @@ def _print_result(result: RunResult, verbose: bool = False) -> None:
 
 def _build_config(args) -> object:
     if getattr(args, "eight_core", False):
-        return eight_core_config(prefetcher=args.prefetcher, emc=args.emc,
-                                 num_mcs=getattr(args, "num_mcs", 1),
-                                 seed=args.seed)
-    return quad_core_config(prefetcher=args.prefetcher, emc=args.emc,
-                            seed=args.seed)
+        cfg = eight_core_config(prefetcher=args.prefetcher, emc=args.emc,
+                                num_mcs=getattr(args, "num_mcs", 1),
+                                seed=args.seed)
+    else:
+        cfg = quad_core_config(prefetcher=args.prefetcher, emc=args.emc,
+                               seed=args.seed)
+    cfg.ring.topology = getattr(args, "topology", "ring")
+    if getattr(args, "num_cores", 0):
+        cfg.num_cores = args.num_cores
+        cfg.validate()
+    return cfg
 
 
 def _build_workload(args, cfg):
     """Resolve --mix/--benchmarks into a workload, or (None, error_rc)."""
     if args.mix:
-        return build_mix(args.mix, args.n_instrs, seed=args.seed), args.mix
+        return (build_scaled_mix(args.mix, cfg.num_cores, args.n_instrs,
+                                 seed=args.seed), args.mix)
     if args.benchmarks:
         if len(args.benchmarks) != cfg.num_cores:
             print(f"error: need {cfg.num_cores} benchmark names, got "
@@ -221,7 +231,9 @@ def cmd_sweep(args) -> int:
                        prefetcher=args.prefetcher,
                        jobs=args.jobs, cache_dir=args.cache_dir,
                        progress=True if args.jobs > 1 else None,
-                       warmup_instrs=args.warmup)
+                       warmup_instrs=args.warmup,
+                       fabric=getattr(args, "topology", "ring"),
+                       num_cores=getattr(args, "num_cores", 0))
     headers = list(grid) + ["perf", "emc_frac"]
     rows = [tuple(p.overrides[k] for k in grid)
             + (p.performance, p.result.stats.emc_miss_fraction())
@@ -461,6 +473,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="warm up N instructions/core first; stats "
                              "cover only the measured window after the "
                              "boundary (default 0: no warmup)")
+    parser.add_argument("--topology", default="ring", choices=TOPOLOGIES,
+                        help="interconnect fabric (default ring)")
+    parser.add_argument("--num-cores", type=int, default=0, metavar="N",
+                        help="override the core count (default: the "
+                             "machine shape's natural count; mixes tile "
+                             "their benchmarks cyclically)")
     parser.add_argument("-v", "--verbose", action="store_true")
 
 

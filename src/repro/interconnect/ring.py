@@ -4,116 +4,30 @@ Every core has a ring stop shared with its LLC slice; the memory
 controller(s) occupy additional stops.  A message takes the shorter
 direction, paying per-link latency plus queueing where links are busy —
 enough contention fidelity to reproduce the paper's on-chip-delay effects
-without flit-level simulation.
+without flit-level simulation.  Timing, stats, and the snapshot protocol
+live in :class:`~repro.interconnect.base.Interconnect`; this class only
+routes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import List
 
-from ..sim.component import (KIND_FULL, CarryoverReport, SimComponent,
-                             dataclass_state, rebase_clock_map,
-                             reset_dataclass_stats, restore_dataclass)
-from ..sim.events import EventWheel
-from ..uarch.params import RingConfig
+from .base import FabricStats, Interconnect
+
+#: historical name — the ring was the only fabric before the mesh landed.
+RingStats = FabricStats
 
 
-@dataclass(slots=True)
-class RingStats:
-    control_messages: int = 0
-    data_messages: int = 0
-    emc_control_messages: int = 0
-    emc_data_messages: int = 0
-    total_hops: int = 0
-    control_hops: int = 0
-    data_hops: int = 0
-    emc_control_hops: int = 0
-    emc_data_hops: int = 0
-    total_latency: int = 0
-    emc_latency: int = 0
-
-    @property
-    def messages(self) -> int:
-        return self.control_messages + self.data_messages
-
-    @property
-    def emc_messages(self) -> int:
-        return self.emc_control_messages + self.emc_data_messages
-
-    @property
-    def emc_hops(self) -> int:
-        return self.emc_control_hops + self.emc_data_hops
-
-    @property
-    def avg_latency(self) -> float:
-        return self.total_latency / self.messages if self.messages else 0.0
-
-    @property
-    def avg_emc_latency(self) -> float:
-        n = self.emc_messages
-        return self.emc_latency / n if n else 0.0
-
-
-class Ring(SimComponent):
+class Ring(Interconnect):
     """A pair of bi-directional rings connecting ``num_stops`` stops.
 
-    ``send`` computes hop count along the shorter direction, reserves each
-    crossed link (per-direction next-free times), and schedules the delivery
-    callback at arrival.  Data messages occupy links longer than control
-    messages, per Table 1's 8 B vs 64 B widths.
+    Routing takes the shorter direction around the ring (clockwise on a
+    tie); the link between stop ``i`` and ``i+1`` is indexed ``i`` in
+    both directions.
     """
 
-    def __init__(self, num_stops: int, cfg: RingConfig,
-                 wheel: EventWheel) -> None:
-        if num_stops < 2:
-            raise ValueError("a ring needs at least two stops")
-        self.num_stops = num_stops
-        self.cfg = cfg
-        self.wheel = wheel
-        self.stats = RingStats()
-        # Link occupancy: (ring, direction, link_index) -> next free time.
-        # ring: "ctrl" | "data"; direction: +1 (clockwise) | -1.
-        self._link_free: Dict[tuple, int] = {}
-
-    # -- SimComponent protocol -----------------------------------------------
-    # Architectural: per-link next-free clocks; statistical: RingStats.
-    def reset_stats(self) -> None:
-        reset_dataclass_stats(self.stats)
-
-    def config_state(self) -> dict:
-        return {"num_stops": self.num_stops}
-
-    def snapshot(self, kind: str = KIND_FULL) -> dict:
-        state = self._header(kind)
-        state["link_free"] = dict(self._link_free)
-        state["stats"] = dataclass_state(self.stats)
-        return state
-
-    def restore(self, state: dict) -> None:
-        state = self._check(state)
-        self._link_free.clear()
-        self._link_free.update(state["link_free"])
-        restore_dataclass(self.stats, state["stats"])
-
-    def reseat(self, state: dict, report: CarryoverReport,
-               path: str = "") -> None:
-        """Adopt a snapshot; across a stop-count change the per-link
-        busy clocks name links that no longer exist, so they drop (the
-        links are simply free) while stats carry."""
-        state = self._check(state, match_config=False)
-        saved = state["link_free"]
-        self._link_free.clear()
-        if state["config"] == self.config_state():
-            self._link_free.update(saved)
-            report.record(path, len(saved), len(saved))
-        else:
-            report.record(path, 0, len(saved))
-        restore_dataclass(self.stats, state["stats"])
-
-    def rebase(self, origin: int) -> None:
-        """Rebase link clocks when the wheel rewinds to zero."""
-        rebase_clock_map(self._link_free, origin)
+    topology = "ring"
 
     def _route(self, src: int, dst: int) -> tuple:
         """Return (direction, hop_count) along the shorter way."""
@@ -125,7 +39,8 @@ class Ring(SimComponent):
             return 1, clockwise
         return -1, counter
 
-    def _links_on_path(self, src: int, direction: int, hops: int) -> List[int]:
+    def _links_on_path(self, src: int, direction: int,
+                       hops: int) -> List[int]:
         links = []
         stop = src
         for _ in range(hops):
@@ -137,48 +52,9 @@ class Ring(SimComponent):
                 links.append(stop)
         return links
 
-    def send(self, src: int, dst: int, kind: str,
-             callback: Callable[[], None], emc: bool = False) -> int:
-        """Send a message; returns its delivery latency in cycles.
-
-        ``kind`` is "ctrl" or "data".  ``emc`` tags EMC-related traffic for
-        the Section 6.5 overhead accounting.
-        """
-        if kind not in ("ctrl", "data"):
-            raise ValueError(f"unknown ring message kind: {kind}")
-        occupancy = (self.cfg.control_occupancy if kind == "ctrl"
-                     else self.cfg.data_occupancy)
+    def _links(self, src: int, dst: int, kind: str) -> List[tuple]:
+        # Link key: (ring, direction, link_index); direction +1 is
+        # clockwise, so opposite directions never contend.
         direction, hops = self._route(src, dst)
-        links = self._links_on_path(src, direction, hops)
-
-        time = self.wheel.now
-        for link in links:
-            key = (kind, direction, link)
-            start = max(time, self._link_free.get(key, 0))
-            self._link_free[key] = start + occupancy
-            time = start + self.cfg.link_cycles
-
-        latency = time - self.wheel.now
-        if kind == "ctrl":
-            self.stats.control_messages += 1
-            if emc:
-                self.stats.emc_control_messages += 1
-        else:
-            self.stats.data_messages += 1
-            if emc:
-                self.stats.emc_data_messages += 1
-        self.stats.total_hops += hops
-        if kind == "ctrl":
-            self.stats.control_hops += hops
-            if emc:
-                self.stats.emc_control_hops += hops
-        else:
-            self.stats.data_hops += hops
-            if emc:
-                self.stats.emc_data_hops += hops
-        self.stats.total_latency += latency
-        if emc:
-            self.stats.emc_latency += latency
-
-        self.wheel.schedule(latency, callback)
-        return latency
+        return [(kind, direction, link)
+                for link in self._links_on_path(src, direction, hops)]

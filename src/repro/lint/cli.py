@@ -101,6 +101,10 @@ def add_sanitize_arguments(parser) -> None:
     parser.add_argument("--warmup", type=int, default=0, metavar="N",
                         help="run each check as a warmup(N)+measure pair, "
                              "putting the phase boundary under the gate")
+    parser.add_argument("--topology", default="ring",
+                        choices=("ring", "mesh"),
+                        help="interconnect fabric the checks run on "
+                             "(default: ring)")
     parser.add_argument("--jobs", type=int, default=0, metavar="J",
                         help="also diff a serial run_jobs pass against a "
                              "J-worker pass (bit-identity gate on the "
@@ -123,10 +127,12 @@ def cmd_sanitize(args) -> int:
     from .sanitize import (sanitize_checkpoint_roundtrip,
                            sanitize_fork_identity,
                            sanitize_parallel_runner, sanitize_quad_mix)
+    fabric = {"ring.topology": args.topology} if args.topology != "ring" \
+        else {}
     reports = [sanitize_quad_mix(
         args.mix, args.n_instrs, prefetcher=args.prefetcher,
         emc=args.emc, seed=args.seed, trace=not args.no_trace,
-        warmup_instrs=args.warmup)]
+        warmup_instrs=args.warmup, **fabric)]
     if args.jobs and args.jobs > 1:
         reports.append(sanitize_parallel_runner(
             args.mix, args.n_instrs, prefetcher=args.prefetcher,

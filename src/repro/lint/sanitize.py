@@ -178,6 +178,9 @@ def sanitize_quad_mix(mix: str, n_instrs: int, prefetcher: str = "none",
             f"seed={seed}"
     if warmup_instrs:
         label += f" warmup={warmup_instrs}"
+    if cfg_overrides:
+        label += "".join(f" {k}={v}" for k, v in
+                         sorted(cfg_overrides.items()))
     return sanitize_runs(run_once, label=label)
 
 

@@ -210,6 +210,11 @@ class SetAssocCache(SimComponent):
         cset.pop(tag, None)
         cset[tag] = line
 
+    def clear_lines(self) -> None:
+        """Drop every resident line (reseat helper; stats untouched)."""
+        for cset in self._sets:
+            cset.clear()
+
     def trim_to_ways(self) -> int:
         """Evict LRU lines from any over-full set (reseat helper).
         Returns the number of lines dropped."""

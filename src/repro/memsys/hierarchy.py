@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Callable, List
 
-from ..interconnect.ring import Ring
+from ..interconnect import Interconnect
 from ..prefetch import build_prefetcher
 from ..prefetch.base import FDPThrottle, NullPrefetcher
 from ..sim.component import (KIND_FULL, CarryoverReport, SimComponent,
@@ -36,7 +36,7 @@ class MemoryHierarchy(SimComponent):
         cfg = system.cfg
         self.cfg = cfg
         self.wheel = system.wheel
-        self.ring: Ring = system.ring
+        self.ring: Interconnect = system.ring
         self.stats = system.stats
         self.trace = system.tracer
         self.llc = LLC(cfg.num_cores, cfg.llc)
@@ -123,7 +123,13 @@ class MemoryHierarchy(SimComponent):
             # throttle starts at its default degree, a dropped one loses
             # its adapted degree.
             report.record(f"{path}/fdp", 0, 1)
-        self._slice_free[:] = state["slice_free"]
+        saved_free = state["slice_free"]
+        if len(saved_free) == len(self._slice_free):
+            self._slice_free[:] = saved_free
+        else:
+            # The slice count changed: saved port clocks name slices
+            # whose lines moved, so every port simply starts free.
+            self._slice_free[:] = [0] * len(self._slice_free)
 
     def _reseat_dram(self, state: dict, report: CarryoverReport,
                      path: str) -> None:

@@ -175,9 +175,10 @@ class LLC(SimComponent):
             sl.reset_stats()
 
     def config_state(self) -> dict:
-        # One slice per core; fork() forbids changing the core count, so
-        # lines never migrate between slices — only the per-slice cache
-        # geometry can change (handled by SetAssocCache.reseat).
+        # One slice per core.  A same-count fork only re-hashes within
+        # slices (SetAssocCache.reseat); a cross-core-count fork changes
+        # the line->slice interleave, so reseat() re-routes every line
+        # to its new home slice.
         return {"num_slices": len(self.slices)}
 
     def snapshot(self, kind: str = KIND_FULL) -> dict:
@@ -192,11 +193,48 @@ class LLC(SimComponent):
 
     def reseat(self, state: dict, report: CarryoverReport,
                path: str = "") -> None:
-        state = self._check(state)
-        # All slices accumulate under one path so the report reads as
-        # one LLC-wide carryover line.
-        for sl, saved in zip(self.slices, state["slices"]):
-            sl.reseat(saved, report, path)
+        state = self._check(state, match_config=False)
+        if state["config"] == self.config_state():
+            # All slices accumulate under one path so the report reads
+            # as one LLC-wide carryover line.
+            for sl, saved in zip(self.slices, state["slices"]):
+                sl.reseat(saved, report, path)
+            return
+        self._reseat_across_slices(state, report, path)
+
+    def _reseat_across_slices(self, state: dict, report: CarryoverReport,
+                              path: str) -> None:
+        """The slice count changed: the line->slice interleave moved, so
+        every saved line re-routes to its new home slice, carrying its
+        flags and replayed LRU -> MRU (source slices in id order, source
+        sets in index order) so recency survives as faithfully as the
+        new geometry allows.  Lines colliding past the new associativity
+        drop as LRU overflow.  Per-slice stats and MSHRs start cold:
+        both are slice-identity-keyed, and at any quiesced boundary the
+        MSHRs are empty and the stats freshly zeroed anyway.
+        """
+        for sl in self.slices:
+            sl.cache.clear_lines()
+        total = 0
+        seeded = set()
+        for saved in state["slices"]:
+            cache = saved["cache"]
+            old_cfg = cache["config"]
+            old_sets = old_cfg["num_sets"]
+            old_line = old_cfg["line_bytes"]
+            for index, cset in enumerate(cache["sets"]):
+                for tag, line in cset.items():
+                    total += 1
+                    addr = (tag * old_sets + index) * old_line
+                    home = self.slice_of(addr).cache
+                    base = (addr // home.line_bytes) * home.line_bytes
+                    if base in seeded:
+                        continue
+                    seeded.add(base)
+                    home.seed_line(base, line)
+        kept = len(seeded)
+        dropped = sum(sl.cache.trim_to_ways() for sl in self.slices)
+        report.record(f"{path}/cache", kept - dropped, total)
 
     # -- aggregate stats ------------------------------------------------------
     def total_demand_hits(self) -> int:

@@ -9,7 +9,7 @@ from dataclasses import dataclass, field
 from typing import Final, List, Optional, Sequence, Tuple
 
 from ..energy.model import EnergyBreakdown, compute_energy
-from ..interconnect.ring import RingStats
+from ..interconnect import FabricStats
 from ..trace import LatencyAttribution, Tracer, trace_enabled_from_env
 from ..uarch.params import (SystemConfig, eight_core_config,
                             quad_core_config, set_config_field)
@@ -41,8 +41,10 @@ class RunResult:
     #: Stage-level latency attribution; populated only when the run was
     #: traced (a :class:`repro.trace.Tracer` was passed or REPRO_TRACE set).
     latency_attribution: Optional[LatencyAttribution] = None
-    #: Full ring counters (messages, hops, EMC share) — §6.5 evidence.
-    ring: Optional[RingStats] = None
+    #: Full fabric counters (messages, hops, latency, EMC share) for
+    #: whichever interconnect the run used — §6.5 evidence.  The field
+    #: keeps its historical name; ``ring`` is any :class:`Interconnect`.
+    ring: Optional[FabricStats] = None
 
     @property
     def aggregate_ipc(self) -> float:
@@ -69,7 +71,8 @@ def run_system(cfg: SystemConfig, workload: Workload,
                tracer: Optional[Tracer] = None,
                warmup_instrs: int = 0,
                warmup_checkpoint: Optional[str] = None,
-               warmup_base_cfg: Optional[SystemConfig] = None) -> RunResult:
+               warmup_base_cfg: Optional[SystemConfig] = None,
+               warmup_base_workload: Optional[Workload] = None) -> RunResult:
     """Run one workload on one configuration to completion.
 
     Pass a :class:`repro.trace.Tracer` (or set ``REPRO_TRACE=1``) to record
@@ -91,17 +94,28 @@ def run_system(cfg: SystemConfig, workload: Workload,
     result carries the per-component carryover ratios in
     ``fork_carryover``.  Without it the checkpoint is config-specific and
     ``cfg``/``workload`` must describe the same run that produced it.
+
+    ``warmup_base_workload`` is the base machine's workload when its core
+    count differs from ``cfg``'s — the target workload's prefix when the
+    fork grows, its superset when it shrinks.  The tail of ``workload``
+    past the base's core count is handed to the fork as the added cores'
+    fresh traces.
     """
     if tracer is None and trace_enabled_from_env():
         tracer = Tracer()
     system = None
     warmed_from: Optional[str] = None
     fork_carryover: Optional[dict] = None
+
+    def _fork_to_target(base: System):
+        return base.fork(tracer=tracer, cfg=cfg,
+                         added_workload=workload[len(base.cores):])
+
     if (warmup_instrs and warmup_checkpoint
             and os.path.exists(warmup_checkpoint)):
         if warmup_base_cfg is not None:
             base = System.from_checkpoint(warmup_checkpoint)
-            system, report = base.fork(tracer=tracer, cfg=cfg)
+            system, report = _fork_to_target(base)
             fork_carryover = report.as_dict()
         else:
             system = System.from_checkpoint(warmup_checkpoint,
@@ -111,11 +125,13 @@ def run_system(cfg: SystemConfig, workload: Workload,
         if warmup_instrs and warmup_base_cfg is not None:
             # Warm the canonical base once, persist it for the rest of
             # the sweep, then fork to this point's config.
-            base = System(copy.deepcopy(warmup_base_cfg), workload)
+            base = System(copy.deepcopy(warmup_base_cfg),
+                          warmup_base_workload
+                          if warmup_base_workload is not None else workload)
             base.warmup(warmup_instrs, max_cycles=max_cycles)
             if warmup_checkpoint:
                 base.checkpoint(warmup_checkpoint)
-            system, report = base.fork(tracer=tracer, cfg=cfg)
+            system, report = _fork_to_target(base)
             fork_carryover = report.as_dict()
             warmed_from = "fresh"
         else:

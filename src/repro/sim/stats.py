@@ -11,8 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from .component import (KIND_FULL, SimComponent, dataclass_state,
-                        reset_dataclass_stats,
+from .component import (KIND_FULL, CarryoverReport, SimComponent,
+                        dataclass_state, reset_dataclass_stats,
                         restore_dataclass)
 
 #: Identity fields preserved by :meth:`SimStats.reset_stats` — they name
@@ -314,6 +314,24 @@ class SimStats(SimComponent):
 
     def restore(self, state: dict) -> None:
         restore_dataclass(self, self._check(state)["tree"])
+
+    def reseat(self, state: dict, report: CarryoverReport,
+               path: str = "") -> None:
+        """Adopt a stats snapshot across a core-count change.
+
+        Statistical state is zeroed at the warmup boundary, so nothing
+        here is warmed carryover worth accounting: surviving cores'
+        counters restore in place (aliases into the tree survive),
+        added cores keep their fresh identity-only counters, and
+        surplus cores' counters leave with their cores.
+        """
+        state = self._check(state, match_config=False)
+        tree = dict(state["tree"])
+        saved_cores = list(tree["cores"])[:len(self.cores)]
+        for core_stats in self.cores[len(saved_cores):]:
+            saved_cores.append(dataclass_state(core_stats))
+        tree["cores"] = saved_cores
+        restore_dataclass(self, tree)
 
     # -- derived, figure-facing metrics --------------------------------------
     def total_instructions(self) -> int:

@@ -19,7 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.ooo_core import OutOfOrderCore
 from ..emc.chain import DependenceChain
 from ..emc.controller import EMC
-from ..interconnect.ring import Ring
+from ..interconnect import build_interconnect
 from ..memsys.cache import line_addr
 from ..memsys.hierarchy import MemoryHierarchy
 from ..memsys.vm import FrameAllocator
@@ -116,7 +116,9 @@ class System(SimComponent):
         self._workload: List[Tuple[Trace, MemoryImage]] = list(workload)  # simlint: disable=SIM010
         self.images: List[MemoryImage] = [image for _t, image in workload]  # simlint: disable=SIM010
         num_stops = cfg.num_cores + cfg.num_mcs
-        self.ring = Ring(num_stops, cfg.ring, self.wheel)
+        # ``ring`` keeps its historical name; the actual fabric behind it
+        # is whatever ``cfg.ring.topology`` selects from the registry.
+        self.ring = build_interconnect(num_stops, cfg.ring, self.wheel)
         self.hierarchy = MemoryHierarchy(self)
 
         self.emcs: List[Optional[EMC]] = []
@@ -478,28 +480,28 @@ class System(SimComponent):
         Workload-derived state re-hashes into the live structures; what
         cannot carry over (e.g. lines beyond a smaller cache's capacity,
         a toggled EMC's warmed dcache) is dropped and accounted in
-        ``report``.  The core count is topology identity and must match.
+        ``report``.  Across a core-count change, surviving cores re-seat
+        index-by-index, surplus cores' state leaves with their traces
+        (shrink), and added cores start cold on fresh traces (grow) —
+        the LLC re-interleaves across the new slice count along the way.
         """
         state = self._check(state, match_config=False)
         if self.wheel.pending:
             raise SnapshotError("cannot reseat into a running machine")
-        if len(state["cores"]) != len(self.cores):
-            raise SnapshotError(
-                f"snapshot has {len(state['cores'])} cores, "
-                f"machine has {len(self.cores)}; reseating cannot change "
-                "the core count")
+        saved_cores = state["cores"]
         self.wheel.rewind(state["now"])
         self.wheel._seq = state["seq"]
-        self._finished = state["finished"]
+        self._finished = min(state["finished"], len(self.cores))
         self._warmed = state["warmed"]
         self.frame_allocator.restore(state["frame_allocator"])
-        self.stats.restore(state["stats"])
+        self.stats.reseat(state["stats"], report, _join(path, "stats"))
         self.ring.reseat(state["ring"], report, _join(path, "ring"))
         self.hierarchy.reseat(state["hierarchy"], report,
                               _join(path, "hierarchy"))
         emc_path = _join(path, "emc")
         saved_emcs = state["emcs"]
-        if len(saved_emcs) == len(self.emcs):
+        if (len(saved_emcs) == len(self.emcs)
+                and len(saved_cores) == len(self.cores)):
             for emc, sub in zip(self.emcs, saved_emcs):
                 if emc is not None and sub is not None:
                     emc.reseat(sub, report, emc_path)
@@ -507,23 +509,34 @@ class System(SimComponent):
                     # Toggled on (starts cold) or off (warmed state lost).
                     report.record(emc_path, 0, 1)
         else:
-            # The MC count changed: per-MC EMC state (dcache contents,
-            # TLB fills, predictor tables) is keyed to the old line->MC
-            # partition and cannot be attributed across the new split.
+            # The MC or core count changed: per-MC EMC state (dcache
+            # contents, per-core TLB fills, predictor tables) is keyed to
+            # the old line->MC and core partitions and cannot be
+            # attributed across the new split.
             lost = sum(1 for sub in saved_emcs if sub is not None)
             if lost or any(emc is not None for emc in self.emcs):
                 report.record(emc_path, 0, max(lost, 1))
         # One shared path: per-core L1/chain-cache carryover accumulates
         # into machine-wide lines instead of num_cores separate ones.
-        for core, sub in zip(self.cores, state["cores"]):
+        shared = min(len(saved_cores), len(self.cores))
+        for core, sub in zip(self.cores[:shared], saved_cores[:shared]):
             core.reseat(sub, report, _join(path, "cores"))
+        if len(saved_cores) > shared:
+            # Shrink: surplus cores' warmed state leaves with their traces.
+            report.record(_join(path, "cores/dropped"), 0,
+                          len(saved_cores) - shared)
+        if len(self.cores) > shared:
+            # Grow: added cores run fresh traces and start cold.
+            report.record(_join(path, "cores/added"), 0,
+                          len(self.cores) - shared)
 
     # ------------------------------------------------------------------
     # fork: same workload, different configuration
     # ------------------------------------------------------------------
     def fork(self, cfg_overrides: Optional[Dict[str, object]] = None,
              tracer=None, *, cfg: Optional[SystemConfig] = None,
-             ) -> Tuple["System", CarryoverReport]:
+             added_workload: Optional[Sequence[Tuple[Trace, MemoryImage]]]
+             = None) -> Tuple["System", CarryoverReport]:
         """Build a new machine with ``cfg_overrides`` applied, seating this
         machine's workload-derived state into it.
 
@@ -537,8 +550,14 @@ class System(SimComponent):
         memory images, which mutate during execution and are referenced
         by rename tables) is deep-copied via a pickle round trip so the
         fork shares no mutable objects with the parent; both machines can
-        then run independently.  Changing ``num_cores`` is forbidden —
-        per-core traces are workload identity, not configuration.
+        then run independently.
+
+        ``num_cores`` may change.  Shrinking drops the surplus cores'
+        traces and warmed state (accounted in the report); growing
+        requires ``added_workload`` — one fresh ``(trace, image)`` per
+        added core, since per-core traces are workload identity, not
+        configuration — and the added cores start cold.  Either way the
+        LLC re-interleaves its lines across the new slice count.
 
         Note that ``fork(overrides)`` is *not* bit-identical to warming a
         fresh machine under the overridden config: timing-affecting
@@ -563,16 +582,27 @@ class System(SimComponent):
             cfg = copy.deepcopy(self.cfg)
             for key, value in (cfg_overrides or {}).items():
                 set_config_field(cfg, key, value)
-        if cfg.num_cores != self.cfg.num_cores:
-            raise SnapshotError(
-                f"fork cannot change num_cores "
-                f"({self.cfg.num_cores} -> {cfg.num_cores}): per-core "
-                "traces are workload identity, not configuration")
+        if cfg.num_cores > self.cfg.num_cores:
+            added = list(added_workload or ())
+            needed = cfg.num_cores - self.cfg.num_cores
+            if len(added) != needed:
+                raise SnapshotError(
+                    f"fork growing num_cores ({self.cfg.num_cores} -> "
+                    f"{cfg.num_cores}) needs {needed} added per-core "
+                    f"traces, got {len(added)}: per-core traces are "
+                    "workload identity, not configuration")
+        else:
+            if added_workload:
+                raise ValueError(
+                    "added_workload only applies when the fork grows "
+                    "num_cores")
+            added = []
         cfg.validate()
-        workload, state = pickle.loads(pickle.dumps(
-            (self._workload, self.snapshot(kind=KIND_WORKLOAD)),
+        workload, added, state = pickle.loads(pickle.dumps(
+            (self._workload, added, self.snapshot(kind=KIND_WORKLOAD)),
             protocol=pickle.HIGHEST_PROTOCOL))
-        forked = System(cfg, workload, tracer=tracer)
+        forked = System(cfg, (workload + added)[:cfg.num_cores],
+                        tracer=tracer)
         report = CarryoverReport()
         forked.reseat(state, report)
         return forked, report

@@ -53,19 +53,33 @@ class LLCConfig:
     cycles_per_access: int = 2
 
 
-@dataclass
-class RingConfig:
-    """Two bi-directional rings: control (8 B) and data (64 B).
+#: registered interconnect topologies (see ``repro.interconnect``).
+TOPOLOGIES = ("ring", "mesh")
 
-    Per-hop latency covers link traversal plus ring-stop arbitration and
-    buffering under load; a 64 B + header data message serializes as
-    multiple flits on each link.
+
+@dataclass
+class FabricConfig:
+    """On-chip interconnect fabric: control (8 B) and data (64 B) networks.
+
+    ``topology`` selects the fabric implementation (``ring`` — the paper's
+    bi-directional rings — or ``mesh``, a 2D XY-routed grid).  Per-hop
+    latency covers link traversal plus stop arbitration and buffering
+    under load; a 64 B + header data message serializes as multiple flits
+    on each link.  These parameters are topology-independent, so a
+    ring-vs-mesh sweep varies hop counts and contention, not link speed.
     """
 
+    topology: str = "ring"
     link_cycles: int = 2
     # Serialization cycles a message occupies each link it crosses.
     control_occupancy: int = 1
     data_occupancy: int = 4
+    # Mesh column count; 0 derives the squarest grid covering the stops.
+    mesh_width: int = 0
+
+
+#: historical name — the ring was the only fabric before the mesh landed.
+RingConfig = FabricConfig
 
 
 @dataclass
@@ -169,7 +183,9 @@ class SystemConfig:
     core: CoreConfig = field(default_factory=CoreConfig)
     l1: L1Config = field(default_factory=L1Config)
     llc: LLCConfig = field(default_factory=LLCConfig)
-    ring: RingConfig = field(default_factory=RingConfig)
+    # Interconnect fabric.  Field keeps its historical name so dotted
+    # overrides (``ring.link_cycles``, ``ring.topology``) stay stable.
+    ring: FabricConfig = field(default_factory=FabricConfig)
     dram: DRAMConfig = field(default_factory=DRAMConfig)
     emc: EMCConfig = field(default_factory=EMCConfig)
     prefetch: PrefetchConfig = field(default_factory=PrefetchConfig)
@@ -183,6 +199,12 @@ class SystemConfig:
             raise ValueError("need at least one core")
         if self.num_mcs not in (1, 2):
             raise ValueError("1 or 2 memory controllers supported")
+        if self.ring.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.ring.topology!r} "
+                f"(known: {', '.join(TOPOLOGIES)})")
+        if self.ring.mesh_width < 0:
+            raise ValueError("mesh_width cannot be negative")
         if self.num_mcs == 2 and self.dram.channels % 2:
             raise ValueError("dual-MC systems need an even channel count")
         if self.dram.channels < 1:

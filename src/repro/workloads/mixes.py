@@ -55,8 +55,25 @@ def build_homogeneous(name: str, num_cores: int, n_instrs: int,
 
 def build_eight_core_mix(mix: str, n_instrs: int, seed: int = 1) -> Workload:
     """Eight-core workloads are two copies of the quad-core mix (§5)."""
-    names = MIXES[mix] * 2
-    return build_named(names, n_instrs, seed)
+    return build_scaled_mix(mix, 8, n_instrs, seed)
+
+
+def build_scaled_mix(mix: str, num_cores: int, n_instrs: int,
+                     seed: int = 1) -> Workload:
+    """A Table 3 mix tiled cyclically onto ``num_cores`` cores.
+
+    Generalizes the paper's eight-core construction (two copies of the
+    quad-core mix): core ``i`` runs the mix's ``i % 4``-th benchmark, so
+    any prefix of a larger build matches a smaller build core-for-core —
+    which is what lets a grown ``System.fork`` hand fresh tail traces to
+    its added cores while the surviving cores keep the warmed ones.
+    """
+    try:
+        names = MIXES[mix]
+    except KeyError:
+        raise KeyError(f"unknown mix {mix!r}; known: {MIX_NAMES}") from None
+    tiled = [names[core % len(names)] for core in range(num_cores)]
+    return build_named(tiled, n_instrs, seed)
 
 
 def high_intensity_names() -> List[str]:

@@ -37,6 +37,27 @@ def test_check_trend_gates_on_20_percent_regression():
     assert ok
 
 
+def test_check_trend_skips_across_fabric_or_machine_change():
+    import dataclasses
+
+    from repro.analysis.bench import check_trend
+    # A -21% rate on a different fabric or core count is not a
+    # regression: the gate soft-passes instead of comparing.
+    baseline = {"rev": "prev", "instrs_per_s": 10_000.0,
+                "topology": "mesh", "machine": "quad"}
+    ok, message = check_trend(_result(7_900.0), baseline)
+    assert ok
+    assert "not comparable" in message
+    eight = dataclasses.replace(_result(7_900.0), machine="eight")
+    ok, message = check_trend(eight, {"rev": "prev",
+                                      "instrs_per_s": 10_000.0})
+    assert ok and "not comparable" in message
+    # Old artifacts without the fields count as ring/quad and still gate.
+    ok, _ = check_trend(_result(7_900.0),
+                        {"rev": "prev", "instrs_per_s": 10_000.0})
+    assert not ok
+
+
 def test_load_baseline_picks_newest_artifact(tmp_path):
     import json
     import os

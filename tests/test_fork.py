@@ -20,7 +20,7 @@ from repro.lint.sanitize import flatten_state
 from repro.sim.component import SnapshotError
 from repro.sim.system import KIND_WORKLOAD, System
 from repro.uarch.params import eight_core_config, quad_core_config
-from repro.workloads.mixes import build_mix
+from repro.workloads.mixes import build_mix, build_scaled_mix
 
 N = 400   # per-core instructions: tiny but structurally complete
 
@@ -75,13 +75,54 @@ def test_fork_toggling_emc_on_reports_lost_context():
 def test_fork_guards_core_count_and_argument_misuse():
     parent = warmed()
     with pytest.raises(SnapshotError, match="num_cores"):
-        parent.fork(cfg=eight_core_config())
+        parent.fork(cfg=eight_core_config())     # grow without traces
     with pytest.raises(ValueError, match="not both"):
         parent.fork({"l1.ways": 4}, cfg=quad_core_config())
+    with pytest.raises(ValueError, match="added_workload"):
+        parent.fork(cfg=quad_core_config(),
+                    added_workload=build_mix("H4", N, seed=1)[:1])
     in_flight = System(quad_core_config(), build_mix("H4", N, seed=1))
     in_flight.wheel.schedule(10, lambda: None)
     with pytest.raises(SnapshotError):
         in_flight.fork()
+
+
+def test_fork_growing_cores_starts_added_cold_keeps_survivors():
+    parent = warmed(warmup=200)
+    added = build_scaled_mix("H4", 8, N, seed=1)[4:]
+    child, report = parent.fork(cfg=eight_core_config(), added_workload=added)
+    assert len(child.cores) == 8
+    # Added cores contribute nothing warmed; survivors carry like an
+    # identity fork does (their L1 geometry is unchanged).
+    assert report.as_dict()["cores/added"] == (0, 4)
+    assert report.ratio("cores/l1") == 1.0
+    identity_child, identity_report = parent.fork()
+    assert report.as_dict()["cores/l1"] == \
+           identity_report.as_dict()["cores/l1"]
+    # The LLC re-interleaves across 8 slices instead of 4.
+    assert "hierarchy/llc/cache" in report.as_dict()
+    # Deterministic: the same grow fork twice is bit-identical.
+    again, _ = parent.fork(cfg=eight_core_config(), added_workload=added)
+    assert flatten_state(again.snapshot(kind=KIND_WORKLOAD)) == \
+           flatten_state(child.snapshot(kind=KIND_WORKLOAD))
+    stats = child.run()
+    assert len(stats.cores) == 8
+    assert all(c.instructions > 0 for c in stats.cores)
+
+
+def test_fork_shrinking_cores_drops_surplus_and_runs():
+    parent = System(eight_core_config(),
+                    build_scaled_mix("H4", 8, N, seed=1))
+    parent.warmup(200)
+    child, report = parent.fork(cfg=quad_core_config())
+    assert len(child.cores) == 4
+    assert report.as_dict()["cores/dropped"] == (0, 4)
+    stats = child.run()
+    assert len(stats.cores) == 4
+    assert all(c.instructions > 0 for c in stats.cores)
+    # The parent stays intact and can still fork.
+    again, _ = parent.fork()
+    assert len(again.cores) == 8
 
 
 # ---------------------------------------------------------------------------

@@ -1,16 +1,23 @@
-"""Unit tests for the bi-directional ring interconnect."""
+"""Unit tests for the interconnect fabrics (ring, mesh, registry)."""
 
 import pytest
 
-from repro.interconnect.ring import Ring
+from repro.interconnect import Mesh2D, Ring, build_interconnect
+from repro.sim.component import CarryoverReport
 from repro.sim.events import EventWheel
-from repro.uarch.params import RingConfig
+from repro.uarch.params import FabricConfig, RingConfig
 
 
 def make_ring(stops=5, **overrides):
     cfg = RingConfig(**overrides)
     wheel = EventWheel()
     return Ring(stops, cfg, wheel), wheel, cfg
+
+
+def make_mesh(stops=6, **overrides):
+    cfg = FabricConfig(topology="mesh", **overrides)
+    wheel = EventWheel()
+    return Mesh2D(stops, cfg, wheel), wheel, cfg
 
 
 def test_shortest_direction_chosen():
@@ -91,3 +98,121 @@ def test_delivery_callback_fires_at_latency():
     latency = ring.send(0, 2, "ctrl", lambda: seen.append(wheel.now))
     wheel.run()
     assert seen == [latency]
+
+
+# ---------------------------------------------------------------------------
+# reseat across geometry/topology changes
+# ---------------------------------------------------------------------------
+
+def test_ring_reseat_same_stop_count_carries_links_and_stats():
+    ring, _wheel, _cfg = make_ring(stops=5)
+    ring.send(0, 2, "data", lambda: None, emc=True)
+    state = ring.snapshot()
+    fresh, _w, _c = make_ring(stops=5)
+    report = CarryoverReport()
+    fresh.reseat(state, report, "ring")
+    assert fresh._link_free == ring._link_free
+    assert fresh.stats == ring.stats
+    kept, total = report.as_dict()["ring"]
+    assert kept == total == len(ring._link_free) > 0
+
+
+def test_ring_reseat_across_stop_count_drops_links_keeps_stats():
+    ring, _wheel, _cfg = make_ring(stops=5)
+    ring.send(0, 2, "ctrl", lambda: None)
+    ring.send(3, 1, "data", lambda: None, emc=True)
+    state = ring.snapshot()
+    saved_links = len(ring._link_free)
+    grown, _w, _c = make_ring(stops=7)
+    report = CarryoverReport()
+    grown.reseat(state, report, "ring")
+    # Link busy clocks name links of the old geometry: all dropped...
+    assert grown._link_free == {}
+    assert report.as_dict()["ring"] == (0, saved_links)
+    # ...while the traffic history carries verbatim.
+    assert grown.stats == ring.stats
+    assert grown.stats.emc_data_messages == 1
+
+
+def test_cross_fabric_reseat_ring_snapshot_into_mesh():
+    ring, _wheel, _cfg = make_ring(stops=6)
+    ring.send(0, 4, "data", lambda: None)
+    state = ring.snapshot()
+    mesh, _w, _c = make_mesh(stops=6)
+    report = CarryoverReport()
+    mesh.reseat(state, report, "ring")
+    assert mesh._link_free == {}
+    assert mesh.stats == ring.stats
+    assert report.ratio("ring") == 0.0
+
+
+# ---------------------------------------------------------------------------
+# 2D mesh
+# ---------------------------------------------------------------------------
+
+def test_mesh_width_derivation_and_override():
+    mesh, _wheel, _cfg = make_mesh(stops=6)
+    assert mesh.width == 3                    # ceil(sqrt(6)) grid
+    narrow, _w, _c = make_mesh(stops=6, mesh_width=2)
+    assert narrow.width == 2
+    assert narrow.config_state()["width"] == 2
+
+
+def test_mesh_xy_routing_hop_counts():
+    mesh, _wheel, cfg = make_mesh(stops=9)    # 3x3 grid
+    # 0=(0,0) -> 4=(1,1): one X hop then one Y hop.
+    assert len(mesh._links(0, 4, "ctrl")) == 2
+    # 0=(0,0) -> 8=(2,2): two X hops then two Y hops.
+    assert len(mesh._links(0, 8, "ctrl")) == 4
+    assert mesh._links(5, 5, "ctrl") == []
+    lat = mesh.send(0, 8, "ctrl", lambda: None)
+    assert lat == 4 * cfg.link_cycles
+
+
+def test_mesh_xy_routes_x_first():
+    mesh, _wheel, _cfg = make_mesh(stops=9)
+    links = mesh._links(0, 4, "data")
+    coords = [link[1:] for link in links]
+    assert coords == [((0, 0), (1, 0)), ((1, 0), (1, 1))]
+
+
+def test_mesh_contention_and_kind_separation():
+    mesh, _wheel, _cfg = make_mesh(stops=9)
+    lat_first = mesh.send(0, 1, "data", lambda: None)
+    lat_second = mesh.send(0, 1, "data", lambda: None)
+    assert lat_second > lat_first
+    # Control messages ride separate links from data messages.
+    lat_ctrl = mesh.send(0, 1, "ctrl", lambda: None)
+    assert lat_ctrl <= lat_first
+
+
+def test_mesh_counts_stats_like_the_ring():
+    mesh, _wheel, _cfg = make_mesh(stops=9)
+    mesh.send(0, 4, "ctrl", lambda: None)
+    mesh.send(0, 4, "data", lambda: None, emc=True)
+    assert mesh.stats.control_messages == 1
+    assert mesh.stats.emc_data_messages == 1
+    assert mesh.stats.total_hops == 4
+    assert mesh.stats.emc_data_hops == 2
+
+
+def test_mesh_delivery_callback_fires_at_latency():
+    mesh, wheel, _cfg = make_mesh(stops=9)
+    seen = []
+    latency = mesh.send(0, 7, "ctrl", lambda: seen.append(wheel.now))
+    wheel.run()
+    assert seen == [latency]
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+def test_build_interconnect_dispatches_on_topology():
+    wheel = EventWheel()
+    assert isinstance(
+        build_interconnect(5, FabricConfig(topology="ring"), wheel), Ring)
+    assert isinstance(
+        build_interconnect(5, FabricConfig(topology="mesh"), wheel), Mesh2D)
+    with pytest.raises(ValueError, match="unknown topology"):
+        build_interconnect(5, FabricConfig(topology="torus"), wheel)

@@ -184,6 +184,42 @@ def test_num_mcs_axis_validated():
     _fails(bad, "num_mcs must be 1 or 2", line=8)
 
 
+def test_topology_axis_validated_and_lands_on_fabric():
+    bad = BASE.replace("emc: [false, true]",
+                       "emc: [true]\n  topology: [ring, torus]")
+    _fails(bad, "unknown topology 'torus'", line=8)
+    spec = parse_spec(
+        BASE.replace("emc: [false, true]",
+                     "emc: [true]\n  topology: [ring, mesh]"),
+        "demo.yaml")
+    fabrics = {j.fabric for j in spec.jobs()}
+    assert fabrics == {"ring", "mesh"}
+    # RunJob.topology stays the machine shape; the axis is the fabric.
+    assert {j.topology for j in spec.jobs()} == {"quad"}
+    # Warmup identity is fabric-independent: ring and mesh points of one
+    # workload share the same warmed base machine.
+    ring_keys = {j.warmup_key() for j in spec.jobs() if j.fabric == "ring"}
+    mesh_keys = {j.warmup_key() for j in spec.jobs() if j.fabric == "mesh"}
+    assert ring_keys == mesh_keys
+
+
+def test_num_cores_axis_validated_and_splits_identity():
+    bad = BASE.replace("emc: [false, true]",
+                       "emc: [true]\n  num_cores: [4, 0]")
+    _fails(bad, "num_cores must be a positive integer", line=8)
+    _fails(BASE.replace("emc: [false, true]",
+                        "emc: [true]\n  num_cores: [4, true]"),
+           "num_cores must be a positive integer", line=8)
+    spec = parse_spec(
+        BASE.replace("emc: [false, true]",
+                     "emc: [true]\n  num_cores: [4, 8]"),
+        "demo.yaml")
+    assert {j.num_cores for j in spec.jobs()} == {4, 8}
+    # Different core counts still share one warmup (fork re-seats).
+    assert len({j.warmup_key() for j in spec.jobs()
+                if j.workload == ("mix", "H4")}) == 2  # one per seed
+
+
 def test_samples_validation():
     _fails(BASE.replace("samples: 2", "samples: 0"),
            "samples must be >= 1", line=3)
