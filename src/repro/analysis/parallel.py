@@ -46,7 +46,7 @@ from ..workloads.mixes import (build_homogeneous, build_named,
 from .figures import format_eta, progress_bar
 
 #: bump to invalidate every on-disk cache entry when result layout changes
-CACHE_SCHEMA = 5
+CACHE_SCHEMA = 6
 
 #: core count each machine-shape name builds by default
 NATURAL_CORES: Final[Mapping[str, int]] = MappingProxyType(
@@ -95,13 +95,14 @@ class RunJob:
     warmup_instrs: int = 0
     fabric: str = "ring"              # interconnect: ring | mesh
     num_cores: int = 0                # 0 = the machine shape's natural count
+    predictor: str = "map-i"          # EMC bypass predictor: map-i | hermes
 
     def key(self) -> tuple:
         """Identity of the run — everything except the display label."""
         return (self.workload, self.n_instrs, self.topology, self.prefetcher,
                 self.emc, self.num_mcs, self.seed, self.overrides,
                 self.max_cycles, self.trace, self.warmup_instrs,
-                self.fabric, self.num_cores)
+                self.fabric, self.num_cores, self.predictor)
 
     def effective_cores(self) -> int:
         """Core count this job actually builds (its override or the
@@ -119,9 +120,12 @@ class RunJob:
         ``trace``, the label — are all excluded.  Since schema v5 so are
         ``fabric`` and ``num_cores``: the warmup always runs on the
         neutral ring at the machine shape's natural core count and the
-        fork re-seats into the target fabric/core count.  An entire
-        config sweep over one workload resolves to one checkpoint: the
-        first point pays for the warmup, everyone else forks.
+        fork re-seats into the target fabric/core count.  ``predictor``
+        is excluded for the same reason (the neutral warmup runs with
+        the EMC off, so no predictor state ever warms; each point forks
+        into its own predictor kind).  An entire config sweep over one
+        workload resolves to one checkpoint: the first point pays for
+        the warmup, everyone else forks.
         """
         return (self.workload, self.n_instrs, self.topology,
                 self.num_mcs, self.seed, self.warmup_instrs)
@@ -217,6 +221,7 @@ def build_job_config(job: RunJob) -> SystemConfig:
     else:
         raise ValueError(f"unknown topology {job.topology!r}")
     cfg.ring.topology = job.fabric
+    cfg.emc.predictor.kind = job.predictor
     if job.num_cores:
         cfg.num_cores = job.num_cores
     apply_config_overrides(cfg, job.overrides)
@@ -259,7 +264,7 @@ def warmup_base_config(job: RunJob) -> SystemConfig:
     One base per warmup identity: the job's machine shape on the neutral
     ring at its natural core count, EMC off, no prefetcher — ignoring the
     per-point knobs (``prefetcher``, ``emc``, ``fabric``, ``num_cores``,
-    dotted overrides).  Every sweep point sharing a
+    ``predictor``, dotted overrides).  Every sweep point sharing a
     :meth:`RunJob.warmup_key` warms this exact machine — or loads its
     cached checkpoint — and then forks into its own config.
     """

@@ -39,7 +39,8 @@ from typing import (Any, Callable, Dict, Final, List, Mapping, Optional,
                     Sequence, Tuple)
 
 from ..sim.runner import PREFETCHER_CONFIGS, RunResult
-from ..uarch.params import TOPOLOGIES, quad_core_config, set_config_field
+from ..uarch.params import (PREDICTORS, TOPOLOGIES, quad_core_config,
+                            set_config_field)
 from ..workloads.mixes import MIX_NAMES
 from ..workloads.spec import PROFILES
 from .figures import bar_chart
@@ -78,7 +79,8 @@ FIGURE_KEYS: Final[frozenset] = frozenset({
 #: matrix axes with farm-level meaning; every other axis must be a
 #: dotted SystemConfig path (``dram.t_rcd``, ``emc.num_contexts``, …)
 RESERVED_AXES: Final[frozenset] = frozenset({
-    "workload", "prefetcher", "emc", "num_mcs", "topology", "num_cores"})
+    "workload", "prefetcher", "emc", "num_mcs", "topology", "num_cores",
+    "predictor"})
 TABLE_FORMATS: Final[Tuple[str, ...]] = ("md", "csv", "txt")
 
 #: metric name -> extractor over a RunResult (the values tables/figures
@@ -96,6 +98,8 @@ METRICS: Final[Mapping[str, Callable[[RunResult], Any]]] = MappingProxyType({
     "dependent_miss_fraction": lambda r: r.stats.dependent_miss_fraction(),
     "energy_chip_j": lambda r: r.energy.chip,
     "energy_dram_j": lambda r: r.energy.dram,
+    "bypass_precision": lambda r: r.stats.emc.bypass_precision,
+    "bypass_recall": lambda r: r.stats.emc.bypass_recall,
 })
 
 #: every key the validator accepts, as documented in
@@ -275,6 +279,7 @@ class ExperimentSpec:
         # the workload, so the axis lands on RunJob.fabric.
         fabric = point.get("topology", "ring")
         num_cores = int(point.get("num_cores", 0))
+        predictor = point.get("predictor", "map-i")
         overrides = tuple(sorted(
             (axis, value) for axis, value in point.items()
             if axis not in RESERVED_AXES))
@@ -288,7 +293,8 @@ class ExperimentSpec:
                       num_mcs=num_mcs, seed=seed, overrides=overrides,
                       max_cycles=self.max_cycles, trace=self.trace,
                       label=label, warmup_instrs=self.warmup,
-                      fabric=fabric, num_cores=num_cores)
+                      fabric=fabric, num_cores=num_cores,
+                      predictor=predictor)
 
 
 def _fmt(value: Any) -> str:
@@ -418,6 +424,12 @@ def _validate_axis(axis: str, values: List[Any], filename: str,
                 raise _err(filename, lines, path + (i,),
                            f"unknown topology {value!r}; known: "
                            f"{', '.join(TOPOLOGIES)}")
+    elif axis == "predictor":
+        for i, value in enumerate(values):
+            if value not in PREDICTORS:
+                raise _err(filename, lines, path + (i,),
+                           f"unknown predictor {value!r}; known: "
+                           f"{', '.join(PREDICTORS)}")
     elif axis == "num_cores":
         for i, value in enumerate(values):
             if (not isinstance(value, int) or isinstance(value, bool)

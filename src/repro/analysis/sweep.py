@@ -130,18 +130,19 @@ def sweep_mix(grid: Mapping[str, Sequence[Any]], mix: str, n_instrs: int,
               jobs: int = 1, cache_dir: Optional[str] = None,
               timeout: Optional[float] = None, progress=None,
               warmup_instrs: int = 0, fabric: str = "ring",
-              num_cores: int = 0) -> SweepResult:
+              num_cores: int = 0,
+              predictor: str = "map-i") -> SweepResult:
     """Convenience wrapper: sweep over one Table 3 mix, optionally in
     parallel (``jobs`` worker processes, on-disk ``cache_dir``).
 
     ``warmup_instrs`` gives every point a warmup window; all points
     share one warmed base machine (see the module docstring).  ``fabric``
-    selects the interconnect topology and ``num_cores`` overrides the
+    selects the interconnect topology, ``num_cores`` overrides the
     core count (0 keeps the mix's natural four; the mix tiles cyclically
-    onto more cores).
+    onto more cores), and ``predictor`` picks the EMC bypass predictor.
     """
     base = replace(mix_job(mix, n_instrs, prefetcher=prefetcher, emc=emc,
                            seed=seed, warmup_instrs=warmup_instrs),
-                   fabric=fabric, num_cores=num_cores)
+                   fabric=fabric, num_cores=num_cores, predictor=predictor)
     return sweep_jobs(grid, base, jobs=jobs, cache_dir=cache_dir,
                       timeout=timeout, progress=progress)

@@ -23,7 +23,8 @@ from .analysis.parallel import ParallelRunError
 from .analysis.report import format_fabric_summary, format_table
 from .sim.runner import (PREFETCHER_CONFIGS, RunResult, run_system)
 from .trace import Tracer
-from .uarch.params import TOPOLOGIES, eight_core_config, quad_core_config
+from .uarch.params import (PREDICTORS, TOPOLOGIES, eight_core_config,
+                           quad_core_config)
 from .workloads.mixes import (MIX_NAMES, MIXES, build_homogeneous,
                               build_named, build_scaled_mix)
 from .workloads.spec import HIGH_INTENSITY, LOW_INTENSITY, PROFILES
@@ -80,6 +81,7 @@ def _build_config(args) -> object:
         cfg = quad_core_config(prefetcher=args.prefetcher, emc=args.emc,
                                seed=args.seed)
     cfg.ring.topology = getattr(args, "topology", "ring")
+    cfg.emc.predictor.kind = getattr(args, "predictor", "map-i")
     if getattr(args, "num_cores", 0):
         cfg.num_cores = args.num_cores
         cfg.validate()
@@ -233,7 +235,8 @@ def cmd_sweep(args) -> int:
                        progress=True if args.jobs > 1 else None,
                        warmup_instrs=args.warmup,
                        fabric=getattr(args, "topology", "ring"),
-                       num_cores=getattr(args, "num_cores", 0))
+                       num_cores=getattr(args, "num_cores", 0),
+                       predictor=getattr(args, "predictor", "map-i"))
     headers = list(grid) + ["perf", "emc_frac"]
     rows = [tuple(p.overrides[k] for k in grid)
             + (p.performance, p.result.stats.emc_miss_fraction())
@@ -475,6 +478,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "boundary (default 0: no warmup)")
     parser.add_argument("--topology", default="ring", choices=TOPOLOGIES,
                         help="interconnect fabric (default ring)")
+    parser.add_argument("--predictor", default="map-i", choices=PREDICTORS,
+                        help="EMC bypass (LLC hit/miss) predictor "
+                             "(default map-i)")
     parser.add_argument("--num-cores", type=int, default=0, metavar="N",
                         help="override the core count (default: the "
                              "machine shape's natural count; mixes tile "

@@ -24,7 +24,7 @@ from ..uarch.isa import effective_address, execute_alu
 from ..uarch.params import EMCConfig
 from ..uarch.uop import UopType
 from .chain import ChainUop, DependenceChain
-from .miss_predictor import MissPredictor
+from .miss_predictor import build_predictor
 from .tlb import EMCTlbFile
 
 
@@ -82,8 +82,7 @@ class EMC(SimComponent):
         self.contexts = [EMCContext(i) for i in range(cfg.num_contexts)]
         self.dcache = SetAssocCache(cfg.data_cache_bytes, cfg.data_cache_ways)
         self.tlbs = EMCTlbFile(num_cores, cfg.tlb_entries_per_core)
-        self.miss_predictor = MissPredictor(cfg.miss_predictor_entries,
-                                            cfg.miss_predictor_threshold)
+        self.miss_predictor = build_predictor(cfg.predictor)
         self._inflight = 0          # reservation-station occupancy
         self._tick_scheduled = False
         self._rr = 0                # round-robin pointer over contexts
@@ -143,8 +142,13 @@ class EMC(SimComponent):
         self.tlbs.reseat(state["tlbs"], report, f"{path}/tlb")
         self.miss_predictor.reseat(state["miss_predictor"], report,
                                    f"{path}/miss_predictor")
-        # The round-robin pointer survives modulo the live context count.
-        self._rr = state["rr"] % len(self.contexts)
+        # The round-robin pointer carries whole when the context count is
+        # unchanged (an identity fork must snapshot bit-identically to
+        # its parent) and survives modulo the live count otherwise.
+        if state["config"]["num_contexts"] == len(self.contexts):
+            self._rr = state["rr"]
+        else:
+            self._rr = state["rr"] % len(self.contexts)
 
     def _clear_inflight(self) -> None:
         for ctx in self.contexts:
@@ -387,8 +391,8 @@ class EMC(SimComponent):
             self.system.notify_core_lsq(self.mc_id, chain.core_id)
             return
         self._pending_lines[line] = [waiter]
-        predicted_miss = self.miss_predictor.predict_miss(chain.core_id,
-                                                          cu.uop.pc)
+        predicted_miss = self.miss_predictor.predict_miss(
+            chain.core_id, cu.uop.pc, vaddr)
 
         def on_data(req) -> None:
             self.dcache.fill(line)

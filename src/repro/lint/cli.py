@@ -105,6 +105,10 @@ def add_sanitize_arguments(parser) -> None:
                         choices=("ring", "mesh"),
                         help="interconnect fabric the checks run on "
                              "(default: ring)")
+    parser.add_argument("--predictor", default="map-i",
+                        choices=("map-i", "hermes"),
+                        help="EMC bypass predictor the checks run on "
+                             "(default: map-i)")
     parser.add_argument("--jobs", type=int, default=0, metavar="J",
                         help="also diff a serial run_jobs pass against a "
                              "J-worker pass (bit-identity gate on the "
@@ -127,12 +131,15 @@ def cmd_sanitize(args) -> int:
     from .sanitize import (sanitize_checkpoint_roundtrip,
                            sanitize_fork_identity,
                            sanitize_parallel_runner, sanitize_quad_mix)
-    fabric = {"ring.topology": args.topology} if args.topology != "ring" \
-        else {}
+    overrides = {}
+    if args.topology != "ring":
+        overrides["ring.topology"] = args.topology
+    if args.predictor != "map-i":
+        overrides["emc.predictor.kind"] = args.predictor
     reports = [sanitize_quad_mix(
         args.mix, args.n_instrs, prefetcher=args.prefetcher,
         emc=args.emc, seed=args.seed, trace=not args.no_trace,
-        warmup_instrs=args.warmup, **fabric)]
+        warmup_instrs=args.warmup, **overrides)]
     if args.jobs and args.jobs > 1:
         reports.append(sanitize_parallel_runner(
             args.mix, args.n_instrs, prefetcher=args.prefetcher,

@@ -212,7 +212,8 @@ class MemoryHierarchy(SimComponent):
         core.classify_llc_outcome(req, hit, prefetched)
         emc = self.system.emc_for(req.line)
         if emc is not None:
-            emc.miss_predictor.update(req.core_id, req.pc, not hit)
+            emc.miss_predictor.update(req.core_id, req.pc, not hit,
+                                      vaddr=req.vaddr)
         if hit and prefetched and not was_useful:
             self._record_prefetch_useful()
         self._train_prefetcher(req.line, req.pc, req.core_id, hit)
@@ -466,11 +467,21 @@ class MemoryHierarchy(SimComponent):
         # cost directory probe; documented in DESIGN.md).
         actually_resident = self.llc.probe(line) is not None
         if emc is not None:
-            emc.miss_predictor.update(core_id, pc, not actually_resident)
+            emc.miss_predictor.update(core_id, pc, not actually_resident,
+                                      vaddr=vaddr)
             if predicted_miss == (not actually_resident):
                 self.stats.emc.miss_pred_correct += 1
             else:
                 self.stats.emc.miss_pred_wrong += 1
+            # Bypass confusion matrix: positive = "predicted miss" (the
+            # load goes straight to DRAM).
+            if predicted_miss:
+                if actually_resident:
+                    self.stats.emc.bypass_false_pos += 1
+                else:
+                    self.stats.emc.bypass_true_pos += 1
+            elif not actually_resident:
+                self.stats.emc.bypass_false_neg += 1
 
         self.trace.begin(req, Stage.EMC_ISSUE)
         if predicted_miss:

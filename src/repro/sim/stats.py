@@ -175,6 +175,10 @@ class EMCStats:
     tlb_misses: int = 0
     miss_pred_correct: int = 0
     miss_pred_wrong: int = 0
+    # Bypass confusion matrix: positive = predicted miss (direct-to-DRAM).
+    bypass_true_pos: int = 0
+    bypass_false_pos: int = 0
+    bypass_false_neg: int = 0
 
     # -- mutation API for the chain-generation unit --------------------------
     # The CGU lives in the core but its counters are the EMC's; these
@@ -203,6 +207,20 @@ class EMCStats:
     def dcache_hit_rate(self) -> float:
         total = self.dcache_hits + self.dcache_misses
         return self.dcache_hits / total if total else 0.0
+
+    @property
+    def bypass_precision(self) -> float:
+        """Of the loads sent straight to DRAM, the fraction that really
+        were off-chip."""
+        issued = self.bypass_true_pos + self.bypass_false_pos
+        return self.bypass_true_pos / issued if issued else 0.0
+
+    @property
+    def bypass_recall(self) -> float:
+        """Of the loads that really were off-chip, the fraction the
+        predictor sent straight to DRAM."""
+        actual = self.bypass_true_pos + self.bypass_false_neg
+        return self.bypass_true_pos / actual if actual else 0.0
 
     @property
     def avg_chain_uops(self) -> float:

@@ -107,6 +107,34 @@ class DRAMConfig:
         return self.channels * self.ranks_per_channel * self.banks_per_rank
 
 
+#: registered off-chip (LLC hit/miss) predictors (see
+#: ``repro.emc.miss_predictor``).
+PREDICTORS = ("map-i", "hermes")
+
+
+@dataclass
+class PredictorConfig:
+    """The EMC's LLC hit/miss predictor (Section 4.3), by kind.
+
+    ``kind`` selects the mechanism: ``map-i`` — the paper's per-core
+    arrays of 3-bit saturating counters hashed by PC (``entries`` /
+    ``threshold``); ``hermes`` — a Hermes-style perceptron over hashed
+    program features (the ``hermes_*`` knobs).  Each kind reads only its
+    own sizing fields.
+    """
+
+    kind: str = "map-i"
+    # MAP-I: 3-bit counter table.
+    entries: int = 256
+    threshold: int = 4
+    # Hermes: per-feature weight tables, outcome history, thresholds.
+    hermes_entries: int = 128         # weight-table rows per feature
+    hermes_history: int = 8           # bits of LLC-outcome history
+    hermes_weight_max: int = 15       # weights saturate at +/- this
+    hermes_activation: int = 2        # predict miss when sum >= this
+    hermes_training_threshold: int = 14  # train while |sum| <= this
+
+
 @dataclass
 class EMCConfig:
     """The Enhanced Memory Controller (Table 1, "EMC Compute")."""
@@ -130,9 +158,9 @@ class EMCConfig:
     data_cache_latency: int = 2
     tlb_entries_per_core: int = 32
     uop_bytes: int = 6
-    # LLC hit/miss predictor: array of 3-bit counters hashed by PC.
-    miss_predictor_entries: int = 256
-    miss_predictor_threshold: int = 4
+    # LLC hit/miss predictor behind the bypass decision (pluggable;
+    # dotted overrides address it as ``emc.predictor.kind`` etc.).
+    predictor: PredictorConfig = field(default_factory=PredictorConfig)
     # Chain-generation trigger: 3-bit saturating counter; generate when
     # either of the top 2 bits is set (value >= 2).
     dep_counter_bits: int = 3
@@ -211,6 +239,10 @@ class SystemConfig:
             raise ValueError("need at least one DRAM channel")
         if self.emc.max_chain_uops > self.emc.uop_buffer_entries:
             raise ValueError("chain length cannot exceed the EMC uop buffer")
+        if self.emc.predictor.kind not in PREDICTORS:
+            raise ValueError(
+                f"unknown predictor {self.emc.predictor.kind!r} "
+                f"(known: {', '.join(PREDICTORS)})")
 
 
 def set_config_field(cfg: SystemConfig, path: str, value: Any) -> None:

@@ -1,24 +1,40 @@
-"""Unit tests for the EMC's LLC hit/miss predictor."""
+"""Unit tests for the EMC's pluggable LLC hit/miss predictors."""
 
 import pytest
 
-from repro.emc.miss_predictor import MissPredictor
+from repro.emc.miss_predictor import (HermesPerceptron, MissPredictor,
+                                      OffChipPredictor, build_predictor)
+from repro.sim.component import CarryoverReport, SnapshotError
+from repro.uarch.params import PredictorConfig
 
+
+def map_i(entries=64, threshold=4):
+    return MissPredictor(PredictorConfig(entries=entries,
+                                         threshold=threshold))
+
+
+def hermes(**kwargs):
+    return HermesPerceptron(PredictorConfig(kind="hermes", **kwargs))
+
+
+# ---------------------------------------------------------------------------
+# MAP-I (the paper's 3-bit counter table)
+# ---------------------------------------------------------------------------
 
 def test_initially_predicts_hit():
-    pred = MissPredictor(entries=64, threshold=4)
+    pred = map_i()
     assert not pred.predict_miss(core=0, pc=0x400)
 
 
 def test_learns_misses():
-    pred = MissPredictor(entries=64, threshold=4)
+    pred = map_i()
     for _ in range(3):
         pred.update(0, 0x400, was_miss=True)
     assert pred.predict_miss(0, 0x400)
 
 
 def test_learns_hits_back():
-    pred = MissPredictor(entries=64, threshold=4)
+    pred = map_i()
     for _ in range(7):
         pred.update(0, 0x400, was_miss=True)
     for _ in range(5):
@@ -27,7 +43,7 @@ def test_learns_hits_back():
 
 
 def test_counters_saturate():
-    pred = MissPredictor(entries=64, threshold=4)
+    pred = map_i()
     for _ in range(100):
         pred.update(0, 0x400, was_miss=True)
     table = pred._table(0)
@@ -38,7 +54,7 @@ def test_counters_saturate():
 
 
 def test_per_core_tables_independent():
-    pred = MissPredictor(entries=64, threshold=4)
+    pred = map_i()
     for _ in range(4):
         pred.update(0, 0x400, was_miss=True)
     assert pred.predict_miss(0, 0x400)
@@ -46,7 +62,7 @@ def test_per_core_tables_independent():
 
 
 def test_different_pcs_use_different_counters():
-    pred = MissPredictor(entries=64, threshold=4)
+    pred = map_i()
     for _ in range(4):
         pred.update(0, 0x0, was_miss=True)
     assert not pred.predict_miss(0, 0x1)
@@ -54,4 +70,137 @@ def test_different_pcs_use_different_counters():
 
 def test_power_of_two_required():
     with pytest.raises(ValueError):
-        MissPredictor(entries=100)
+        map_i(entries=100)
+    with pytest.raises(ValueError):
+        hermes(hermes_entries=100)
+
+
+# ---------------------------------------------------------------------------
+# Hermes perceptron
+# ---------------------------------------------------------------------------
+
+def test_hermes_initially_predicts_hit():
+    pred = hermes()
+    assert not pred.predict_miss(core=0, pc=0x400, vaddr=0x1000)
+
+
+def test_hermes_learns_misses_and_back():
+    pred = hermes()
+    for _ in range(8):
+        pred.update(0, 0x400, was_miss=True, vaddr=0x1040)
+    assert pred.predict_miss(0, 0x400, vaddr=0x1040)
+    for _ in range(20):
+        pred.update(0, 0x400, was_miss=False, vaddr=0x1040)
+    assert not pred.predict_miss(0, 0x400, vaddr=0x1040)
+
+
+def test_hermes_weights_saturate():
+    pred = hermes(hermes_weight_max=3)
+    for _ in range(100):
+        pred.update(0, 0x400, was_miss=True, vaddr=0x1040)
+    table = pred._table(0)
+    flat = [w for row in table["weights"] for w in row]
+    assert max(flat) <= 3 and min(flat) >= -3
+
+
+def test_hermes_history_register_tracks_outcomes():
+    pred = hermes(hermes_history=4)
+    for outcome in (True, False, True, True):
+        pred.update(0, 0x400, was_miss=outcome, vaddr=0)
+    assert pred._table(0)["history"] == 0b1011
+    # Bounded to the configured width.
+    for _ in range(10):
+        pred.update(0, 0x400, was_miss=True, vaddr=0)
+    assert pred._table(0)["history"] == 0b1111
+
+
+def test_hermes_per_core_tables_independent():
+    pred = hermes()
+    for _ in range(8):
+        pred.update(0, 0x400, was_miss=True, vaddr=0x1040)
+    assert pred.predict_miss(0, 0x400, vaddr=0x1040)
+    assert not pred.predict_miss(1, 0x400, vaddr=0x1040)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+def test_build_predictor_dispatches_on_kind():
+    assert isinstance(build_predictor(PredictorConfig()), MissPredictor)
+    assert isinstance(build_predictor(PredictorConfig(kind="hermes")),
+                      HermesPerceptron)
+    for pred in (build_predictor(PredictorConfig()),
+                 build_predictor(PredictorConfig(kind="hermes"))):
+        assert isinstance(pred, OffChipPredictor)
+
+
+def test_build_predictor_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown predictor"):
+        build_predictor(PredictorConfig(kind="oracle"))
+
+
+# ---------------------------------------------------------------------------
+# snapshot / restore / reseat
+# ---------------------------------------------------------------------------
+
+def trained_map_i():
+    pred = map_i()
+    for core in (0, 1):
+        for _ in range(4):
+            pred.update(core, 0x400 + core, was_miss=True)
+    return pred
+
+
+def test_snapshot_restore_roundtrip():
+    for pred, fresh in ((trained_map_i(), map_i()),
+                        (hermes(), hermes())):
+        pred.update(0, 0x400, was_miss=True, vaddr=0x40)
+        fresh.restore(pred.snapshot())
+        assert fresh.snapshot() == pred.snapshot()
+
+
+def test_reseat_same_config_carries_per_core_paths():
+    pred = trained_map_i()
+    fresh = map_i()
+    report = CarryoverReport()
+    fresh.reseat(pred.snapshot(), report, "emc/miss_predictor")
+    assert fresh.snapshot() == pred.snapshot()
+    assert report.as_dict() == {"emc/miss_predictor/core0": (64, 64),
+                                "emc/miss_predictor/core1": (64, 64)}
+
+
+def test_reseat_threshold_change_carries_resize_drops():
+    pred = trained_map_i()
+    relaxed = map_i(threshold=6)
+    report = CarryoverReport()
+    relaxed.reseat(pred.snapshot(), report, "p")
+    assert report.ratio("p/core0") == 1.0
+    resized = map_i(entries=128)
+    report = CarryoverReport()
+    resized.reseat(pred.snapshot(), report, "p")
+    assert report.as_dict() == {"p/core0": (0, 64), "p/core1": (0, 64)}
+    assert not resized._tables
+
+
+def test_cross_kind_reseat_drops_learned_state():
+    pred = trained_map_i()
+    other = hermes()
+    report = CarryoverReport()
+    other.reseat(pred.snapshot(), report, "p")
+    assert report.as_dict() == {"p/core0": (0, 64), "p/core1": (0, 64)}
+    assert not other._tables
+    # ...and the other direction: hermes tables mean nothing to MAP-I.
+    trained_hermes = hermes(hermes_entries=16, hermes_history=4)
+    trained_hermes.update(0, 0x400, was_miss=True, vaddr=0x40)
+    report = CarryoverReport()
+    back = map_i()
+    back.reseat(trained_hermes.snapshot(), report, "p")
+    # 4 features x 16 weights + 1 history register per core.
+    assert report.as_dict() == {"p/core0": (0, 65)}
+    assert not back._tables
+
+
+def test_restore_rejects_cross_kind_snapshot():
+    with pytest.raises(SnapshotError):
+        hermes().restore(trained_map_i().snapshot())
